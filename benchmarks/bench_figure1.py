@@ -1,0 +1,82 @@
+"""Benchmark + reproduction of Figure 1 — *Rematerialization versus
+Spilling*.
+
+Asserts the figure's qualitative content on the pressured fragment: under
+the New allocator the constant part of ``p`` is rematerialized
+(immediates replace loads, stores vanish for that range) and the result
+is strictly cheaper than Chaitin-style spilling.
+"""
+
+import pytest
+
+from repro.benchsuite import figure1_pressured
+from repro.interp import run_function
+from repro.ir import CountClass
+from repro.machine import machine_with
+from repro.regalloc import allocate
+from repro.remat import RenumberMode
+
+from .conftest import save_result
+
+MACHINE = machine_with(4, 2)
+ARGS = [12]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    fn = figure1_pressured()
+    expected = run_function(fn.clone(), args=ARGS).output
+    result = {}
+    for mode in (RenumberMode.CHAITIN, RenumberMode.REMAT):
+        allocated = allocate(fn, machine=MACHINE, mode=mode)
+        run = run_function(allocated.function, args=ARGS)
+        assert run.output == expected
+        result[mode] = (allocated, run)
+    return result
+
+
+def test_figure1_shape(benchmark, runs, results_dir):
+    old_alloc, old_run = runs[RenumberMode.CHAITIN]
+    new_alloc, new_run = runs[RenumberMode.REMAT]
+
+    old_cycles = MACHINE.cycles(old_run.counts)
+    new_cycles = MACHINE.cycles(new_run.counts)
+    lines = [
+        "Figure 1 reproduction (pressured fragment, 4+2 registers)",
+        "",
+        f"{'':12s}{'cycles':>8}{'loads':>7}{'stores':>8}{'ldi':>6}"
+        f"{'addi':>6}{'copies':>8}",
+        f"{'Chaitin':12s}{old_cycles:>8}"
+        f"{old_run.count(CountClass.LOAD):>7}"
+        f"{old_run.count(CountClass.STORE):>8}"
+        f"{old_run.count(CountClass.LDI):>6}"
+        f"{old_run.count(CountClass.ADDI):>6}"
+        f"{old_run.count(CountClass.COPY):>8}",
+        f"{'Remat':12s}{new_cycles:>8}"
+        f"{new_run.count(CountClass.LOAD):>7}"
+        f"{new_run.count(CountClass.STORE):>8}"
+        f"{new_run.count(CountClass.LDI):>6}"
+        f"{new_run.count(CountClass.ADDI):>6}"
+        f"{new_run.count(CountClass.COPY):>8}",
+    ]
+    save_result(results_dir, "figure1", "\n".join(lines))
+
+    # the Ideal-vs-Chaitin contrast of the figure
+    assert new_cycles < old_cycles
+    assert new_run.count(CountClass.LOAD) < old_run.count(CountClass.LOAD)
+    assert (new_run.count(CountClass.LDI) + new_run.count(CountClass.ADDI)
+            >= old_run.count(CountClass.LDI)
+            + old_run.count(CountClass.ADDI))
+    # the New allocator rematerialized at least one spilled range
+    assert new_alloc.stats.n_remat_spills >= 1
+    assert new_alloc.stats.n_splits_inserted >= 1
+
+    fn = figure1_pressured()
+    benchmark(lambda: allocate(fn, machine=MACHINE,
+                               mode=RenumberMode.REMAT))
+
+
+def test_figure1_old_allocation_speed(benchmark):
+    fn = figure1_pressured()
+    benchmark(lambda: allocate(fn, machine=MACHINE,
+                               mode=RenumberMode.CHAITIN))

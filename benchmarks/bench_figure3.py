@@ -1,0 +1,58 @@
+"""Benchmark + reproduction of Figure 3 — *Introducing Splits*.
+
+Checks the Minimal column (exactly one split isolating the never-killed
+value) and times the renumber pipeline that produces it.
+"""
+
+import pytest
+
+from repro.benchsuite import KERNELS_BY_NAME, figure1_function
+from repro.regalloc import run_renumber
+from repro.remat import RenumberMode, is_remat
+
+from .conftest import save_result
+
+
+def renumber_fresh(mode: RenumberMode):
+    fn = figure1_function()
+    fn.split_critical_edges()
+    return fn, run_renumber(fn, mode)
+
+
+def test_figure3_minimal_splits(benchmark, results_dir):
+    fn, outcome = renumber_fresh(RenumberMode.REMAT)
+    result = outcome.result
+    splits = [inst for _b, inst in fn.instructions() if inst.is_split]
+    lines = [
+        "Figure 3 reproduction (split placement on the Figure 1 fragment)",
+        "",
+        f"live ranges: {len(result.live_ranges)}",
+        f"splits inserted: {result.n_splits_inserted}",
+        f"copies removed by renumber: {result.n_copies_removed}",
+    ]
+    for inst in splits:
+        lines.append(f"  {inst}  (src tag {result.lr_tags[inst.src]!r}, "
+                     f"dest tag {result.lr_tags[inst.dest]!r})")
+    save_result(results_dir, "figure3", "\n".join(lines))
+
+    # the Minimal column: one split, connecting inst -> bottom
+    assert result.n_splits_inserted == 1
+    (split,) = splits
+    assert is_remat(result.lr_tags[split.src])
+    assert not is_remat(result.lr_tags[split.dest])
+
+    benchmark(lambda: renumber_fresh(RenumberMode.REMAT))
+
+
+@pytest.mark.parametrize("mode", list(RenumberMode),
+                         ids=lambda m: m.value)
+def test_renumber_speed_on_large_routine(benchmark, mode):
+    """Renumber throughput per mode on the big Table 2 specimen."""
+    kernel = KERNELS_BY_NAME["twldrv"]
+
+    def job():
+        fn = kernel.compile()
+        fn.split_critical_edges()
+        return run_renumber(fn, mode)
+
+    benchmark(job)

@@ -1,0 +1,68 @@
+"""Benchmark + reproduction of Figure 4 — *ILOC and C*.
+
+Checks that the translation has the figure's one-statement-per-
+instruction shape with class counters, and times emission over the suite.
+"""
+
+import pytest
+
+from repro.benchsuite import ALL_KERNELS, KERNELS_BY_NAME
+from repro.cgen import emit_function
+from repro.ir import parse_function
+
+from .conftest import save_result
+
+FIGURE4_ILOC = """proc sample 0
+entry:
+    ldi r14 8
+    add r9 r15 r11
+    fcopy f15 f0
+    jmp L0023
+L0023:
+    fldo f14 r14 0
+    fabs f14 f14
+    fadd f15 f15 f14
+    addi r14 r14 8
+    sub r7 r10 r14
+    cbr r7 L0023 done
+done:
+    ret
+"""
+
+
+def test_figure4_translation_shape(benchmark, results_dir):
+    fn = parse_function(FIGURE4_ILOC)
+    fn.reserve_regs(20)
+    text = emit_function(fn)
+    save_result(results_dir, "figure4", text)
+
+    # Figure 4's pattern: counter bumps per class appear on the right lines
+    assert "r14v = (long) (8); i++;" in text
+    assert "f15v = f0v; c++;" in text
+    assert "f14v = fabs(f14v); o++;" in text
+    assert "r14v = r14v + (8); a++;" in text
+    assert "l++;" in text                      # the fldo load
+    assert "goto L0023;" in text
+
+    benchmark(lambda: emit_function(fn))
+
+
+def test_figure4_emission_speed_suite(benchmark):
+    """C emission throughput across the whole kernel suite."""
+    functions = [k.compile() for k in ALL_KERNELS]
+
+    def job():
+        return sum(len(emit_function(fn)) for fn in functions)
+
+    total = benchmark(job)
+    assert total > 10_000
+
+
+def test_figure4_roundtrip_after_allocation(benchmark):
+    from repro.machine import standard_machine
+    from repro.regalloc import allocate
+    kernel = KERNELS_BY_NAME["tomcatv"]
+    allocated = allocate(kernel.compile(), machine=standard_machine())
+    text = emit_function(allocated.function)
+    assert "register long" in text
+    benchmark(lambda: emit_function(allocated.function))

@@ -1,0 +1,60 @@
+"""Throughput benchmarks for the substrates: interpreter, SSA
+construction, interference-graph build, liveness and the front end.
+
+These are not paper experiments but keep the reproduction's moving parts
+honest — a slow substrate would distort Table 2's phase proportions.
+"""
+
+import pytest
+
+from repro.analysis import compute_dominance, compute_liveness, compute_loops
+from repro.benchsuite import KERNELS_BY_NAME
+from repro.frontend import compile_source
+from repro.interp import run_function
+from repro.regalloc import build_interference_graph, run_renumber
+from repro.remat import RenumberMode
+from repro.ssa import construct_ssa
+
+BIG = KERNELS_BY_NAME["twldrv"]
+
+
+def test_interpreter_throughput(benchmark):
+    fn = BIG.compile()
+    run = benchmark(lambda: run_function(fn, args=list(BIG.args)))
+    assert run.steps > 10_000
+
+
+def test_frontend_throughput(benchmark):
+    benchmark(lambda: compile_source(BIG.source))
+
+
+def test_ssa_construction_throughput(benchmark):
+    def job():
+        fn = BIG.compile()
+        fn.split_critical_edges()
+        return construct_ssa(fn)
+
+    benchmark(job)
+
+
+def test_liveness_throughput(benchmark):
+    fn = BIG.compile()
+    benchmark(lambda: compute_liveness(fn))
+
+
+def test_dominance_and_loops_throughput(benchmark):
+    fn = BIG.compile()
+
+    def job():
+        dom = compute_dominance(fn)
+        return compute_loops(fn, dom)
+
+    benchmark(job)
+
+
+def test_interference_build_throughput(benchmark):
+    fn = BIG.compile()
+    fn.split_critical_edges()
+    run_renumber(fn, RenumberMode.REMAT)
+    graph = benchmark(lambda: build_interference_graph(fn))
+    assert graph.n_edges() > 100

@@ -1,0 +1,54 @@
+"""Benchmark + reproduction of Table 2 — *Allocation Times in Seconds*.
+
+Regenerates the per-phase timing table on the small/medium/large
+specimens and checks the structural observations of Section 5.4.
+"""
+
+import pytest
+
+from repro.benchsuite import KERNELS_BY_NAME
+from repro.experiments import generate_table2
+from repro.machine import machine_with
+from repro.regalloc import allocate
+from repro.remat import RenumberMode
+
+from .conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return generate_table2(repeats=5)
+
+
+def test_generate_table2(benchmark, table2, results_dir):
+    save_result(results_dir, "table2", table2.render())
+    benchmark(table2.render)
+
+    for old, new in table2.columns:
+        # Section 5.4: "the cost of renumber is higher for the New
+        # allocator, reflecting the cost of propagating tags"
+        assert (sum(r["renum"] for r in new.rounds)
+                >= 0.8 * sum(r["renum"] for r in old.rounds))
+        # "the very low costs of control-flow analysis"
+        assert old.cfa < old.total * 0.25
+        # the build-coalesce loop is a dominant phase in round 1
+        first = old.rounds[0]
+        assert first["build"] >= first["costs"]
+
+    # the medium specimen iterates (the paper's tomcatv took an extra
+    # round of spilling)
+    tomcatv_old, _ = table2.columns[1]
+    assert len(tomcatv_old.rounds) >= 2
+
+    # specimens are ordered by size and total time grows with size
+    sizes = [old.code_size for old, _ in table2.columns]
+    assert sizes == sorted(sizes)
+
+
+@pytest.mark.parametrize("routine", ("repvid", "tomcatv", "twldrv"))
+def test_phase_timing_overhead(benchmark, routine):
+    """End-to-end allocation time for each Table 2 specimen (New mode)."""
+    kernel = KERNELS_BY_NAME[routine]
+    machine = machine_with(8, 8)
+    benchmark(lambda: allocate(kernel.compile(), machine=machine,
+                               mode=RenumberMode.REMAT))

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's tables from the command line.
+
+Usage::
+
+    python examples/run_experiments.py            # Table 1 + Table 2
+    python examples/run_experiments.py --ablation # + Section 6 ablation
+
+Table 1 runs the whole kernel suite under both allocators with the
+huge-machine baseline methodology; Table 2 times the allocator phases on
+the small/medium/large specimens.  The ablation sweep takes a while.
+"""
+
+import argparse
+
+from repro.experiments import (generate_table1, generate_table2,
+                               run_ablation, run_heuristic_ablation)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ablation", action="store_true",
+                        help="also run the Section 6 splitting-scheme and "
+                             "heuristic ablations")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repetitions for Table 2")
+    args = parser.parse_args()
+
+    print(generate_table1().render())
+    print()
+    print(generate_table2(repeats=args.repeats).render())
+    if args.ablation:
+        print()
+        print(run_ablation().render())
+        print()
+        print(run_heuristic_ablation().render())
+
+
+if __name__ == "__main__":
+    main()

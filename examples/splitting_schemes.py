@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Section 6 — alternative splitting schemes, side by side.
+
+Runs one kernel under the paper's five experimental splitting schemes
+plus the two baselines, reporting dynamic spill cycles for each.  The
+mixed outcome ("each scheme had several major successes; each had
+several equally dramatic failures") shows up even on a single kernel
+when the register file is varied.
+"""
+
+from repro import CountClass, allocate, machine_with, run_function
+from repro.benchsuite import KERNELS_BY_NAME
+from repro.experiments import measure_baseline
+from repro.regalloc.splitting import SCHEMES
+
+KERNEL = KERNELS_BY_NAME["adapt"]
+
+
+def main() -> None:
+    print(__doc__)
+    for k in (8, 12, 16):
+        machine = machine_with(k, k)
+        baseline = measure_baseline(KERNEL, cost_machine=machine)
+        print(f"--- {KERNEL.name} on a {k}+{k}-register machine "
+              f"(spill cycles; lower is better)")
+        for name, scheme in SCHEMES.items():
+            result = allocate(KERNEL.compile(), machine=machine,
+                              mode=scheme.mode, pre_split=scheme.pre_split)
+            run = run_function(result.function, args=list(KERNEL.args))
+            spill = machine.cycles(run.counts) - baseline.total_cycles
+            print(f"  {name:22s} {spill:6d}   "
+                  f"(splits inserted {result.stats.n_splits_inserted:3d}, "
+                  f"coalesced back {result.stats.n_splits_coalesced:3d}, "
+                  f"copies executed "
+                  f"{run.count(CountClass.COPY):4d})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

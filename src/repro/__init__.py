@@ -1,0 +1,74 @@
+"""repro — reproduction of Briggs, Cooper & Torczon, *Rematerialization*
+(PLDI 1992).
+
+A Chaitin/Briggs optimistic graph-coloring register allocator with
+SSA-based rematerialization-tag propagation, built on an ILOC-like IR,
+with an interpreter, a small front end (MiniFort), a benchmark kernel
+suite and an experiment harness regenerating the paper's tables and
+figures.
+
+Quickstart::
+
+    from repro import allocate, parse_function, run_function
+    from repro import RenumberMode, standard_machine
+
+    fn = parse_function(SOURCE)                       # or compile_source
+    result = allocate(fn, machine=standard_machine(),
+                      mode=RenumberMode.REMAT)
+    run = run_function(result.function, args=[100])
+    print(run.output, run.counts)
+"""
+
+__version__ = "1.0.0"
+
+from .frontend import compile_source, parse_proc, parse_program
+from .interp import Interpreter, InterpreterError, RunResult, run_function
+from .ir import (BasicBlock, CountClass, Function, IRBuilder, Instruction,
+                 Opcode, ParseError, Reg, RegClass, function_to_text,
+                 parse_function, print_function, verify_function)
+from .machine import (MachineDescription, huge_machine, machine_with,
+                      standard_machine, tiny_machine)
+from .regalloc import (AllocationError, AllocationResult, SCHEMES, allocate)
+from .remat import (BOTTOM, InstTag, RenumberMode, TOP, Tag, is_remat, meet,
+                    propagate_tags)
+
+__all__ = [
+    "AllocationError",
+    "AllocationResult",
+    "BOTTOM",
+    "BasicBlock",
+    "CountClass",
+    "Function",
+    "IRBuilder",
+    "InstTag",
+    "Instruction",
+    "Interpreter",
+    "InterpreterError",
+    "MachineDescription",
+    "Opcode",
+    "ParseError",
+    "Reg",
+    "RegClass",
+    "RenumberMode",
+    "RunResult",
+    "SCHEMES",
+    "TOP",
+    "Tag",
+    "__version__",
+    "allocate",
+    "compile_source",
+    "function_to_text",
+    "huge_machine",
+    "is_remat",
+    "machine_with",
+    "meet",
+    "parse_function",
+    "parse_proc",
+    "parse_program",
+    "print_function",
+    "propagate_tags",
+    "run_function",
+    "standard_machine",
+    "tiny_machine",
+    "verify_function",
+]

@@ -1,0 +1,33 @@
+"""Control-flow and data-flow analyses over the ILOC IR."""
+
+from .defuse import DefUse, Site, compute_def_use
+from .dominance import (DominanceInfo, compute_dominance,
+                        iterated_dominance_frontier)
+from .liveness import (BlockLiveness, LivenessInfo, block_use_def,
+                       compute_liveness, live_at_instruction)
+from .loops import (Loop, LoopInfo, compute_loops, find_back_edges,
+                    instruction_depths)
+from .postdominance import (PostDominanceInfo, VIRTUAL_EXIT,
+                            compute_postdominance)
+
+__all__ = [
+    "BlockLiveness",
+    "DefUse",
+    "DominanceInfo",
+    "Loop",
+    "LoopInfo",
+    "LivenessInfo",
+    "PostDominanceInfo",
+    "Site",
+    "VIRTUAL_EXIT",
+    "block_use_def",
+    "compute_def_use",
+    "compute_dominance",
+    "compute_liveness",
+    "compute_loops",
+    "compute_postdominance",
+    "find_back_edges",
+    "instruction_depths",
+    "iterated_dominance_frontier",
+    "live_at_instruction",
+]

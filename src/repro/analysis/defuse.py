@@ -1,0 +1,44 @@
+"""Definition and use sites of registers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import Function, Reg
+
+
+@dataclass(frozen=True)
+class Site:
+    """A definition or use site: block label + instruction index."""
+
+    block: str
+    index: int
+
+
+@dataclass
+class DefUse:
+    """Def and use sites of every register in a function."""
+
+    defs: dict[Reg, list[Site]] = field(default_factory=dict)
+    uses: dict[Reg, list[Site]] = field(default_factory=dict)
+
+    def defs_of(self, reg: Reg) -> list[Site]:
+        return self.defs.get(reg, [])
+
+    def uses_of(self, reg: Reg) -> list[Site]:
+        return self.uses.get(reg, [])
+
+    def regs(self) -> set[Reg]:
+        return set(self.defs) | set(self.uses)
+
+
+def compute_def_use(fn: Function) -> DefUse:
+    """Collect def and use sites for every register of *fn*."""
+    du = DefUse()
+    for blk in fn.blocks:
+        for i, inst in enumerate(blk.instructions):
+            for d in inst.dests:
+                du.defs.setdefault(d, []).append(Site(blk.label, i))
+            for s in inst.srcs:
+                du.uses.setdefault(s, []).append(Site(blk.label, i))
+    return du

@@ -1,0 +1,103 @@
+"""Live-variable analysis.
+
+Backward iterative data-flow over basic blocks.  The paper computes liveness
+with a sparse data-flow evaluation graph [Choi–Cytron–Ferrante]; we use the
+classic worklist formulation, which computes the same fixed point (the
+"sparse" aspect only affects compile time, and Python-level set operations
+make the dense version the faster one here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function, Instruction, Reg
+
+
+@dataclass
+class BlockLiveness:
+    """use/def summaries and live-in/out sets for one block."""
+
+    use: set[Reg]
+    defs: set[Reg]
+    live_in: set[Reg]
+    live_out: set[Reg]
+
+
+@dataclass
+class LivenessInfo:
+    """Liveness facts for one function, keyed by block label."""
+
+    blocks: dict[str, BlockLiveness]
+
+    def live_in(self, label: str) -> set[Reg]:
+        return self.blocks[label].live_in
+
+    def live_out(self, label: str) -> set[Reg]:
+        return self.blocks[label].live_out
+
+
+def block_use_def(instructions: list[Instruction]) -> tuple[set[Reg], set[Reg]]:
+    """Upward-exposed uses and defs of a straight-line sequence."""
+    use: set[Reg] = set()
+    defs: set[Reg] = set()
+    for inst in instructions:
+        for src in inst.srcs:
+            if src not in defs:
+                use.add(src)
+        defs.update(inst.dests)
+    return use, defs
+
+
+def compute_liveness(fn: Function) -> LivenessInfo:
+    """Compute per-block liveness of all registers in *fn*.
+
+    φ pseudo-instructions must not be present (liveness for SSA form is
+    handled inside renumber, where φs are given copy semantics on edges).
+    """
+    labels = fn.reverse_postorder()
+    info: dict[str, BlockLiveness] = {}
+    for label in labels:
+        use, defs = block_use_def(fn.block(label).instructions)
+        info[label] = BlockLiveness(use=use, defs=defs, live_in=set(),
+                                    live_out=set())
+
+    preds = fn.predecessors_map()
+    # Iterate to a fixed point, visiting blocks in postorder (reverse of
+    # RPO) so information flows backward quickly.
+    order = list(reversed(labels))
+    worklist = list(order)
+    in_list = set(worklist)
+    while worklist:
+        label = worklist.pop()
+        in_list.discard(label)
+        bl = info[label]
+        live_out: set[Reg] = set()
+        for succ in fn.block(label).successors():
+            if succ in info:
+                live_out |= info[succ].live_in
+        live_in = bl.use | (live_out - bl.defs)
+        bl.live_out = live_out
+        if live_in != bl.live_in:
+            bl.live_in = live_in
+            for p in preds[label]:
+                if p in info and p not in in_list:
+                    worklist.append(p)
+                    in_list.add(p)
+    return LivenessInfo(blocks=info)
+
+
+def live_at_instruction(fn: Function, liveness: LivenessInfo,
+                        label: str, index: int) -> set[Reg]:
+    """Registers live immediately *before* instruction *index* of block
+    *label*.
+
+    A reference utility (quadratic if called for every point); passes that
+    need liveness at every point perform their own backward walk.
+    """
+    blk = fn.block(label)
+    live = set(liveness.live_out(label))
+    for inst in reversed(blk.instructions[index:]):
+        live -= set(inst.dests)
+        live |= set(inst.srcs)
+    return live

@@ -1,0 +1,104 @@
+"""Postdominators (reverse dominators) and reverse dominance frontiers.
+
+The paper's Table 2 "cfa" row includes "forward and reverse dominators and
+dominance frontiers"; the reverse variants also feed the splitting scheme 5
+of Section 6 (splitting on both forward and reverse dominance frontiers).
+
+We compute them by running the forward algorithm on the reversed CFG with a
+virtual exit node that collects every ``ret`` block.  Blocks that cannot
+reach any exit (infinite loops) are excluded from the result maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function, Opcode
+
+#: label of the virtual exit node (never collides: real labels can't have
+#: spaces)
+VIRTUAL_EXIT = "<exit>"
+
+
+@dataclass
+class PostDominanceInfo:
+    """Postdominance facts for one function.
+
+    ``ipdom`` maps a label to its immediate postdominator; blocks whose only
+    postdominator is the virtual exit map to :data:`VIRTUAL_EXIT`.
+    ``frontier`` is the reverse dominance frontier.
+    """
+
+    rpo: list[str]
+    ipdom: dict[str, str]
+    frontier: dict[str, set[str]]
+
+    def postdominates(self, a: str, b: str) -> bool:
+        """True iff *a* postdominates *b* (reflexively)."""
+        node = b
+        while True:
+            if node == a:
+                return True
+            if node == VIRTUAL_EXIT:
+                return False
+            nxt = self.ipdom.get(node)
+            if nxt is None or nxt == node:
+                return False
+            node = nxt
+
+
+def compute_postdominance(fn: Function) -> PostDominanceInfo:
+    """Compute postdominators by dominance over the reversed CFG."""
+    from .dominance import _compute_idoms
+
+    reachable = set(fn.reverse_postorder())
+    exits = [b.label for b in fn.blocks
+             if b.label in reachable and b.terminator.opcode is Opcode.RET]
+
+    # reversed-graph successors/predecessors
+    rsuccs: dict[str, list[str]] = {label: [] for label in reachable}
+    rsuccs[VIRTUAL_EXIT] = list(exits)
+    for blk in fn.blocks:
+        if blk.label not in reachable:
+            continue
+        for succ in blk.successors():
+            rsuccs.setdefault(succ, [])
+            rsuccs[succ].append(blk.label)
+    rpreds: dict[str, list[str]] = {label: [] for label in rsuccs}
+    for label, succs in rsuccs.items():
+        for s in succs:
+            rpreds[s].append(label)
+
+    # reverse postorder of the reversed graph, from the virtual exit
+    visited: set[str] = {VIRTUAL_EXIT}
+    postorder: list[str] = []
+    stack: list[tuple[str, int]] = [(VIRTUAL_EXIT, 0)]
+    while stack:
+        label, i = stack[-1]
+        succs = rsuccs.get(label, [])
+        if i < len(succs):
+            stack[-1] = (label, i + 1)
+            nxt = succs[i]
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append((nxt, 0))
+        else:
+            postorder.append(label)
+            stack.pop()
+    rrpo = list(reversed(postorder))
+
+    ipdom = _compute_idoms(rrpo, rpreds)
+
+    frontier: dict[str, set[str]] = {label: set() for label in rrpo}
+    index = set(rrpo)
+    for label in rrpo:
+        ps = [p for p in rpreds[label] if p in index and p in ipdom]
+        if len(ps) < 2:
+            continue
+        for p in ps:
+            runner = p
+            while runner != ipdom[label]:
+                frontier[runner].add(label)
+                runner = ipdom[runner]
+    frontier.pop(VIRTUAL_EXIT, None)
+    return PostDominanceInfo(rpo=rrpo, ipdom=ipdom, frontier=frontier)

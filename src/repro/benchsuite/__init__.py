@@ -1,0 +1,33 @@
+"""The benchmark kernel suite (the paper's 70-routine test suite analog)."""
+
+from .extra import EXTRA_KERNELS
+from .figures import figure1_function, figure1_pressured
+from .fmm import FMM_KERNELS
+from .generators import GeneratorConfig, random_program
+from .generic import GENERIC_KERNELS
+from .kernel import Kernel
+from .pressure import PRESSURE_KERNELS
+from .spec import SPEC_KERNELS, make_twldrv_like
+
+#: every kernel, in suite order (FMM-style first, like the paper's table)
+ALL_KERNELS: list[Kernel] = (FMM_KERNELS + SPEC_KERNELS + PRESSURE_KERNELS
+                             + GENERIC_KERNELS + EXTRA_KERNELS)
+
+#: kernel lookup by routine name
+KERNELS_BY_NAME: dict[str, Kernel] = {k.name: k for k in ALL_KERNELS}
+
+__all__ = [
+    "ALL_KERNELS",
+    "EXTRA_KERNELS",
+    "FMM_KERNELS",
+    "GENERIC_KERNELS",
+    "GeneratorConfig",
+    "random_program",
+    "Kernel",
+    "KERNELS_BY_NAME",
+    "PRESSURE_KERNELS",
+    "SPEC_KERNELS",
+    "figure1_function",
+    "figure1_pressured",
+    "make_twldrv_like",
+]

@@ -1,0 +1,429 @@
+"""Additional suite kernels: more numerical methods, more integer codes,
+and further pressure variants — rounding the suite toward the breadth of
+the paper's seventy routines.
+"""
+
+from .kernel import Kernel
+
+URAND = Kernel(
+    name="urand",
+    program="intkern",
+    description="linear congruential generator, summed (FMM's urand)",
+    args=(64,),
+    source="""
+proc urand(n) {
+  int i, seed, acc;
+  seed = 12345;
+  acc = 0;
+  for i = 0 to n {
+    seed = (seed * 1103 + 12713) % 65536;
+    acc = acc + seed % 100;
+  }
+  out(acc);
+}
+""")
+
+TRID = Kernel(
+    name="trid",
+    program="solve",
+    description="Thomas-algorithm tridiagonal solve",
+    args=(20,),
+    source="""
+proc trid(n) {
+  int i;
+  float m, acc;
+  array float a[64];
+  array float b[64];
+  array float c[64];
+  array float d[64];
+  for i = 0 to n {
+    a[i] = -1.0;
+    b[i] = 4.0;
+    c[i] = -1.0;
+    d[i] = 1.0 + 0.125 * float(i);
+  }
+  # forward elimination
+  for i = 1 to n {
+    m = a[i] / b[i - 1];
+    b[i] = b[i] - m * c[i - 1];
+    d[i] = d[i] - m * d[i - 1];
+  }
+  # back substitution
+  d[n - 1] = d[n - 1] / b[n - 1];
+  i = n - 2;
+  while (i >= 0) {
+    d[i] = (d[i] - c[i] * d[i + 1]) / b[i];
+    i = i - 1;
+  }
+  acc = 0.0;
+  for i = 0 to n { acc = acc + d[i]; }
+  out(acc);
+}
+""")
+
+JACOBI2D = Kernel(
+    name="jacobi2d",
+    program="pde",
+    description="2D Jacobi relaxation with double buffering",
+    args=(7,),
+    source="""
+proc jacobi2d(n) {
+  int i, j, t;
+  float acc;
+  array float u[100];
+  array float v[100];
+  for i = 0 to n {
+    for j = 0 to n {
+      u[i * n + j] = float(i * j) * 0.05;
+    }
+  }
+  for t = 0 to 4 {
+    for i = 1 to n - 1 {
+      for j = 1 to n - 1 {
+        v[i * n + j] = 0.25 * (u[(i - 1) * n + j] + u[(i + 1) * n + j]
+                             + u[i * n + j - 1] + u[i * n + j + 1]);
+      }
+    }
+    for i = 1 to n - 1 {
+      for j = 1 to n - 1 {
+        u[i * n + j] = v[i * n + j];
+      }
+    }
+  }
+  acc = 0.0;
+  for i = 0 to n { acc = acc + u[i * n + i]; }
+  out(acc);
+}
+""")
+
+SERIES = Kernel(
+    name="series",
+    program="poly",
+    description="Taylor-series exponential approximation",
+    args=(24,),
+    source="""
+proc series(n) {
+  int i, k;
+  float x, term, sum, acc;
+  acc = 0.0;
+  for i = 0 to n {
+    x = float(i) * 0.125 - 1.5;
+    term = 1.0;
+    sum = 1.0;
+    for k = 1 to 10 {
+      term = term * x / float(k);
+      sum = sum + term;
+    }
+    acc = acc + sum;
+  }
+  out(acc);
+}
+""")
+
+CROSSPROD = Kernel(
+    name="crossprod",
+    program="blas",
+    description="3-vector cross products over packed arrays",
+    args=(20,),
+    source="""
+proc crossprod(n) {
+  int i;
+  float ax, ay, az, bx, by, bz, cx, cy, cz, acc;
+  array float a[96];
+  array float b[96];
+  for i = 0 to 3 * n + 3 {
+    a[i] = float(i % 7) * 0.5 - 1.0;
+    b[i] = float(i % 5) * 0.25 + 0.5;
+  }
+  acc = 0.0;
+  for i = 0 to n {
+    ax = a[3 * i];
+    ay = a[3 * i + 1];
+    az = a[3 * i + 2];
+    bx = b[3 * i];
+    by = b[3 * i + 1];
+    bz = b[3 * i + 2];
+    cx = ay * bz - az * by;
+    cy = az * bx - ax * bz;
+    cz = ax * by - ay * bx;
+    acc = acc + cx * cx + cy * cy + cz * cz;
+  }
+  out(acc);
+}
+""")
+
+NEWTON = Kernel(
+    name="newton",
+    program="zeroin",
+    description="Newton iteration for square roots",
+    args=(30,),
+    source="""
+proc newton(n) {
+  int i, it;
+  float x, guess, acc;
+  acc = 0.0;
+  for i = 1 to n {
+    x = float(i) * 2.0;
+    guess = x;
+    for it = 0 to 6 {
+      guess = 0.5 * (guess + x / guess);
+    }
+    acc = acc + guess;
+  }
+  out(acc);
+}
+""")
+
+ROMBERG = Kernel(
+    name="romberg",
+    program="quanc8",
+    description="Romberg-style triangular extrapolation table",
+    args=(10,),
+    source="""
+proc romberg(n) {
+  int i, j;
+  float h, s, p, acc;
+  array float table[144];
+  # first column: composite trapezoid sums of 1/(1+x) on [0,1]
+  for i = 0 to n {
+    h = 1.0;
+    for j = 0 to i { h = h * 0.5; }
+    s = 0.5 * (1.0 + 0.5);
+    p = h;
+    while (p < 1.0 - 0.0001) {
+      s = s + 1.0 / (1.0 + p);
+      p = p + h;
+    }
+    table[i * n] = s * h;
+  }
+  # extrapolate
+  for j = 1 to n {
+    p = 1.0;
+    for i = 0 to j { p = p * 4.0; }
+    for i = j to n {
+      table[i * n + j] = (p * table[i * n + j - 1]
+                          - table[(i - 1) * n + j - 1]) / (p - 1.0);
+    }
+  }
+  out(table[(n - 1) * n + n - 1]);
+}
+""")
+
+CONV3 = Kernel(
+    name="conv3",
+    program="signal",
+    description="3x3 convolution over a small image",
+    args=(8,),
+    source="""
+proc conv3(n) {
+  int i, j;
+  float k00, k01, k02, k10, k11, k12, k20, k21, k22, acc;
+  array float img[144];
+  array float res[144];
+  for i = 0 to n {
+    for j = 0 to n { img[i * n + j] = float((i * 3 + j * 5) % 11); }
+  }
+  k00 = 0.0625; k01 = 0.125; k02 = 0.0625;
+  k10 = 0.125;  k11 = 0.25;  k12 = 0.125;
+  k20 = 0.0625; k21 = 0.125; k22 = 0.0625;
+  for i = 1 to n - 1 {
+    for j = 1 to n - 1 {
+      res[i * n + j] =
+          k00 * img[(i - 1) * n + j - 1] + k01 * img[(i - 1) * n + j]
+        + k02 * img[(i - 1) * n + j + 1] + k10 * img[i * n + j - 1]
+        + k11 * img[i * n + j]           + k12 * img[i * n + j + 1]
+        + k20 * img[(i + 1) * n + j - 1] + k21 * img[(i + 1) * n + j]
+        + k22 * img[(i + 1) * n + j + 1];
+    }
+  }
+  acc = 0.0;
+  for i = 0 to n { acc = acc + res[i * n + i]; }
+  out(acc);
+}
+""")
+
+SAXPY_CHAIN = Kernel(
+    name="saxpy3",
+    program="blas",
+    description="three chained saxpy passes with distinct scalars",
+    args=(28,),
+    source="""
+proc saxpy3(n) {
+  int i;
+  float a1, a2, a3, acc;
+  array float x[64];
+  array float y[64];
+  array float z[64];
+  for i = 0 to n {
+    x[i] = float(i) * 0.1;
+    y[i] = 1.0 - float(i) * 0.05;
+    z[i] = 0.0;
+  }
+  a1 = 2.0;
+  a2 = -0.5;
+  a3 = 0.125;
+  for i = 0 to n { z[i] = a1 * x[i] + y[i]; }
+  for i = 0 to n { y[i] = a2 * z[i] + x[i]; }
+  for i = 0 to n { x[i] = a3 * y[i] + z[i]; }
+  acc = 0.0;
+  for i = 0 to n { acc = acc + x[i]; }
+  out(acc);
+}
+""")
+
+BITS = Kernel(
+    name="bits",
+    program="intkern",
+    description="population counts and parity via divide-and-conquer "
+                "arithmetic (no bitwise operators in MiniFort)",
+    args=(48,),
+    source="""
+proc bits(n) {
+  int i, v, count, parity, acc;
+  acc = 0;
+  for i = 0 to n {
+    v = i * 2654435761 % 65536;
+    count = 0;
+    while (v > 0) {
+      count = count + v % 2;
+      v = v / 2;
+    }
+    parity = count % 2;
+    acc = acc + count + parity * 10;
+  }
+  out(acc);
+}
+""")
+
+QUEUE_SIM = Kernel(
+    name="queuesim",
+    program="intkern",
+    description="circular-buffer queue simulation",
+    args=(40,),
+    source="""
+proc queuesim(n) {
+  int i, head, tail, size, item, acc;
+  array int buf[16];
+  head = 0;
+  tail = 0;
+  size = 0;
+  acc = 0;
+  for i = 0 to 3 * n {
+    if (i % 3 < 2 && size < 15) {
+      buf[tail] = i;
+      tail = (tail + 1) % 16;
+      size = size + 1;
+    } else {
+      if (size > 0) {
+        item = buf[head];
+        head = (head + 1) % 16;
+        size = size - 1;
+        acc = acc + item;
+      }
+    }
+  }
+  out(acc + size);
+}
+""")
+
+INTERP_SEARCH = Kernel(
+    name="isearch",
+    program="intkern",
+    description="interpolation search over a uniform table",
+    args=(40,),
+    source="""
+proc isearch(n) {
+  int i, lo, hi, mid, key, found, span;
+  array int a[64];
+  for i = 0 to n { a[i] = i * 4 + 2; }
+  found = 0;
+  for i = 0 to 2 * n {
+    key = i * 2;
+    lo = 0;
+    hi = n - 1;
+    while (lo <= hi && key >= a[lo] && key <= a[hi]) {
+      span = a[hi] - a[lo];
+      if (span == 0) {
+        mid = lo;
+      } else {
+        mid = lo + ((key - a[lo]) * (hi - lo)) / span;
+      }
+      if (a[mid] == key) {
+        found = found + 1;
+        lo = hi + 1;
+      } else {
+        if (a[mid] < key) { lo = mid + 1; } else { hi = mid - 1; }
+      }
+    }
+  }
+  out(found);
+}
+""")
+
+WAVEFRONT = Kernel(
+    name="wavefront",
+    program="pressure",
+    description="a 2D row cursor pinned through the sweep and advanced "
+                "in a cleanup phase (Figure 1's shape in two dimensions)",
+    args=(12,),
+    source="""
+proc wavefront(n) {
+  int i, j, row, acc;
+  int w1, w2, w3, w4, w5, w6, w7, w8, w9, w10, w11, w12, w13;
+  array int grid[196];
+  for i = 0 to n * n + 2 * n { grid[i] = (i * 3 + 1) % 29; }
+  row = 0;
+  w1 = grid[0]; w2 = grid[1]; w3 = grid[2]; w4 = grid[3];
+  w5 = grid[4]; w6 = grid[5]; w7 = grid[6]; w8 = grid[7];
+  w9 = grid[8]; w10 = grid[9]; w11 = grid[10]; w12 = grid[11];
+  w13 = grid[12];
+  acc = 0;
+  for i = 0 to n {
+    for j = 0 to n {
+      w1 = w1 + grid[row + i * n + j];
+      w2 = w2 + w1 % 23;
+      w3 = w3 + w2 + w1;
+      w4 = w4 + w3 - w2;
+      w5 = w5 + w4 + w3;
+      w6 = w6 + w5 - w4;
+      w7 = w7 + w6 + w5;
+      w8 = w8 + w7 - w6;
+      w9 = w9 + w8 + w7;
+      w10 = w10 + w9 - w8;
+      w11 = w11 + w10 + w9;
+      w12 = w12 + w11 - w10;
+      w13 = w13 + w12 + w11;
+      acc = acc + grid[row + i * n + j];
+    }
+  }
+  while (row < n) {
+    grid[row] = acc % 31 + w13 % 5;
+    row = row + 2;
+  }
+  out(acc + w1 + w4 + w7 + w10 + w13 + row);
+}
+""")
+
+CHECKSUM = Kernel(
+    name="checksum",
+    program="intkern",
+    description="Adler-style rolling checksum",
+    args=(56,),
+    source="""
+proc checksum(n) {
+  int i, s1, s2;
+  array int data[64];
+  for i = 0 to n { data[i] = (i * 17 + 3) % 251; }
+  s1 = 1;
+  s2 = 0;
+  for i = 0 to n {
+    s1 = (s1 + data[i]) % 65521;
+    s2 = (s2 + s1) % 65521;
+  }
+  out(s2 * 65536 + s1);
+}
+""")
+
+EXTRA_KERNELS = [URAND, TRID, JACOBI2D, SERIES, CROSSPROD, NEWTON, ROMBERG,
+                 CONV3, SAXPY_CHAIN, BITS, QUEUE_SIM, INTERP_SEARCH,
+                 WAVEFRONT, CHECKSUM]

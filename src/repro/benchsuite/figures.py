@@ -1,0 +1,88 @@
+"""The paper's running example (Figures 1 and 3) as ILOC functions."""
+
+from __future__ import annotations
+
+from ..ir import Function, IRBuilder
+
+
+def figure1_function() -> Function:
+    """The two-loop fragment of Figure 1.
+
+    ``p`` holds an address constant through the first loop and varies in
+    the second: one live range, three values (the ``lsd``, the ``p+1`` and
+    their merge at the second loop's header) — the case Chaitin's allocator
+    cannot rematerialize but the paper's can.
+    """
+    b = IRBuilder("figure1", n_params=1)
+    n = b.param(0)
+    p = b.function.new_reg(n.rclass)
+    y = b.function.new_reg(n.rclass)
+    b.copy_to(p, b.lsd(64))
+    # y starts from memory (a ⊥ value): as in the figure, p carries the
+    # only never-killed component
+    b.copy_to(y, b.ldw(b.lsd(0)))
+    b.jmp("head1")
+    b.label("head1")
+    c1 = b.cmp_lt(y, n)
+    b.cbr(c1, "body1", "head2")
+    b.label("body1")
+    v = b.ldw(p)
+    b.copy_to(y, b.add(y, v))
+    b.copy_to(y, b.addi(y, 1))
+    b.jmp("head1")
+    b.label("head2")
+    limit = b.add(b.lsd(64), n)
+    c2 = b.cmp_lt(p, limit)
+    b.cbr(c2, "body2", "exit")
+    b.label("body2")
+    b.copy_to(p, b.addi(p, 1))
+    b.jmp("head2")
+    b.label("exit")
+    b.out(y)
+    b.out(p)
+    b.ret()
+    return b.finish()
+
+
+def figure1_pressured() -> Function:
+    """Figure 1 with "high demand for registers in the first loop".
+
+    Extra long-lived scalars (q1..q3, live across both loops and used
+    inside loop 1) create the pressure that forces ``p`` to spill on a
+    small register file, demonstrating the Ideal/Chaitin contrast of the
+    figure.
+    """
+    b = IRBuilder("figure1p", n_params=1)
+    n = b.param(0)
+    p = b.function.new_reg(n.rclass)
+    y = b.function.new_reg(n.rclass)
+    b.copy_to(p, b.lsd(64))
+    b.copy_to(y, b.ldw(b.lsd(0)))
+    q1 = b.ldw(b.lsd(8))
+    q2 = b.ldw(b.lsd(16))
+    q3 = b.ldw(b.lsd(24))
+    b.jmp("head1")
+    b.label("head1")
+    c1 = b.cmp_lt(y, n)
+    b.cbr(c1, "body1", "head2")
+    b.label("body1")
+    v = b.ldw(p)
+    t = b.add(q1, q2)
+    t2 = b.add(t, q3)
+    b.copy_to(y, b.add(y, v))
+    b.copy_to(y, b.add(y, t2))
+    b.copy_to(y, b.addi(y, 1))
+    b.jmp("head1")
+    b.label("head2")
+    limit = b.add(b.lsd(64), n)
+    c2 = b.cmp_lt(p, limit)
+    b.cbr(c2, "body2", "exit")
+    b.label("body2")
+    b.copy_to(p, b.addi(p, 1))
+    b.jmp("head2")
+    b.label("exit")
+    b.out(y)
+    b.out(p)
+    b.out(b.add(q1, q3))
+    b.ret()
+    return b.finish()

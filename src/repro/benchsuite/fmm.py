@@ -1,0 +1,247 @@
+"""Kernels in the spirit of Forsythe, Malcolm & Moler's numerical-methods
+routines (the first eleven rows of the paper's test suite).
+
+The originals are not redistributable, so these are freshly written
+MiniFort routines with the same numerical character: Runge–Kutta stages
+full of rational coefficient constants (``fehl``), spline evaluation
+(``seval``/``spline``), LU decomposition (``decomp``), root finding
+(``zeroin``), rotation sweeps (``svd``), and adaptive-quadrature weights
+(``quanc8``).  The constant-rich inner loops are exactly where
+rematerialization pays: every coefficient and array base is a never-killed
+value competing for registers with the loop-carried state.
+"""
+
+from .kernel import Kernel
+
+FEHL = Kernel(
+    name="fehl",
+    program="rkf45",
+    description="a Runge-Kutta-Fehlberg stage: slope blends with many "
+                "rational coefficients",
+    args=(24,),
+    source="""
+proc fehl(n) {
+  int i;
+  float h, y0, k1, k2, k3, k4, k5, k6, t, yn, err, acc;
+  array float y[64];
+  array float f[64];
+  for i = 0 to n {
+    y[i] = float(i) * 0.125;
+    f[i] = float(i) * 0.0625 - 0.5;
+  }
+  h = 0.1;
+  acc = 0.0;
+  err = 0.0;
+  for i = 0 to n {
+    y0 = y[i];
+    t = f[i];
+    k1 = h * t;
+    k2 = h * (t + 0.25 * k1);
+    k3 = h * (t + 0.09375 * k1 + 0.28125 * k2);
+    k4 = h * (t + 0.87938 * k1 - 3.27720 * k2 + 3.32089 * k3);
+    k5 = h * (t + 2.03241 * k1 - 8.0 * k2 + 7.17349 * k3 - 0.20590 * k4);
+    k6 = h * (t - 0.29630 * k1 + 2.0 * k2 - 1.38168 * k3
+              + 0.45297 * k4 - 0.275 * k5);
+    yn = y0 + 0.11574 * k1 + 0.54893 * k3 + 0.53533 * k4
+         - 0.2 * k5;
+    err = err + fabs(0.00277 * k1 - 0.02994 * k3 - 0.02919 * k4
+                     + 0.02 * k5 + 0.03636 * k6);
+    y[i] = yn;
+    acc = acc + yn;
+  }
+  out(acc);
+  out(err);
+}
+""")
+
+SPLINE = Kernel(
+    name="spline",
+    program="seval",
+    description="natural cubic spline coefficient setup and evaluation",
+    args=(20,),
+    source="""
+proc spline(n) {
+  int i;
+  float d, p, q, s, u, acc;
+  array float x[64];
+  array float y[64];
+  array float b[64];
+  array float c[64];
+  for i = 0 to n {
+    x[i] = float(i) * 0.5;
+    y[i] = float(i * i) * 0.125 - float(i);
+  }
+  # second-difference sweep
+  for i = 1 to n - 1 {
+    d = x[i + 1] - x[i - 1];
+    p = x[i] - x[i - 1];
+    q = x[i + 1] - x[i];
+    s = (y[i + 1] - y[i]) / q - (y[i] - y[i - 1]) / p;
+    c[i] = 6.0 * s / d;
+    b[i] = 0.5 * (p + q);
+  }
+  # evaluate at midpoints
+  acc = 0.0;
+  for i = 1 to n - 1 {
+    u = 0.5 * (x[i] + x[i + 1]) - x[i];
+    acc = acc + y[i] + u * (b[i] + u * c[i] * 0.16667);
+  }
+  out(acc);
+}
+""")
+
+DECOMP = Kernel(
+    name="decomp",
+    program="solve",
+    description="LU decomposition (Doolittle, no pivoting) of a diagonally "
+                "dominant matrix",
+    args=(10,),
+    source="""
+proc decomp(n) {
+  int i, j, k;
+  float pivot, factor, acc;
+  array float a[144];
+  for i = 0 to n {
+    for j = 0 to n {
+      if (i == j) { a[i * n + j] = float(n) + 2.0; }
+      else { a[i * n + j] = 1.0 / (float(i + j) + 1.0); }
+    }
+  }
+  for k = 0 to n - 1 {
+    pivot = a[k * n + k];
+    for i = k + 1 to n {
+      factor = a[i * n + k] / pivot;
+      a[i * n + k] = factor;
+      for j = k + 1 to n {
+        a[i * n + j] = a[i * n + j] - factor * a[k * n + j];
+      }
+    }
+  }
+  acc = 0.0;
+  for i = 0 to n { acc = acc + a[i * n + i]; }
+  out(acc);
+}
+""")
+
+ZEROIN = Kernel(
+    name="zeroin",
+    program="zeroin",
+    description="bisection root finding on a cubic",
+    args=(40,),
+    source="""
+proc zeroin(n) {
+  int it;
+  float lo, hi, mid, flo, fmid, root;
+  lo = 0.0;
+  hi = 4.0;
+  flo = ((lo - 3.0) * lo + 1.0) * lo - 5.0;
+  for it = 0 to n {
+    mid = 0.5 * (lo + hi);
+    fmid = ((mid - 3.0) * mid + 1.0) * mid - 5.0;
+    if ((flo < 0.0 && fmid < 0.0) || (flo >= 0.0 && fmid >= 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  root = 0.5 * (lo + hi);
+  out(root);
+}
+""")
+
+SVDROT = Kernel(
+    name="svd",
+    program="svd",
+    description="Givens rotation sweeps over paired vectors, as in the "
+                "SVD's bidiagonalization",
+    args=(16,),
+    source="""
+proc svd(n) {
+  int i, sweep;
+  float c, s, u, v, hyp, acc;
+  array float x[64];
+  array float y[64];
+  for i = 0 to n {
+    x[i] = 1.0 + float(i) * 0.25;
+    y[i] = 2.0 - float(i) * 0.125;
+  }
+  for sweep = 0 to 4 {
+    # rotation coefficients from the leading pair
+    u = x[0];
+    v = y[0];
+    hyp = fabs(u) + fabs(v) + 0.0001;
+    c = u / hyp;
+    s = v / hyp;
+    for i = 0 to n {
+      u = x[i];
+      v = y[i];
+      x[i] = c * u + s * v;
+      y[i] = c * v - s * u;
+    }
+  }
+  acc = 0.0;
+  for i = 0 to n { acc = acc + x[i] * x[i] + y[i] * y[i]; }
+  out(acc);
+}
+""")
+
+QUANC8 = Kernel(
+    name="quanc8",
+    program="quanc8",
+    description="8-panel Newton-Cotes quadrature: a weight constant per "
+                "panel point",
+    args=(12,),
+    source="""
+proc quanc8(n) {
+  int i;
+  float h, f0, f1, f2, f3, f4, f5, f6, f7, f8, area;
+  array float f[128];
+  for i = 0 to 8 * n + 1 {
+    f[i] = 1.0 / (1.0 + float(i) * 0.03125);
+  }
+  h = 0.0625;
+  area = 0.0;
+  for i = 0 to n {
+    f0 = f[8 * i];
+    f1 = f[8 * i + 1];
+    f2 = f[8 * i + 2];
+    f3 = f[8 * i + 3];
+    f4 = f[8 * i + 4];
+    f5 = f[8 * i + 5];
+    f6 = f[8 * i + 6];
+    f7 = f[8 * i + 7];
+    f8 = f[8 * i + 8];
+    area = area + h * (989.0 * f0 + 5888.0 * f1 - 928.0 * f2
+         + 10496.0 * f3 - 4540.0 * f4 + 10496.0 * f5
+         - 928.0 * f6 + 5888.0 * f7 + 989.0 * f8) / 28350.0;
+  }
+  out(area);
+}
+""")
+
+RKSTEP = Kernel(
+    name="rkstep",
+    program="rkf45",
+    description="classic RK4 integration of a scalar ODE",
+    args=(60,),
+    source="""
+proc rkstep(n) {
+  int i;
+  float t, y, h, k1, k2, k3, k4;
+  t = 0.0;
+  y = 1.0;
+  h = 0.015625;
+  for i = 0 to n {
+    k1 = y - t * t + 1.0;
+    k2 = (y + 0.5 * h * k1) - (t + 0.5 * h) * (t + 0.5 * h) + 1.0;
+    k3 = (y + 0.5 * h * k2) - (t + 0.5 * h) * (t + 0.5 * h) + 1.0;
+    k4 = (y + h * k3) - (t + h) * (t + h) + 1.0;
+    y = y + h * (k1 + 2.0 * k2 + 2.0 * k3 + k4) / 6.0;
+    t = t + h;
+  }
+  out(y);
+}
+""")
+
+FMM_KERNELS = [FEHL, SPLINE, DECOMP, ZEROIN, SVDROT, QUANC8, RKSTEP]

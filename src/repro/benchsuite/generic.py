@@ -1,0 +1,306 @@
+"""Additional general-purpose kernels rounding out the suite.
+
+These exercise integer-heavy and control-heavy code shapes that the
+FMM/SPEC-style kernels do not: sorting, searching, histograms, scans and
+fixed-point iteration.
+"""
+
+from .kernel import Kernel
+
+FIR = Kernel(
+    name="fir",
+    program="signal",
+    description="an 8-tap FIR filter with one weight constant per tap",
+    args=(40,),
+    source="""
+proc fir(n) {
+  int i;
+  float acc, s;
+  array float x[64];
+  array float y[64];
+  for i = 0 to n + 8 { x[i] = float(i % 7) * 0.25 - 0.5; }
+  for i = 0 to n {
+    s = 0.042 * x[i] + 0.141 * x[i + 1] + 0.281 * x[i + 2]
+      + 0.375 * x[i + 3] + 0.281 * x[i + 4] + 0.141 * x[i + 5]
+      + 0.042 * x[i + 6] - 0.013 * x[i + 7];
+    y[i] = s;
+  }
+  acc = 0.0;
+  for i = 0 to n { acc = acc + y[i] * y[i]; }
+  out(acc);
+}
+""")
+
+HORNER = Kernel(
+    name="horner",
+    program="poly",
+    description="degree-9 polynomial evaluation by Horner's rule",
+    args=(48,),
+    source="""
+proc horner(n) {
+  int i;
+  float x, p, acc;
+  acc = 0.0;
+  for i = 0 to n {
+    x = float(i) * 0.0625 - 1.5;
+    p = 0.0001;
+    p = p * x + 0.0009;
+    p = p * x - 0.0035;
+    p = p * x + 0.0151;
+    p = p * x - 0.0625;
+    p = p * x + 0.25;
+    p = p * x - 0.9375;
+    p = p * x + 2.75;
+    p = p * x - 5.125;
+    p = p * x + 4.0;
+    acc = acc + p;
+  }
+  out(acc);
+}
+""")
+
+HEAT1D = Kernel(
+    name="heat1d",
+    program="pde",
+    description="explicit finite-difference heat equation stepping",
+    args=(24,),
+    source="""
+proc heat1d(n) {
+  int i, t;
+  float alpha, left, mid, right, acc;
+  array float u[64];
+  array float v[64];
+  for i = 0 to n { u[i] = float(i) * float(n - i) * 0.1; }
+  alpha = 0.24;
+  for t = 0 to 6 {
+    for i = 1 to n - 1 {
+      left = u[i - 1];
+      mid = u[i];
+      right = u[i + 1];
+      v[i] = mid + alpha * (left - 2.0 * mid + right);
+    }
+    for i = 1 to n - 1 { u[i] = v[i]; }
+  }
+  acc = 0.0;
+  for i = 0 to n { acc = acc + u[i]; }
+  out(acc);
+}
+""")
+
+GAUSS_SEIDEL = Kernel(
+    name="gseidel",
+    program="pde",
+    description="Gauss-Seidel sweeps on a tridiagonal system",
+    args=(20,),
+    source="""
+proc gseidel(n) {
+  int i, it;
+  float acc;
+  array float x[64];
+  array float b[64];
+  for i = 0 to n {
+    x[i] = 0.0;
+    b[i] = 1.0 + 0.125 * float(i);
+  }
+  for it = 0 to 8 {
+    for i = 1 to n - 1 {
+      x[i] = 0.5 * (b[i] + 0.25 * x[i - 1] + 0.25 * x[i + 1]);
+    }
+  }
+  acc = 0.0;
+  for i = 0 to n { acc = acc + x[i]; }
+  out(acc);
+}
+""")
+
+NORM2 = Kernel(
+    name="norm2",
+    program="blas",
+    description="scaled 2-norm with overflow-avoiding rescaling",
+    args=(32,),
+    source="""
+proc norm2(n) {
+  int i;
+  float scale, ssq, v, ratio;
+  array float x[64];
+  for i = 0 to n { x[i] = float(i - 7) * 1.5; }
+  scale = 0.0001;
+  ssq = 1.0;
+  for i = 0 to n {
+    v = fabs(x[i]);
+    if (v > scale) {
+      ratio = scale / v;
+      ssq = 1.0 + ssq * ratio * ratio;
+      scale = v;
+    } else {
+      ratio = v / scale;
+      ssq = ssq + ratio * ratio;
+    }
+  }
+  out(scale * scale * ssq);
+}
+""")
+
+HISTOGRAM = Kernel(
+    name="histogram",
+    program="intkern",
+    description="bucketed counting with computed indices (integer kernel)",
+    args=(48,),
+    source="""
+proc histogram(n) {
+  int i, v, bucket, acc;
+  array int h[16];
+  array int data[64];
+  for i = 0 to 16 { h[i] = 0; }
+  for i = 0 to n { data[i] = (i * 37 + 11) % 61; }
+  for i = 0 to n {
+    v = data[i];
+    bucket = v / 4;
+    if (bucket > 15) { bucket = 15; }
+    h[bucket] = h[bucket] + 1;
+  }
+  acc = 0;
+  for i = 0 to 16 { acc = acc + h[i] * i; }
+  out(acc);
+}
+""")
+
+PREFIX = Kernel(
+    name="prefix",
+    program="intkern",
+    description="in-place prefix sum followed by range queries",
+    args=(40,),
+    source="""
+proc prefix(n) {
+  int i, lo, hi, acc;
+  array int a[64];
+  for i = 0 to n { a[i] = (i * 7) % 13; }
+  for i = 1 to n { a[i] = a[i] + a[i - 1]; }
+  acc = 0;
+  for i = 0 to n / 2 {
+    lo = i;
+    hi = n - 1 - i;
+    if (lo < hi) { acc = acc + a[hi] - a[lo]; }
+  }
+  out(acc);
+}
+""")
+
+BUBBLE = Kernel(
+    name="bubble",
+    program="intkern",
+    description="bubble sort (data-dependent branching)",
+    args=(16,),
+    source="""
+proc bubble(n) {
+  int i, j, t, acc;
+  array int a[32];
+  for i = 0 to n { a[i] = (i * 29 + 7) % 31; }
+  for i = 0 to n {
+    for j = 0 to n - 1 - i {
+      if (a[j] > a[j + 1]) {
+        t = a[j];
+        a[j] = a[j + 1];
+        a[j + 1] = t;
+      }
+    }
+  }
+  acc = 0;
+  for i = 0 to n { acc = acc + a[i] * i; }
+  out(acc);
+}
+""")
+
+BINSEARCH = Kernel(
+    name="binsearch",
+    program="intkern",
+    description="repeated binary searches over a sorted table",
+    args=(32,),
+    source="""
+proc binsearch(n) {
+  int i, lo, hi, mid, key, found;
+  array int a[64];
+  for i = 0 to n { a[i] = i * 3; }
+  found = 0;
+  for i = 0 to 2 * n {
+    key = i;
+    lo = 0;
+    hi = n;
+    while (lo < hi) {
+      mid = (lo + hi) / 2;
+      if (a[mid] < key) { lo = mid + 1; } else { hi = mid; }
+    }
+    if (lo < n) {
+      if (a[lo] == key) { found = found + 1; }
+    }
+  }
+  out(found);
+}
+""")
+
+MANDEL = Kernel(
+    name="mandel",
+    program="intkern",
+    description="fixed-point escape-time iteration (scaled integers)",
+    args=(12,),
+    source="""
+proc mandel(n) {
+  int px, py, x, y, x2, y2, cx, cy, it, total, scale;
+  scale = 256;
+  total = 0;
+  for py = 0 to n {
+    for px = 0 to n {
+      cx = (px * 512) / n - 384;
+      cy = (py * 512) / n - 256;
+      x = 0;
+      y = 0;
+      it = 0;
+      x2 = 0;
+      y2 = 0;
+      while (it < 16 && x2 + y2 < 4 * scale * scale) {
+        y = (2 * x * y) / scale + cy;
+        x = x2 / scale - y2 / scale + cx;
+        x2 = x * x;
+        y2 = y * y;
+        it = it + 1;
+      }
+      total = total + it;
+    }
+  }
+  out(total);
+}
+""")
+
+TRANSPOSE = Kernel(
+    name="transpose",
+    program="blas",
+    description="blocked-ish matrix transpose plus row sums",
+    args=(10,),
+    source="""
+proc transpose(n) {
+  int i, j;
+  float acc;
+  array float a[144];
+  array float b[144];
+  for i = 0 to n {
+    for j = 0 to n {
+      a[i * n + j] = float(i * 3 - j * 2) * 0.125;
+    }
+  }
+  for i = 0 to n {
+    for j = 0 to n {
+      b[j * n + i] = a[i * n + j];
+    }
+  }
+  acc = 0.0;
+  for i = 0 to n {
+    for j = 0 to n {
+      acc = acc + b[i * n + j] * 0.01;
+    }
+  }
+  out(acc);
+}
+""")
+
+GENERIC_KERNELS = [FIR, HORNER, HEAT1D, GAUSS_SEIDEL, NORM2, HISTOGRAM,
+                   PREFIX, BUBBLE, BINSEARCH, MANDEL, TRANSPOSE]

@@ -1,0 +1,343 @@
+"""High-pressure kernels with multi-valued, partially never-killed live
+ranges — the code shape of the paper's Figure 1.
+
+Each kernel here follows the figure's recipe:
+
+* a variable is initialized to a *never-killed* value (an integer or
+  float constant, or an address offset),
+* it is **used, unmodified**, throughout a hot region whose register
+  pressure comes from ~k loop-carried *computed* values (which are
+  expensive to spill),
+* a later loop **modifies** it, so SSA merges the constant with computed
+  values at that loop's φ-node — making the live range multi-valued.
+
+Chaitin's allocator sees one unrematerializable live range and pays
+stores+loads through the hot region; the tagged allocator splits the
+constant region off and rematerializes it.  The paper's FORTRAN suite got
+this shape for free from its optimizer's strength reduction; MiniFort has
+no optimizer, so the kernels are written post-strength-reduction by hand.
+"""
+
+from .kernel import Kernel
+
+PTRSUM = Kernel(
+    name="ptrsum",
+    program="pressure",
+    description="integer cursor constant through the reduction loop, "
+                "walked afterwards (Figure 1's p verbatim)",
+    args=(20,),
+    source="""
+proc ptrsum(n) {
+  int i, p, q, acc;
+  int d1, d2, d3, d4, d5, d6, d7, d8, d9, d10, d11, d12, d13, d14;
+  array int a[128];
+  array int b[128];
+  for i = 0 to 2 * n { a[i] = (i * 13 + 5) % 37; }
+  p = 0;
+  q = 4;
+  d1 = 1; d2 = 2; d3 = 3; d4 = 4; d5 = 5; d6 = 6; d7 = 7;
+  d8 = 8; d9 = 9; d10 = 10; d11 = 11; d12 = 12; d13 = 13; d14 = 14;
+  acc = 0;
+  for i = 0 to n {
+    d1 = d1 + a[p + i];
+    d2 = d2 + d1 * 3;
+    d3 = d3 + d2 - d1;
+    d4 = d4 + d3 * 2;
+    d5 = d5 + d4 - d2;
+    d6 = d6 + d5 + d3;
+    d7 = d7 + d6 - d4;
+    d8 = d8 + d7 + d5;
+    d9 = d9 + d8 - d6;
+    d10 = d10 + d9 + d7;
+    d11 = d11 + d10 - d8;
+    d12 = d12 + d11 + a[q + i];
+    d13 = d13 + d12 - d10;
+    d14 = d14 + d13 + d11;
+    acc = acc + a[p + i] - a[q + i];
+  }
+  while (p < n) {
+    b[p] = acc % 29;
+    p = p + 3;
+    q = q + 2;
+  }
+  out(acc + d1 + d2 + d3 + d4 + d5 + d6 + d7 + d8 + d9 + d10
+      + d11 + d12 + d13 + d14 + p + q);
+}
+""")
+
+ADAPT = Kernel(
+    name="adapt",
+    program="pressure",
+    description="float scale and time step constant through the main "
+                "sweep, adapted in a later loop",
+    args=(24,),
+    source="""
+proc adapt(n) {
+  int i, t;
+  float sc, dt, acc;
+  float a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12, a13, a14;
+  array float x[64];
+  for i = 0 to n { x[i] = float(i) * 0.125 - 1.0; }
+  sc = 0.5;
+  dt = 0.01;
+  a1 = 0.1; a2 = 0.2; a3 = 0.3; a4 = 0.4; a5 = 0.5; a6 = 0.6; a7 = 0.7;
+  a8 = 0.8; a9 = 0.9; a10 = 1.0; a11 = 1.1; a12 = 1.2; a13 = 1.3;
+  a14 = 1.4;
+  acc = 0.0;
+  for i = 0 to n {
+    a1 = a1 + sc * x[i];
+    a2 = a2 + a1 * dt;
+    a3 = a3 + a2 - a1;
+    a4 = a4 + a3 * sc;
+    a5 = a5 + a4 - a2;
+    a6 = a6 + a5 + a3;
+    a7 = a7 + a6 * dt;
+    a8 = a8 + a7 + a5;
+    a9 = a9 + a8 - a6;
+    a10 = a10 + a9 * sc;
+    a11 = a11 + a10 - a8;
+    a12 = a12 + a11 + x[i] * dt;
+    a13 = a13 + a12 - a10;
+    a14 = a14 + a13 + a11;
+    acc = acc + a14 * 0.001;
+  }
+  # adaptation: sc and dt become phi-merged multi-value live ranges
+  for t = 0 to 4 {
+    sc = sc * 0.9 + acc * 0.0001;
+    dt = dt * 1.1;
+    acc = acc + sc * dt;
+  }
+  out(acc + a1 + a4 + a9 + a14 + sc + dt);
+}
+""")
+
+RELAX = Kernel(
+    name="relax",
+    program="pressure",
+    description="relaxation sweep with an over-relaxation factor held "
+                "constant per stage and damped between stages",
+    args=(16,),
+    source="""
+proc relax(n) {
+  int i, stage;
+  float omega, acc;
+  float r1, r2, r3, r4, r5, r6, r7, r8, r9, r10, r11, r12, r13;
+  array float u[64];
+  for i = 0 to n + 2 { u[i] = float(i % 8) * 0.4 - 1.1; }
+  omega = 1.25;
+  r1 = 0.01; r2 = 0.02; r3 = 0.03; r4 = 0.04; r5 = 0.05; r6 = 0.06;
+  r7 = 0.07; r8 = 0.08; r9 = 0.09; r10 = 0.10; r11 = 0.11; r12 = 0.12;
+  r13 = 0.13;
+  acc = 0.0;
+  for stage = 0 to 3 {
+    for i = 1 to n {
+      r1 = r1 + omega * (u[i - 1] - u[i]);
+      r2 = r2 + r1 * omega;
+      r3 = r3 + r2 - r1;
+      r4 = r4 + r3 + u[i + 1] * omega;
+      r5 = r5 + r4 - r2;
+      r6 = r6 + r5 + r3;
+      r7 = r7 + r6 - r4;
+      r8 = r8 + r7 + r5;
+      r9 = r9 + r8 - r6;
+      r10 = r10 + r9 + r7;
+      r11 = r11 + r10 - r8;
+      r12 = r12 + r11 + r9;
+      r13 = r13 + r12 - r10;
+      acc = acc + r13 * 0.0001;
+    }
+    # the factor is damped between sweeps: omega's live range becomes
+    # multi-valued at the stage loop's header
+    omega = omega * 0.5 + 0.5;
+  }
+  out(acc + r1 + r5 + r9 + r13 + omega);
+}
+""")
+
+BASEWALK = Kernel(
+    name="basewalk",
+    program="pressure",
+    description="two array cursors: one pinned during the gather loop "
+                "and advanced in the scatter loop, one always moving",
+    args=(18,),
+    source="""
+proc basewalk(n) {
+  int i, src, dst, acc;
+  int e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14, e15;
+  array int buf[160];
+  for i = 0 to 4 * n { buf[i] = (i * 11 + 3) % 23; }
+  src = 64;
+  dst = 0;
+  # the pressure chain starts from data (bottom values), so the cursors
+  # are the forced spill victims in both allocators
+  e1 = buf[0]; e2 = buf[1]; e3 = buf[2]; e4 = buf[3]; e5 = buf[4];
+  e6 = buf[5]; e7 = buf[6]; e8 = buf[7]; e9 = buf[8]; e10 = buf[9];
+  e11 = buf[10]; e12 = buf[11]; e13 = buf[12]; e14 = buf[13]; e15 = buf[14];
+  acc = 0;
+  for i = 0 to n {
+    e1 = e1 + buf[src + i];
+    e2 = e2 + e1 % 19;
+    e3 = e3 + e2 + e1;
+    e4 = e4 + e3 - e2;
+    e5 = e5 + e4 + e3;
+    e6 = e6 + e5 - e3;
+    e7 = e7 + e6 + e4;
+    e8 = e8 + e7 - e5;
+    e9 = e9 + e8 + e6;
+    e10 = e10 + e9 - e7;
+    e11 = e11 + e10 + e8;
+    e12 = e12 + e11 - e9;
+    e13 = e13 + e12 + e10;
+    e14 = e14 + e13 - e11;
+    e15 = e15 + e14 + e12;
+    acc = acc + e15 % 41;
+  }
+  while (dst < n) {
+    buf[dst] = acc % 13 + e15 % 7;
+    dst = dst + 2;
+    src = src + 1;
+  }
+  out(acc + e1 + e3 + e5 + e7 + e9 + e11 + e13 + e15 + src + dst);
+}
+""")
+
+BLEND = Kernel(
+    name="blend",
+    program="pressure",
+    description="two blend weights constant through a long dot-product "
+                "chain, renormalized in a cleanup loop",
+    args=(22,),
+    source="""
+proc blend(n) {
+  int i, t;
+  float wa, wb, acc;
+  float b1, b2, b3, b4, b5, b6, b7, b8, b9, b10, b11, b12, b13, b14;
+  array float p[64];
+  array float q[64];
+  for i = 0 to n {
+    p[i] = 1.0 / (float(i) + 1.0);
+    q[i] = float(i) * 0.0625;
+  }
+  wa = 0.75;
+  wb = 0.25;
+  b1 = p[0]; b2 = p[1]; b3 = p[2]; b4 = p[3]; b5 = p[4]; b6 = p[5];
+  b7 = q[0]; b8 = q[1]; b9 = q[2]; b10 = q[3]; b11 = q[4]; b12 = q[5];
+  b13 = p[6]; b14 = q[6];
+  acc = 0.0;
+  for i = 0 to n {
+    b1 = b1 + wa * p[i];
+    b2 = b2 + b1 + p[i];
+    b3 = b3 + b2 - b1;
+    b4 = b4 + b3 + p[i];
+    b5 = b5 + b4 - b2;
+    b6 = b6 + b5 + b3;
+    b7 = b7 + b6 - b4;
+    b8 = b8 + b7 + b5;
+    b9 = b9 + b8 - b6;
+    b10 = b10 + b9 + b7;
+    b11 = b11 + b10 - b8;
+    b12 = b12 + b11 + wb * q[i];
+    b13 = b13 + b12 - b9;
+    b14 = b14 + b13 + b10;
+    acc = acc + b14 * 0.001;
+  }
+  for t = 0 to 3 {
+    wa = wa * 0.9;
+    wb = 1.0 - wa;
+    acc = acc + wa * wb;
+  }
+  out(acc + b1 + b6 + b12 + b14 + wa + wb);
+}
+""")
+
+MARGINAL = Kernel(
+    name="marginal",
+    program="pressure",
+    description="a borderline case: the rematerializable web is barely "
+                "used, so splitting can cost as much as it saves "
+                "(the paper's small-degradation rows)",
+    args=(16,),
+    source="""
+proc marginal(n) {
+  int i, t;
+  float k, acc;
+  float m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14;
+  array float z[64];
+  for i = 0 to n { z[i] = float(i) * 0.2 - 1.0; }
+  k = 2.5;
+  m1 = 0.1; m2 = 0.2; m3 = 0.3; m4 = 0.4; m5 = 0.5; m6 = 0.6;
+  m7 = 0.7; m8 = 0.8; m9 = 0.9; m10 = 1.0; m11 = 1.1; m12 = 1.2;
+  m13 = 1.3; m14 = 1.4;
+  acc = 0.0;
+  for i = 0 to n {
+    # k is referenced just once per iteration: the split's savings are
+    # at the noise floor
+    m1 = m1 + z[i] * 0.5;
+    m2 = m2 + m1 - z[i];
+    m3 = m3 + m2 + m1;
+    m4 = m4 + m3 - m2;
+    m5 = m5 + m4 + m3;
+    m6 = m6 + m5 - m4;
+    m7 = m7 + m6 + m5;
+    m8 = m8 + m7 - m6;
+    m9 = m9 + m8 + m7;
+    m10 = m10 + m9 - m8;
+    m11 = m11 + m10 + m9;
+    m12 = m12 + m11 - m10;
+    m13 = m13 + m12 + m11;
+    m14 = m14 + m13 + k;
+    acc = acc + m14 * 0.0001;
+  }
+  for t = 0 to 2 {
+    k = k * 0.75;
+    acc = acc + k;
+  }
+  out(acc + m1 + m7 + m14 + k);
+}
+""")
+
+COLBUR = Kernel(
+    name="colbur",
+    program="pressure",
+    description="a specimen where splitting hurts: many marginal "
+                "constant-initialized accumulators perturb the spill "
+                "choices (the paper's colbur row lost 26%)",
+    args=(18,),
+    source="""
+proc colbur(n) {
+  int i, src, dst, acc;
+  int e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13;
+  array int buf[160];
+  for i = 0 to 4 * n { buf[i] = (i * 11 + 3) % 23; }
+  src = 64;
+  dst = 0;
+  e1 = 1; e2 = 1; e3 = 2; e4 = 3; e5 = 5; e6 = 8; e7 = 13;
+  e8 = 21; e9 = 34; e10 = 55; e11 = 89; e12 = 144; e13 = 233;
+  acc = 0;
+  for i = 0 to n {
+    e1 = e1 + buf[src + i];
+    e2 = e2 + e1 % 19;
+    e3 = e3 + e2 + e1;
+    e4 = e4 + e3 - e2;
+    e5 = e5 + e4 + buf[src + i + 1];
+    e6 = e6 + e5 - e3;
+    e7 = e7 + e6 + e4;
+    e8 = e8 + e7 - e5;
+    e9 = e9 + e8 + e6;
+    e10 = e10 + e9 - e7;
+    e11 = e11 + e10 + e8;
+    e12 = e12 + e11 - e9;
+    e13 = e13 + e12 + e10;
+    acc = acc + buf[src + i] * 2;
+  }
+  while (dst < n) {
+    buf[dst] = acc % 13 + e13 % 7;
+    dst = dst + 2;
+    src = src + 1;
+  }
+  out(acc + e1 + e3 + e5 + e7 + e9 + e11 + e13 + src + dst);
+}
+""")
+
+PRESSURE_KERNELS = [PTRSUM, ADAPT, RELAX, BASEWALK, BLEND, MARGINAL,
+                    COLBUR]

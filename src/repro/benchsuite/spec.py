@@ -1,0 +1,321 @@
+"""Kernels in the spirit of the SPEC routines the paper measures
+(doduc, fpppp, matrix300, tomcatv).
+
+As with :mod:`repro.benchsuite.fmm`, these are freshly written MiniFort
+routines that exercise the same code shapes: dense linear algebra
+(``sgemm``), mesh relaxation with coefficient-heavy stencils
+(``tomcatv``-like), reduction-rich physics loops (``bilan``-like), and a
+large many-loop driver standing in for ``twldrv``.
+"""
+
+from .kernel import Kernel
+
+SGEMM = Kernel(
+    name="sgemm",
+    program="matrix300",
+    description="dense matrix-matrix multiply (the matrix300 core)",
+    args=(8,),
+    source="""
+proc sgemm(n) {
+  int i, j, k;
+  float s, alpha, beta;
+  array float a[144];
+  array float b[144];
+  array float c[144];
+  for i = 0 to n {
+    for j = 0 to n {
+      a[i * n + j] = float(i - j) * 0.25;
+      b[i * n + j] = float(i + j) * 0.125;
+      c[i * n + j] = 1.0;
+    }
+  }
+  alpha = 0.5;
+  beta = 0.25;
+  for i = 0 to n {
+    for j = 0 to n {
+      s = 0.0;
+      for k = 0 to n {
+        s = s + a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = alpha * s + beta * c[i * n + j];
+    }
+  }
+  s = 0.0;
+  for i = 0 to n { s = s + c[i * n + i]; }
+  out(s);
+}
+""")
+
+TOMCATV = Kernel(
+    name="tomcatv",
+    program="tomcatv",
+    description="mesh relaxation: a 9-point stencil with many loop-"
+                "invariant coefficients (the tomcatv core loop)",
+    args=(8,),
+    source="""
+proc tomcatv(n) {
+  int i, j, it;
+  float xm, xp, ym, yp, xc, dxc, dyc, rel, r1, r2, acc;
+  array float x[144];
+  array float y[144];
+  for i = 0 to n {
+    for j = 0 to n {
+      x[i * n + j] = float(i) + 0.1 * float(j);
+      y[i * n + j] = float(j) - 0.05 * float(i);
+    }
+  }
+  rel = 0.98;
+  for it = 0 to 3 {
+    for i = 1 to n - 1 {
+      for j = 1 to n - 1 {
+        xm = x[i * n + j - 1];
+        xp = x[i * n + j + 1];
+        ym = x[(i - 1) * n + j];
+        yp = x[(i + 1) * n + j];
+        xc = x[i * n + j];
+        dxc = 0.25 * (xm + xp + ym + yp) - xc;
+        r1 = y[i * n + j - 1] + y[i * n + j + 1];
+        r2 = y[(i - 1) * n + j] + y[(i + 1) * n + j];
+        dyc = 0.25 * (r1 + r2) - y[i * n + j];
+        x[i * n + j] = xc + rel * dxc;
+        y[i * n + j] = y[i * n + j] + rel * dyc;
+      }
+    }
+  }
+  acc = 0.0;
+  for i = 0 to n { acc = acc + x[i * n + i] + y[i * n + i]; }
+  out(acc);
+}
+""")
+
+BILAN = Kernel(
+    name="bilan",
+    program="doduc",
+    description="an energy-balance style loop: several concurrent "
+                "reductions with physical constants",
+    args=(32,),
+    source="""
+proc bilan(n) {
+  int i;
+  float e1, e2, e3, e4, p, q, r, w, acc;
+  array float rho[64];
+  array float vel[64];
+  array float tmp[64];
+  for i = 0 to n {
+    rho[i] = 1.0 + 0.01 * float(i);
+    vel[i] = 0.5 - 0.005 * float(i);
+    tmp[i] = 300.0 + float(i);
+  }
+  e1 = 0.0; e2 = 0.0; e3 = 0.0; e4 = 0.0;
+  for i = 0 to n {
+    p = rho[i];
+    q = vel[i];
+    r = tmp[i];
+    w = p * q;
+    e1 = e1 + 0.5 * w * q;
+    e2 = e2 + 718.0 * p * r;
+    e3 = e3 + 287.0 * p * r;
+    e4 = e4 + 1.4 * w * r * 0.001;
+  }
+  acc = e1 + e2 - e3 + e4;
+  out(acc);
+}
+""")
+
+INTEGR = Kernel(
+    name="integr",
+    program="doduc",
+    description="numerical integration of a piecewise polynomial with "
+                "region-dependent coefficients",
+    args=(48,),
+    source="""
+proc integr(n) {
+  int i;
+  float x, h, v, acc;
+  h = 0.03125;
+  acc = 0.0;
+  x = 0.0;
+  for i = 0 to n {
+    if (x < 0.5) {
+      v = ((2.0 * x - 3.0) * x + 1.5) * x + 0.25;
+    } else {
+      if (x < 1.0) {
+        v = ((-1.5 * x + 2.25) * x - 0.75) * x + 0.5;
+      } else {
+        v = 0.125 * x + 0.0625;
+      }
+    }
+    acc = acc + h * v;
+    x = x + h;
+  }
+  out(acc);
+}
+""")
+
+REPVID = Kernel(
+    name="repvid",
+    program="doduc",
+    description="a medium-sized routine (the paper's small Table 2 "
+                "specimen): staged vector updates",
+    args=(24,),
+    source="""
+proc repvid(n) {
+  int i;
+  float a, b, c, d, acc;
+  array float u[64];
+  array float v[64];
+  array float w[64];
+  for i = 0 to n {
+    u[i] = 0.25 * float(i);
+    v[i] = 1.0 - 0.125 * float(i);
+    w[i] = 0.0;
+  }
+  a = 1.1; b = 0.9; c = 0.5; d = 0.25;
+  for i = 0 to n {
+    w[i] = a * u[i] + b * v[i];
+  }
+  for i = 1 to n {
+    w[i] = w[i] + c * w[i - 1];
+  }
+  acc = 0.0;
+  for i = 0 to n {
+    acc = acc + d * w[i] * w[i];
+  }
+  out(acc);
+}
+""")
+
+PASTEM = Kernel(
+    name="pastem",
+    program="doduc",
+    description="time-stepping with saturating clamps (branchy float "
+                "loop)",
+    args=(40,),
+    source="""
+proc pastem(n) {
+  int i;
+  float t, dt, s, lo, hi, acc;
+  lo = -1.0;
+  hi = 1.0;
+  dt = 0.05;
+  t = 0.0;
+  s = 0.3;
+  acc = 0.0;
+  for i = 0 to n {
+    s = s + dt * (1.0 - s * s) - 0.01 * t;
+    if (s > hi) { s = hi; }
+    if (s < lo) { s = lo; }
+    t = t + dt;
+    acc = acc + s;
+  }
+  out(acc);
+}
+""")
+
+DRIGL = Kernel(
+    name="drigl",
+    program="doduc",
+    description="table-driven interpolation between breakpoints",
+    args=(32,),
+    source="""
+proc drigl(n) {
+  int i, k;
+  float x, frac, acc;
+  array float table[32];
+  for i = 0 to 16 {
+    table[i] = float(i * i) * 0.0625;
+  }
+  acc = 0.0;
+  for i = 0 to n {
+    x = float(i) * 0.4;
+    k = int(x);
+    if (k > 14) { k = 14; }
+    frac = x - float(k);
+    acc = acc + table[k] + frac * (table[k + 1] - table[k]);
+  }
+  out(acc);
+}
+""")
+
+FPPPP_D2ESP = Kernel(
+    name="d2esp",
+    program="fpppp",
+    description="a straight-line blast of float expressions over a small "
+                "working set (fpppp's signature shape)",
+    args=(16,),
+    source="""
+proc d2esp(n) {
+  int i;
+  float a, b, c, d, e, f, g, h2, s1, s2, s3, s4, acc;
+  array float q[64];
+  for i = 0 to n { q[i] = 1.0 / (1.0 + float(i)); }
+  acc = 0.0;
+  for i = 0 to n - 4 {
+    a = q[i];
+    b = q[i + 1];
+    c = q[i + 2];
+    d = q[i + 3];
+    e = a * b + 0.5 * c;
+    f = b * c - 0.25 * d;
+    g = c * d + 0.125 * a;
+    h2 = d * a - 0.0625 * b;
+    s1 = e * f + g * h2;
+    s2 = e * g - f * h2;
+    s3 = e * h2 + f * g;
+    s4 = (s1 + s2) * (s3 + 1.0);
+    acc = acc + s4 - s3 * 0.3333 + s2 * 0.6667 - s1 * 0.1111;
+  }
+  out(acc);
+}
+""")
+
+
+def make_twldrv_like(n_sections: int = 8) -> str:
+    """Generate a large multi-loop routine standing in for ``twldrv``
+    (881 lines of FORTRAN in the paper; the biggest Table 2 specimen).
+
+    Each section is a loop nest with its own constants and working
+    vectors, all feeding one running checksum, so the routine is long but
+    semantically transparent.
+    """
+    parts = ["proc twldrv(n) {",
+             "  int i, j;",
+             "  float acc, t1, t2, t3, t4;",
+             "  array float work[96];",
+             "  for i = 0 to 96 { work[i] = 0.5 + 0.01 * float(i); }",
+             "  acc = 0.0;"]
+    for s in range(n_sections):
+        c1 = 0.1 + 0.05 * s
+        c2 = 1.0 - 0.03 * s
+        c3 = 0.25 + 0.125 * (s % 4)
+        parts.append(f"""
+  # section {s}
+  for i = 1 to n {{
+    t1 = work[i] * {c1:.4f} + work[i - 1] * {c2:.4f};
+    t2 = t1 * t1 - {c3:.4f};
+    t3 = fabs(t2) + 0.0001;
+    t4 = t1 / t3;
+    work[i] = t4 * {c2:.4f} + {c1:.4f};
+    acc = acc + t4;
+  }}
+  for i = 0 to n {{
+    for j = 0 to 3 {{
+      acc = acc + work[i] * {c3:.4f} - float(j) * {c1:.4f};
+    }}
+  }}""")
+    parts.append("  out(acc);")
+    parts.append("}")
+    return "\n".join(parts)
+
+
+TWLDRV = Kernel(
+    name="twldrv",
+    program="fpppp",
+    description="a large generated routine (the paper's big Table 2 "
+                "specimen)",
+    args=(20,),
+    source=make_twldrv_like(8),
+)
+
+SPEC_KERNELS = [SGEMM, TOMCATV, BILAN, INTEGR, REPVID, PASTEM, DRIGL,
+                FPPPP_D2ESP, TWLDRV]

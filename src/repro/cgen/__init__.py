@@ -1,0 +1,7 @@
+"""ILOC → instrumented C translation (the paper's Figure 4)."""
+
+from .c_emitter import (CEmitterError, COUNTER_NAMES, emit_function,
+                        emit_instruction)
+
+__all__ = ["CEmitterError", "COUNTER_NAMES", "emit_function",
+           "emit_instruction"]

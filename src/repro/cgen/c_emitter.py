@@ -1,0 +1,191 @@
+"""ILOC → instrumented C translation (Figure 4 of the paper).
+
+"After allocation, each ILOC routine is translated into a complete
+C routine ... By inserting appropriate instrumentation during the
+translation to C, we are able to collect accurate, dynamic measurements"
+(Section 5).  Our experiments use the interpreter for counting instead,
+but this emitter reproduces the translation itself: one C statement per
+ILOC instruction with a counter bump per instrumentation class (the
+``l++;``/``a++;``/``c++;``/``i++;``/``s++;`` of Figure 4).
+
+The emitted routine is self-contained C89: registers become locals
+declared ``register``, memory is a flat array indexed from the frame /
+static-data bases, labels become C labels.
+"""
+
+from __future__ import annotations
+
+from ..interp import FP_BASE, SD_BASE, WORD
+from ..ir import CountClass, Function, Instruction, Opcode, Reg, RegClass
+
+#: counter variable per instrumentation class, as in Figure 4
+COUNTER_NAMES = {
+    CountClass.LOAD: "l",
+    CountClass.STORE: "s",
+    CountClass.COPY: "c",
+    CountClass.LDI: "i",
+    CountClass.ADDI: "a",
+    CountClass.OTHER: "o",
+}
+
+_CMP_OPS = {
+    Opcode.CMP_LT: "<", Opcode.CMP_LE: "<=", Opcode.CMP_GT: ">",
+    Opcode.CMP_GE: ">=", Opcode.CMP_EQ: "==", Opcode.CMP_NE: "!=",
+    Opcode.FCMP_LT: "<", Opcode.FCMP_LE: "<=", Opcode.FCMP_GT: ">",
+    Opcode.FCMP_GE: ">=", Opcode.FCMP_EQ: "==", Opcode.FCMP_NE: "!=",
+}
+
+_ARITH_OPS = {
+    Opcode.ADD: "+", Opcode.SUB: "-", Opcode.MUL: "*", Opcode.DIV: "/",
+    Opcode.FADD: "+", Opcode.FSUB: "-", Opcode.FMUL: "*", Opcode.FDIV: "/",
+    Opcode.ADDI: "+", Opcode.SUBI: "-", Opcode.MULI: "*",
+}
+
+
+class CEmitterError(ValueError):
+    """Raised for IR the C emitter cannot translate."""
+
+
+def _c_reg(reg: Reg) -> str:
+    prefix = "r" if reg.rclass is RegClass.INT else "f"
+    suffix = "p" if reg.physical else "v"
+    return f"{prefix}{reg.index}{suffix}"
+
+
+def _imem(addr: str) -> str:
+    return f"*((long *) mem({addr}))"
+
+
+def _fmem(addr: str) -> str:
+    return f"*((double *) mem({addr}))"
+
+
+def _spill(slot: int) -> str:
+    return f"{FP_BASE} - {WORD * (slot + 1)}"
+
+
+def _statement(inst: Instruction) -> str:
+    """One C statement for one ILOC instruction (without instrumentation)."""
+    op = inst.opcode
+    if op is Opcode.LDI:
+        return f"{_c_reg(inst.dest)} = (long) ({inst.imms[0]});"
+    if op is Opcode.LDF:
+        return f"{_c_reg(inst.dest)} = {float(inst.imms[0])!r};"
+    if op is Opcode.LFP:
+        return f"{_c_reg(inst.dest)} = {FP_BASE} + {inst.imms[0]};"
+    if op is Opcode.LSD:
+        return f"{_c_reg(inst.dest)} = {SD_BASE} + {inst.imms[0]};"
+    if op is Opcode.CLDW:
+        return f"{_c_reg(inst.dest)} = cpool_i[{inst.imms[0]}];"
+    if op is Opcode.CLDF:
+        return f"{_c_reg(inst.dest)} = cpool_f[{inst.imms[0]}];"
+    if op is Opcode.PARAM:
+        return f"{_c_reg(inst.dest)} = (long) args[{inst.imms[0]}];"
+    if op is Opcode.FPARAM:
+        return f"{_c_reg(inst.dest)} = (double) args[{inst.imms[0]}];"
+    if op in _ARITH_OPS and inst.imms:
+        return (f"{_c_reg(inst.dest)} = {_c_reg(inst.src)} "
+                f"{_ARITH_OPS[op]} ({inst.imms[0]});")
+    if op in _ARITH_OPS:
+        return (f"{_c_reg(inst.dest)} = {_c_reg(inst.srcs[0])} "
+                f"{_ARITH_OPS[op]} {_c_reg(inst.srcs[1])};")
+    if op is Opcode.NEG or op is Opcode.FNEG:
+        return f"{_c_reg(inst.dest)} = -{_c_reg(inst.src)};"
+    if op is Opcode.FABS:
+        return f"{_c_reg(inst.dest)} = fabs({_c_reg(inst.src)});"
+    if op in _CMP_OPS:
+        return (f"{_c_reg(inst.dest)} = {_c_reg(inst.srcs[0])} "
+                f"{_CMP_OPS[op]} {_c_reg(inst.srcs[1])};")
+    if op is Opcode.I2F:
+        return f"{_c_reg(inst.dest)} = (double) {_c_reg(inst.src)};"
+    if op is Opcode.F2I:
+        return f"{_c_reg(inst.dest)} = (long) {_c_reg(inst.src)};"
+    if op is Opcode.LDW:
+        return f"{_c_reg(inst.dest)} = {_imem(_c_reg(inst.src))};"
+    if op is Opcode.LDWO:
+        return (f"{_c_reg(inst.dest)} = "
+                f"{_imem(f'{_c_reg(inst.src)} + {inst.imms[0]}')};")
+    if op is Opcode.STW:
+        return f"{_imem(_c_reg(inst.srcs[1]))} = {_c_reg(inst.srcs[0])};"
+    if op is Opcode.STWO:
+        addr = f"{_c_reg(inst.srcs[1])} + {inst.imms[0]}"
+        return f"{_imem(addr)} = {_c_reg(inst.srcs[0])};"
+    if op is Opcode.FLD:
+        return f"{_c_reg(inst.dest)} = {_fmem(_c_reg(inst.src))};"
+    if op is Opcode.FLDO:
+        return (f"{_c_reg(inst.dest)} = "
+                f"{_fmem(f'{_c_reg(inst.src)} + {inst.imms[0]}')};")
+    if op is Opcode.FST:
+        return f"{_fmem(_c_reg(inst.srcs[1]))} = {_c_reg(inst.srcs[0])};"
+    if op is Opcode.FSTO:
+        addr = f"{_c_reg(inst.srcs[1])} + {inst.imms[0]}"
+        return f"{_fmem(addr)} = {_c_reg(inst.srcs[0])};"
+    if op is Opcode.SPLD:
+        return f"{_c_reg(inst.dest)} = {_imem(_spill(inst.imms[0]))};"
+    if op is Opcode.SPST:
+        return f"{_imem(_spill(inst.imms[0]))} = {_c_reg(inst.srcs[0])};"
+    if op is Opcode.FSPLD:
+        return f"{_c_reg(inst.dest)} = {_fmem(_spill(inst.imms[0]))};"
+    if op is Opcode.FSPST:
+        return f"{_fmem(_spill(inst.imms[0]))} = {_c_reg(inst.srcs[0])};"
+    if op in (Opcode.COPY, Opcode.FCOPY, Opcode.SPLIT, Opcode.FSPLIT):
+        return f"{_c_reg(inst.dest)} = {_c_reg(inst.src)};"
+    if op is Opcode.JMP:
+        return f"goto {inst.labels[0]};"
+    if op is Opcode.CBR:
+        return (f"if ({_c_reg(inst.src)}) goto {inst.labels[0]}; "
+                f"else goto {inst.labels[1]};")
+    if op is Opcode.RET:
+        return "return;"
+    if op is Opcode.OUT:
+        return f'printf("%ld\\n", {_c_reg(inst.src)});'
+    if op is Opcode.FOUT:
+        return f'printf("%g\\n", {_c_reg(inst.src)});'
+    if op is Opcode.NOP:
+        return ";"
+    raise CEmitterError(f"cannot translate {inst} to C")
+
+
+def emit_instruction(inst: Instruction, instrument: bool = True) -> str:
+    """The C line for *inst*, with the Figure 4 counter bump appended."""
+    stmt = _statement(inst)
+    if not instrument:
+        return stmt
+    counter = COUNTER_NAMES[inst.info.count_class]
+    return f"{stmt} {counter}++;"
+
+
+def emit_function(fn: Function, instrument: bool = True) -> str:
+    """A complete instrumented C routine for *fn*."""
+    int_regs = sorted({r for _b, i in fn.instructions() for r in i.regs()
+                       if r.rclass is RegClass.INT})
+    float_regs = sorted({r for _b, i in fn.instructions() for r in i.regs()
+                         if r.rclass is RegClass.FLOAT})
+    lines = [
+        "#include <stdio.h>",
+        "#include <math.h>",
+        "",
+        "static char memory[1 << 20];",
+        "#define mem(addr) (memory + (addr))",
+        "static long cpool_i[4096];",
+        "static double cpool_f[4096];",
+        "long l, s, c, i, a, o;  /* dynamic instruction counters */",
+        "",
+        f"void {fn.name}(double *args)",
+        "{",
+    ]
+    if int_regs:
+        decls = ", ".join(_c_reg(r) for r in int_regs)
+        lines.append(f"    register long {decls};")
+    if float_regs:
+        decls = ", ".join(_c_reg(r) for r in float_regs)
+        lines.append(f"    register double {decls};")
+    lines.append(f"    goto {fn.entry.label};")
+    for blk in fn.blocks:
+        lines.append(f"{blk.label}:")
+        for inst in blk.instructions:
+            if inst.opcode is Opcode.PHI:
+                raise CEmitterError("cannot emit C for a phi node")
+            lines.append(f"    {emit_instruction(inst, instrument)}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+
+* ``compile FILE``  — MiniFort source → ILOC text on stdout
+* ``allocate FILE`` — compile/parse, allocate, print the allocated ILOC
+* ``run FILE``      — compile/parse (optionally allocate) and interpret
+* ``cgen FILE``     — emit the instrumented C translation (Figure 4)
+* ``table1`` / ``table2`` / ``ablation`` / ``sweep`` — the experiments
+
+``FILE`` may be MiniFort (``.mf``) or textual ILOC (``.il``); anything
+else is sniffed by content (ILOC starts with ``proc NAME NPARAMS``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .frontend import compile_source
+from .interp import run_function
+from .ir import Function, function_to_text, parse_function
+from .machine import machine_with
+from .regalloc import allocate
+from .remat import RenumberMode
+
+
+def _load(path: str) -> Function:
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".il"):
+        return parse_function(text)
+    if path.endswith(".mf"):
+        return compile_source(text)
+    first = next((line for line in text.splitlines() if line.strip()), "")
+    if first.startswith("proc") and len(first.split()) == 3 \
+            and first.split()[2].isdigit():
+        return parse_function(text)
+    return compile_source(text)
+
+
+def _machine(args: argparse.Namespace):
+    return machine_with(args.k, args.kf if args.kf is not None else args.k)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--k", type=int, default=16,
+                        help="integer register count (default 16)")
+    parser.add_argument("--kf", type=int, default=None,
+                        help="float register count (default: same as --k)")
+    parser.add_argument("--mode", choices=[m.value for m in RenumberMode],
+                        default="remat", help="allocator variant")
+    parser.add_argument("--opt", action="store_true",
+                        help="run LVN/LICM/DCE before allocation")
+
+
+def _maybe_optimize(fn: Function, args: argparse.Namespace) -> None:
+    if getattr(args, "opt", False):
+        from .opt import optimize
+        optimize(fn)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    fn = _load(args.file)
+    _maybe_optimize(fn, args)
+    print(function_to_text(fn), end="")
+    return 0
+
+
+def cmd_allocate(args: argparse.Namespace) -> int:
+    fn = _load(args.file)
+    _maybe_optimize(fn, args)
+    result = allocate(fn, machine=_machine(args),
+                      mode=RenumberMode(args.mode))
+    print(function_to_text(result.function), end="")
+    print(f"# rounds={result.rounds} "
+          f"spilled={result.stats.n_spilled_ranges} "
+          f"rematerialized={result.stats.n_remat_spills} "
+          f"splits={result.stats.n_splits_inserted}", file=sys.stderr)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    fn = _load(args.file)
+    _maybe_optimize(fn, args)
+    machine = _machine(args)
+    if args.allocated:
+        fn = allocate(fn, machine=machine,
+                      mode=RenumberMode(args.mode)).function
+    run = run_function(fn, args=[int(a) for a in args.args])
+    for value in run.output:
+        print(value)
+    counts = " ".join(f"{cls.value}={n}"
+                      for cls, n in sorted(run.counts.items(),
+                                           key=lambda kv: kv[0].value))
+    print(f"# steps={run.steps} cycles={machine.cycles(run.counts)} "
+          f"{counts}", file=sys.stderr)
+    return 0
+
+
+def cmd_cgen(args: argparse.Namespace) -> int:
+    from .cgen import emit_function
+
+    fn = _load(args.file)
+    _maybe_optimize(fn, args)
+    if args.allocated:
+        fn = allocate(fn, machine=_machine(args),
+                      mode=RenumberMode(args.mode)).function
+    print(emit_function(fn), end="")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments import generate_table1
+
+    print(generate_table1(machine=_machine(args)).render())
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from .experiments import generate_table2
+
+    print(generate_table2(repeats=args.repeats).render())
+    return 0
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    from .experiments import run_ablation, run_heuristic_ablation
+
+    print(run_ablation().render())
+    print()
+    print(run_heuristic_ablation().render())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import run_register_sweep
+
+    print(run_register_sweep().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rematerialization (Briggs/Cooper/Torczon, PLDI 1992) "
+                    "— reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="lower MiniFort to ILOC")
+    p.add_argument("file")
+    _add_common(p)
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("allocate", help="allocate registers")
+    p.add_argument("file")
+    _add_common(p)
+    p.set_defaults(func=cmd_allocate)
+
+    p = sub.add_parser("run", help="interpret a routine")
+    p.add_argument("file")
+    p.add_argument("args", nargs="*", help="integer arguments")
+    p.add_argument("--allocated", action="store_true",
+                   help="allocate before running")
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("cgen", help="emit instrumented C (Figure 4)")
+    p.add_argument("file")
+    p.add_argument("--allocated", action="store_true")
+    _add_common(p)
+    p.set_defaults(func=cmd_cgen)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    _add_common(p)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("table2", help="regenerate Table 2")
+    p.add_argument("--repeats", type=int, default=5)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("ablation", help="Section 6 + heuristic ablations")
+    p.set_defaults(func=cmd_ablation)
+
+    p = sub.add_parser("sweep", help="register-set size sweep")
+    p.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

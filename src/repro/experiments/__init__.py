@@ -1,0 +1,34 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from .ablation import (AblationResult, HeuristicAblation, run_ablation,
+                       run_heuristic_ablation)
+from .regsweep import RegisterSweep, SweepPoint, run_register_sweep
+from .reporting import paper_percent, render_table
+from .spill_metrics import (KernelComparison, SpillMeasurement,
+                            TABLE1_CLASSES, compare_kernel, measure,
+                            measure_baseline)
+from .table1 import Table1, generate_table1
+from .table2 import Table2, TimingColumn, generate_table2
+
+__all__ = [
+    "AblationResult",
+    "HeuristicAblation",
+    "KernelComparison",
+    "RegisterSweep",
+    "SweepPoint",
+    "run_ablation",
+    "run_heuristic_ablation",
+    "run_register_sweep",
+    "SpillMeasurement",
+    "TABLE1_CLASSES",
+    "Table1",
+    "Table2",
+    "TimingColumn",
+    "compare_kernel",
+    "generate_table1",
+    "generate_table2",
+    "measure",
+    "measure_baseline",
+    "paper_percent",
+    "render_table",
+]

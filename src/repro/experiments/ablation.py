@@ -1,0 +1,131 @@
+"""Section 6 ablation: the alternative splitting schemes, and the
+Section 4.2/4.3 heuristics (conservative coalescing, biased coloring,
+lookahead) toggled off.
+
+The paper reports that every loop-splitting scheme "had several major
+successes [and] several equally dramatic failures"; the harness measures
+each scheme's spill cycles against the tag-driven default and reports the
+spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..benchsuite import ALL_KERNELS, Kernel
+from ..interp import run_function
+from ..machine import MachineDescription, machine_with
+from ..regalloc import allocate
+from ..regalloc.splitting import SCHEMES, SplittingScheme
+from ..remat import RenumberMode
+from .reporting import render_table
+from .spill_metrics import measure_baseline
+
+
+@dataclass
+class AblationResult:
+    machine: MachineDescription
+    #: kernel -> scheme -> spill cycles
+    spill: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        scheme_names = list(SCHEMES)
+        headers = ["routine"] + scheme_names
+        rows = []
+        for kernel, per_scheme in self.spill.items():
+            rows.append([kernel] + [f"{per_scheme[s]:,}"
+                                    for s in scheme_names])
+        # per-scheme wins/losses vs the remat default
+        summary_w = ["wins vs remat"]
+        summary_l = ["losses vs remat"]
+        for s in scheme_names:
+            wins = sum(1 for per in self.spill.values()
+                       if per[s] < per["remat"])
+            losses = sum(1 for per in self.spill.values()
+                         if per[s] > per["remat"])
+            summary_w.append(str(wins))
+            summary_l.append(str(losses))
+        rows.append(summary_w)
+        rows.append(summary_l)
+        return render_table(
+            headers, rows,
+            title=(f"Section 6 ablation: spill cycles per splitting scheme "
+                   f"({self.machine.name} machine)"))
+
+
+def run_ablation(kernels: list[Kernel] | None = None,
+                 machine: MachineDescription | None = None,
+                 schemes: dict[str, SplittingScheme] | None = None,
+                 ) -> AblationResult:
+    """Measure spill cycles for each kernel under each splitting scheme."""
+    machine = machine or machine_with(8, 8)
+    kernels = kernels if kernels is not None else ALL_KERNELS
+    schemes = schemes or SCHEMES
+    result = AblationResult(machine=machine)
+    for kernel in kernels:
+        baseline = measure_baseline(kernel, cost_machine=machine)
+        expected = run_function(kernel.compile(),
+                                args=list(kernel.args)).output
+        per_scheme: dict[str, int] = {}
+        for name, scheme in schemes.items():
+            res = allocate(kernel.compile(), machine=machine,
+                           mode=scheme.mode, pre_split=scheme.pre_split)
+            run = run_function(res.function, args=list(kernel.args))
+            if run.output != expected:
+                raise AssertionError(
+                    f"{kernel.name}/{name}: output diverged")
+            per_scheme[name] = (machine.cycles(run.counts)
+                                - baseline.total_cycles)
+        result.spill[kernel.name] = per_scheme
+    return result
+
+
+@dataclass
+class HeuristicAblation:
+    machine: MachineDescription
+    #: kernel -> config -> spill cycles
+    spill: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    CONFIGS = ("full", "no-biasing", "no-lookahead", "no-conservative",
+               "pessimistic")
+
+    def render(self) -> str:
+        headers = ["routine"] + list(self.CONFIGS)
+        rows = [[kernel] + [f"{per[c]:,}" for c in self.CONFIGS]
+                for kernel, per in self.spill.items()]
+        totals = ["TOTAL"]
+        for c in self.CONFIGS:
+            totals.append(f"{sum(per[c] for per in self.spill.values()):,}")
+        rows.append(totals)
+        return render_table(
+            headers, rows,
+            title=("Heuristic ablation (Sections 4.2-4.3): spill cycles "
+                   f"with each mechanism disabled ({self.machine.name})"))
+
+
+def run_heuristic_ablation(kernels: list[Kernel] | None = None,
+                           machine: MachineDescription | None = None,
+                           ) -> HeuristicAblation:
+    """Toggle biased coloring, lookahead and conservative coalescing."""
+    machine = machine or machine_with(8, 8)
+    kernels = kernels if kernels is not None else ALL_KERNELS
+    result = HeuristicAblation(machine=machine)
+    configs = {
+        "full": {},
+        "no-biasing": {"biased": False},
+        "no-lookahead": {"lookahead": False},
+        "no-conservative": {"coalesce_splits": False},
+        # Chaitin's original pessimistic simplification instead of
+        # Briggs' optimistic push-and-try
+        "pessimistic": {"optimistic": False},
+    }
+    for kernel in kernels:
+        baseline = measure_baseline(kernel, cost_machine=machine)
+        per: dict[str, int] = {}
+        for name, kwargs in configs.items():
+            res = allocate(kernel.compile(), machine=machine,
+                           mode=RenumberMode.REMAT, **kwargs)
+            run = run_function(res.function, args=list(kernel.args))
+            per[name] = machine.cycles(run.counts) - baseline.total_cycles
+        result.spill[kernel.name] = per
+    return result

@@ -1,0 +1,84 @@
+"""Register-set variation sweep.
+
+The paper's machinery exists partly to make this cheap: "The target
+register set is specified in a small table and may be varied to allow
+convenient experimentation with a wide variety of register sets"
+(Section 5).  This harness sweeps the register-file size and reports,
+per size, total spill cycles for the Old and New allocators over the
+suite — showing where rematerialization's advantage turns on (when
+pressure first forces multi-valued constants to spill) and how it grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..benchsuite import ALL_KERNELS, Kernel
+from ..machine import machine_with
+from ..remat import RenumberMode
+from .reporting import render_table
+from .spill_metrics import measure, measure_baseline
+
+
+@dataclass
+class SweepPoint:
+    """Suite-total spill cycles at one register-file size."""
+
+    k: int
+    old_spill: int
+    new_spill: int
+    n_differing: int
+
+    @property
+    def improvement_percent(self) -> float:
+        if self.old_spill == 0:
+            return 0.0
+        return 100.0 * (self.old_spill - self.new_spill) / self.old_spill
+
+
+@dataclass
+class RegisterSweep:
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["k (int=float)", "Optimistic", "Remat", "improvement",
+                   "routines differing"]
+        rows = []
+        for p in self.points:
+            rows.append([str(p.k), f"{p.old_spill:,}", f"{p.new_spill:,}",
+                         f"{p.improvement_percent:.0f}%",
+                         str(p.n_differing)])
+        return render_table(
+            headers, rows,
+            title=("Register-set sweep: suite-total spill cycles vs "
+                   "register-file size (Section 5's varied-register-set "
+                   "capability)"))
+
+
+def run_register_sweep(ks: tuple[int, ...] = (6, 8, 10, 12, 16, 24),
+                       kernels: list[Kernel] | None = None,
+                       ) -> RegisterSweep:
+    """Measure the suite at several register-file sizes."""
+    kernels = kernels if kernels is not None else ALL_KERNELS
+    sweep = RegisterSweep()
+    baselines = {}
+    for k in ks:
+        machine = machine_with(k, k)
+        old_total = new_total = differing = 0
+        for kernel in kernels:
+            if kernel.name not in baselines:
+                baselines[kernel.name] = measure_baseline(
+                    kernel, cost_machine=machine)
+            baseline = baselines[kernel.name]
+            old = measure(kernel, machine, RenumberMode.CHAITIN)
+            new = measure(kernel, machine, RenumberMode.REMAT)
+            old_spill = old.total_cycles - baseline.total_cycles
+            new_spill = new.total_cycles - baseline.total_cycles
+            old_total += old_spill
+            new_total += new_spill
+            if old_spill != new_spill:
+                differing += 1
+        sweep.points.append(SweepPoint(k=k, old_spill=old_total,
+                                       new_spill=new_total,
+                                       n_differing=differing))
+    return sweep

@@ -1,0 +1,56 @@
+"""Plain-text table rendering shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list[str]],
+                 title: str | None = None) -> str:
+    """Render a monospace table with right-aligned numeric-ish columns."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def is_numeric(col: int) -> bool:
+        return all(_numeric(row[col]) for row in rows if row[col].strip())
+
+    aligns = [is_numeric(i) for i in range(len(headers))]
+
+    def fmt(cells: list[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if aligns[i]
+                         else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _numeric(text: str) -> bool:
+    stripped = text.strip().rstrip("%s").lstrip("-+")
+    if not stripped:
+        return True
+    return stripped.replace(".", "", 1).replace(",", "").isdigit()
+
+
+def paper_percent(value: float) -> str:
+    """Format a percentage the way Table 1 does.
+
+    "All percentages have been rounded to the nearest integer.
+    Insignificant improvements are reported as 0 and insignificant losses
+    are reported as -0.  In cases where the result is zero, we simply show
+    a blank."
+    """
+    if value == 0.0:
+        return ""
+    rounded = round(value)
+    if rounded == 0:
+        return "0" if value > 0 else "-0"
+    return str(rounded)

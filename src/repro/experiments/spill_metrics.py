@@ -1,0 +1,134 @@
+"""The spill-cost measurement methodology of Section 5.2.
+
+"We tested each routine on a hypothetical 'huge' machine with 128
+registers ... The difference between the huge results and the results for
+one of the allocators targeted to our standard machine should equal the
+number of cycles added by the allocator to cope with insufficient
+registers."
+
+Costs are decomposed by instrumentation class (load / store / copy / ldi /
+addi) so Table 1's percentage-contribution columns can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..benchsuite import Kernel
+from ..interp import run_function
+from ..ir import CountClass
+from ..machine import MachineDescription, huge_machine
+from ..regalloc import AllocationResult, allocate
+from ..remat import RenumberMode
+
+#: the classes reported in Table 1, in column order
+TABLE1_CLASSES = (CountClass.LOAD, CountClass.STORE, CountClass.COPY,
+                  CountClass.LDI, CountClass.ADDI)
+
+
+@dataclass
+class SpillMeasurement:
+    """Dynamic cycle accounting for one (kernel, machine, mode) triple."""
+
+    kernel: str
+    machine: str
+    mode: RenumberMode
+    #: cycles spent per class during the run (count * class cost)
+    class_cycles: dict[CountClass, int]
+    total_cycles: int
+    steps: int
+    allocation: AllocationResult
+
+    def spill_cycles_vs(self, baseline: "SpillMeasurement") -> int:
+        """Spill overhead relative to the huge-machine baseline."""
+        return self.total_cycles - baseline.total_cycles
+
+    def class_spill_cycles_vs(self, baseline: "SpillMeasurement",
+                              cls: CountClass) -> int:
+        return (self.class_cycles.get(cls, 0)
+                - baseline.class_cycles.get(cls, 0))
+
+
+def measure(kernel: Kernel, machine: MachineDescription,
+            mode: RenumberMode,
+            cost_machine: MachineDescription | None = None,
+            optimize_first: bool = False) -> SpillMeasurement:
+    """Allocate *kernel* for *machine* under *mode*, run it, count cycles.
+
+    *cost_machine* supplies the cycle-cost model (defaults to *machine*);
+    the paper prices the huge-machine baseline run with the same cost
+    table as the standard runs.  With *optimize_first* the LVN/LICM/DCE
+    pipeline runs before allocation — approximating the optimized ILOC
+    the paper's allocator consumed.
+    """
+    cost_machine = cost_machine or machine
+    fn = kernel.compile()
+    if optimize_first:
+        from ..opt import optimize
+
+        optimize(fn)
+    result = allocate(fn, machine=machine, mode=mode)
+    run = run_function(result.function, args=list(kernel.args))
+    class_cycles = {
+        cls: count * cost_machine.class_cost(cls)
+        for cls, count in run.counts.items()
+    }
+    return SpillMeasurement(
+        kernel=kernel.name, machine=machine.name, mode=mode,
+        class_cycles=class_cycles,
+        total_cycles=sum(class_cycles.values()),
+        steps=run.steps, allocation=result)
+
+
+def measure_baseline(kernel: Kernel,
+                     cost_machine: MachineDescription,
+                     optimize_first: bool = False) -> SpillMeasurement:
+    """The huge-machine (128-register) zero-spill baseline of Section 5.2."""
+    return measure(kernel, huge_machine(), RenumberMode.CHAITIN,
+                   cost_machine=cost_machine,
+                   optimize_first=optimize_first)
+
+
+@dataclass
+class KernelComparison:
+    """Old-vs-new spill costs for one kernel (one Table 1 row)."""
+
+    kernel: Kernel
+    old_spill: int
+    new_spill: int
+    #: percentage contribution per class, paper-style: positive numbers
+    #: are improvements
+    contributions: dict[CountClass, float] = field(default_factory=dict)
+
+    @property
+    def total_percent(self) -> float:
+        """Total percentage improvement (Table 1's last column)."""
+        if self.old_spill == 0:
+            return 0.0
+        return 100.0 * (self.old_spill - self.new_spill) / self.old_spill
+
+    @property
+    def differs(self) -> bool:
+        return self.old_spill != self.new_spill
+
+
+def compare_kernel(kernel: Kernel, machine: MachineDescription,
+                   old_mode: RenumberMode = RenumberMode.CHAITIN,
+                   new_mode: RenumberMode = RenumberMode.REMAT,
+                   optimize_first: bool = False) -> KernelComparison:
+    """Produce one Table 1 row for *kernel* on *machine*."""
+    baseline = measure_baseline(kernel, cost_machine=machine,
+                                optimize_first=optimize_first)
+    old = measure(kernel, machine, old_mode, optimize_first=optimize_first)
+    new = measure(kernel, machine, new_mode, optimize_first=optimize_first)
+    old_spill = old.spill_cycles_vs(baseline)
+    new_spill = new.spill_cycles_vs(baseline)
+    contributions: dict[CountClass, float] = {}
+    if old_spill != 0:
+        for cls in TABLE1_CLASSES:
+            delta = (old.class_spill_cycles_vs(baseline, cls)
+                     - new.class_spill_cycles_vs(baseline, cls))
+            contributions[cls] = 100.0 * delta / old_spill
+    return KernelComparison(kernel=kernel, old_spill=old_spill,
+                            new_spill=new_spill,
+                            contributions=contributions)

@@ -1,0 +1,17 @@
+"""MiniFort: the small imperative front end for the benchmark kernels."""
+
+from .ast_nodes import (ArrayDecl, Assign, Binary, Expr, FloatLit, For, If,
+                        Index, IntLit, Out, Proc, Program, Stmt, Store, Type,
+                        Unary, VarDecl, VarRef, While)
+from .codegen import MiniFortTypeError, compile_proc, compile_source
+from .lexer import LexError, Token, TokKind, tokenize
+from .parser import MiniFortSyntaxError, parse_proc, parse_program
+
+__all__ = [
+    "ArrayDecl", "Assign", "Binary", "Expr", "FloatLit", "For", "If",
+    "Index", "IntLit", "LexError", "MiniFortSyntaxError",
+    "MiniFortTypeError", "Out", "Proc", "Program", "Stmt", "Store",
+    "TokKind", "Token", "Type", "Unary", "VarDecl", "VarRef", "While",
+    "compile_proc", "compile_source", "parse_proc", "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,140 @@
+"""Abstract syntax of MiniFort."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+
+class Type(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+
+
+# --- expressions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatLit:
+    value: float
+
+
+@dataclass(frozen=True)
+class VarRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class Index:
+    """Array element read: ``a[i]``."""
+
+    array: str
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Unary:
+    """``-e``, ``not e``, ``fabs(e)``, ``int(e)``, ``float(e)``."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    """Arithmetic, comparison and logical operators."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[IntLit, FloatLit, VarRef, Index, Unary, Binary]
+
+
+# --- statements -----------------------------------------------------------------
+
+
+@dataclass
+class VarDecl:
+    type: Type
+    names: list[str]
+
+
+@dataclass
+class ArrayDecl:
+    type: Type
+    name: str
+    size: int
+
+
+@dataclass
+class Assign:
+    name: str
+    value: Expr
+
+
+@dataclass
+class Store:
+    """Array element write: ``a[i] = e``."""
+
+    array: str
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class If:
+    cond: Expr
+    then: list["Stmt"]
+    otherwise: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: list["Stmt"]
+
+
+@dataclass
+class For:
+    """``for v = lo to hi { ... }`` iterates v over [lo, hi)."""
+
+    var: str
+    lo: Expr
+    hi: Expr
+    body: list["Stmt"]
+
+
+@dataclass
+class Out:
+    value: Expr
+
+
+Stmt = Union[VarDecl, ArrayDecl, Assign, Store, If, While, For, Out]
+
+
+@dataclass
+class Proc:
+    """One procedure; parameters are integers (FORTRAN-style sizes)."""
+
+    name: str
+    params: list[str]
+    body: list[Stmt]
+
+
+@dataclass
+class Program:
+    procs: list[Proc]
+
+    def proc(self, name: str) -> Proc:
+        for p in self.procs:
+            if p.name == name:
+                return p
+        raise KeyError(name)

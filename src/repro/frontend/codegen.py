@@ -1,0 +1,313 @@
+"""MiniFort → ILOC code generation.
+
+Straightforward, unoptimized translation onto an unlimited virtual register
+file — the input the allocator expects:
+
+* every scalar variable lives in one virtual register,
+* arrays live in the static data area; element addresses are computed as
+  ``lsd base`` + ``index * 8`` (the ``lsd`` is a never-killed constant —
+  exactly the address arithmetic whose rematerialization the paper
+  targets),
+* literals materialize with ``ldi``/``ldf`` at each occurrence,
+* logical operators evaluate eagerly over 0/1 integers (MiniFort
+  expressions have no side effects, so short-circuiting is unobservable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function, IRBuilder, Reg, RegClass
+from .ast_nodes import (ArrayDecl, Assign, Binary, Expr, FloatLit, For, If,
+                        Index, IntLit, Out, Proc, Stmt, Store, Type, Unary,
+                        VarDecl, VarRef, While)
+from .parser import parse_proc
+
+
+class MiniFortTypeError(ValueError):
+    """Raised on type mismatches, undeclared names and redeclarations."""
+
+
+@dataclass
+class _ArrayInfo:
+    type: Type
+    base: int
+    size: int
+
+
+_WORD = 8
+
+
+def _rclass(ty: Type) -> RegClass:
+    return RegClass.INT if ty is Type.INT else RegClass.FLOAT
+
+
+class _CodeGen:
+    def __init__(self, proc: Proc) -> None:
+        self.proc = proc
+        self.b = IRBuilder(proc.name, n_params=len(proc.params))
+        self.vars: dict[str, tuple[Type, Reg]] = {}
+        self.arrays: dict[str, _ArrayInfo] = {}
+        self.static_top = 0
+        self.label_n = 0
+
+    # -- helpers -------------------------------------------------------------------
+
+    def fail(self, message: str) -> None:
+        raise MiniFortTypeError(f"{self.proc.name}: {message}")
+
+    def fresh_label(self, prefix: str) -> str:
+        self.label_n += 1
+        return f"{prefix}{self.label_n}"
+
+    def declare_var(self, name: str, ty: Type) -> Reg:
+        if name in self.vars or name in self.arrays:
+            self.fail(f"redeclaration of {name!r}")
+        reg = self.b.function.new_reg(_rclass(ty))
+        self.vars[name] = (ty, reg)
+        return reg
+
+    def lookup_var(self, name: str) -> tuple[Type, Reg]:
+        if name not in self.vars:
+            if name in self.arrays:
+                self.fail(f"array {name!r} used as a scalar")
+            self.fail(f"undeclared variable {name!r}")
+        return self.vars[name]
+
+    def lookup_array(self, name: str) -> _ArrayInfo:
+        if name not in self.arrays:
+            if name in self.vars:
+                self.fail(f"scalar {name!r} indexed like an array")
+            self.fail(f"undeclared array {name!r}")
+        return self.arrays[name]
+
+    # -- entry ----------------------------------------------------------------------
+
+    def run(self) -> Function:
+        for i, param in enumerate(self.proc.params):
+            reg = self.declare_var(param, Type.INT)
+            value = self.b.param(i)
+            self.b.copy_to(reg, value)
+        self.gen_stmts(self.proc.body)
+        if not self.b.current.is_terminated:
+            self.b.ret()
+        # terminate any empty trailing blocks defensively
+        fn = self.b.function
+        for blk in fn.blocks:
+            if not blk.is_terminated:
+                self.fail(f"internal: unterminated block {blk.label}")
+        return fn
+
+    # -- statements --------------------------------------------------------------------
+
+    def gen_stmts(self, stmts: list[Stmt]) -> None:
+        for stmt in stmts:
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, VarDecl):
+            for name in stmt.names:
+                self.declare_var(name, stmt.type)
+        elif isinstance(stmt, ArrayDecl):
+            if stmt.name in self.vars or stmt.name in self.arrays:
+                self.fail(f"redeclaration of {stmt.name!r}")
+            if stmt.size <= 0:
+                self.fail(f"array {stmt.name!r} has non-positive size")
+            self.arrays[stmt.name] = _ArrayInfo(stmt.type, self.static_top,
+                                                stmt.size)
+            self.static_top += stmt.size * _WORD
+        elif isinstance(stmt, Assign):
+            ty, reg = self.lookup_var(stmt.name)
+            value_ty, value = self.gen_expr(stmt.value)
+            if value_ty is not ty:
+                self.fail(f"assigning {value_ty.value} to {ty.value} "
+                          f"variable {stmt.name!r}")
+            self.b.copy_to(reg, value)
+        elif isinstance(stmt, Store):
+            info = self.lookup_array(stmt.array)
+            addr = self.gen_address(info, stmt.index)
+            value_ty, value = self.gen_expr(stmt.value)
+            if value_ty is not info.type:
+                self.fail(f"storing {value_ty.value} into "
+                          f"{info.type.value} array {stmt.array!r}")
+            if info.type is Type.INT:
+                self.b.stw(value, addr)
+            else:
+                self.b.fst(value, addr)
+        elif isinstance(stmt, If):
+            self.gen_if(stmt)
+        elif isinstance(stmt, While):
+            self.gen_while(stmt)
+        elif isinstance(stmt, For):
+            self.gen_for(stmt)
+        elif isinstance(stmt, Out):
+            _ty, value = self.gen_expr(stmt.value)
+            self.b.out(value)
+        else:  # pragma: no cover - AST is closed
+            self.fail(f"unknown statement {stmt!r}")
+
+    def gen_if(self, stmt: If) -> None:
+        cond = self.gen_cond(stmt.cond)
+        n = self.fresh_label("")
+        then_label, else_label, join = (f"then{n}", f"else{n}", f"join{n}")
+        if stmt.otherwise:
+            self.b.cbr(cond, then_label, else_label)
+        else:
+            self.b.cbr(cond, then_label, join)
+        self.b.label(then_label)
+        self.gen_stmts(stmt.then)
+        if not self.b.current.is_terminated:
+            self.b.jmp(join)
+        if stmt.otherwise:
+            self.b.label(else_label)
+            self.gen_stmts(stmt.otherwise)
+            if not self.b.current.is_terminated:
+                self.b.jmp(join)
+        self.b.label(join)
+
+    def gen_while(self, stmt: While) -> None:
+        n = self.fresh_label("")
+        head, body, exit_ = f"whead{n}", f"wbody{n}", f"wexit{n}"
+        self.b.jmp(head)
+        self.b.label(head)
+        cond = self.gen_cond(stmt.cond)
+        self.b.cbr(cond, body, exit_)
+        self.b.label(body)
+        self.gen_stmts(stmt.body)
+        if not self.b.current.is_terminated:
+            self.b.jmp(head)
+        self.b.label(exit_)
+
+    def gen_for(self, stmt: For) -> None:
+        ty, var = self.lookup_var(stmt.var)
+        if ty is not Type.INT:
+            self.fail(f"for-variable {stmt.var!r} must be int")
+        lo_ty, lo = self.gen_expr(stmt.lo)
+        hi_ty, hi = self.gen_expr(stmt.hi)
+        if lo_ty is not Type.INT or hi_ty is not Type.INT:
+            self.fail("for bounds must be int")
+        # keep the bound in a dedicated register so it survives the body
+        bound = self.b.function.new_reg(RegClass.INT)
+        self.b.copy_to(bound, hi)
+        self.b.copy_to(var, lo)
+        n = self.fresh_label("")
+        head, body, exit_ = f"fhead{n}", f"fbody{n}", f"fexit{n}"
+        self.b.jmp(head)
+        self.b.label(head)
+        cond = self.b.cmp_lt(var, bound)
+        self.b.cbr(cond, body, exit_)
+        self.b.label(body)
+        self.gen_stmts(stmt.body)
+        if not self.b.current.is_terminated:
+            self.b.copy_to(var, self.b.addi(var, 1))
+            self.b.jmp(head)
+        self.b.label(exit_)
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def gen_cond(self, expr: Expr) -> Reg:
+        ty, value = self.gen_expr(expr)
+        if ty is not Type.INT:
+            self.fail("condition must be int (use a comparison)")
+        return value
+
+    def gen_address(self, info: _ArrayInfo, index: Expr) -> Reg:
+        idx_ty, idx = self.gen_expr(index)
+        if idx_ty is not Type.INT:
+            self.fail("array index must be int")
+        base = self.b.lsd(info.base)
+        offset = self.b.muli(idx, _WORD)
+        return self.b.add(base, offset)
+
+    def gen_expr(self, expr: Expr) -> tuple[Type, Reg]:
+        if isinstance(expr, IntLit):
+            return Type.INT, self.b.ldi(expr.value)
+        if isinstance(expr, FloatLit):
+            return Type.FLOAT, self.b.ldf(expr.value)
+        if isinstance(expr, VarRef):
+            ty, reg = self.lookup_var(expr.name)
+            return ty, reg
+        if isinstance(expr, Index):
+            info = self.lookup_array(expr.array)
+            addr = self.gen_address(info, expr.index)
+            if info.type is Type.INT:
+                return Type.INT, self.b.ldw(addr)
+            return Type.FLOAT, self.b.fld(addr)
+        if isinstance(expr, Unary):
+            return self.gen_unary(expr)
+        if isinstance(expr, Binary):
+            return self.gen_binary(expr)
+        self.fail(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def gen_unary(self, expr: Unary) -> tuple[Type, Reg]:
+        ty, value = self.gen_expr(expr.operand)
+        if expr.op == "-":
+            if ty is Type.INT:
+                return Type.INT, self.b.neg(value)
+            return Type.FLOAT, self.b.fneg(value)
+        if expr.op == "not":
+            if ty is not Type.INT:
+                self.fail("'not' needs an int operand")
+            return Type.INT, self.b.cmp_eq(value, self.b.ldi(0))
+        if expr.op == "fabs":
+            if ty is not Type.FLOAT:
+                self.fail("fabs needs a float operand")
+            return Type.FLOAT, self.b.fabs(value)
+        if expr.op == "int":
+            if ty is Type.INT:
+                return Type.INT, value
+            return Type.INT, self.b.f2i(value)
+        if expr.op == "float":
+            if ty is Type.FLOAT:
+                return Type.FLOAT, value
+            return Type.FLOAT, self.b.i2f(value)
+        self.fail(f"unknown unary operator {expr.op!r}")  # pragma: no cover
+
+    _INT_ARITH = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+    _FLOAT_ARITH = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+    _INT_CMP = {"<": "cmp_lt", "<=": "cmp_le", ">": "cmp_gt",
+                ">=": "cmp_ge", "==": "cmp_eq", "!=": "cmp_ne"}
+    _FLOAT_CMP = {"<": "fcmp_lt", "<=": "fcmp_le", ">": "fcmp_gt",
+                  ">=": "fcmp_ge", "==": "fcmp_eq", "!=": "fcmp_ne"}
+
+    def gen_binary(self, expr: Binary) -> tuple[Type, Reg]:
+        left_ty, left = self.gen_expr(expr.left)
+        right_ty, right = self.gen_expr(expr.right)
+        op = expr.op
+        if left_ty is not right_ty:
+            self.fail(f"operator {op!r} applied to mixed types "
+                      f"({left_ty.value}, {right_ty.value}); "
+                      f"use int()/float() casts")
+        if op in ("&&", "||"):
+            if left_ty is not Type.INT:
+                self.fail(f"{op!r} needs int operands")
+            if op == "&&":
+                # both flags are 0/1: multiplication is conjunction
+                return Type.INT, self.b.mul(left, right)
+            summed = self.b.add(left, right)
+            return Type.INT, self.b.cmp_ne(summed, self.b.ldi(0))
+        if op == "%":
+            if left_ty is not Type.INT:
+                self.fail("'%' needs int operands")
+            quotient = self.b.div(left, right)
+            return Type.INT, self.b.sub(left, self.b.mul(quotient, right))
+        if op in self._INT_CMP:
+            table = self._INT_CMP if left_ty is Type.INT else self._FLOAT_CMP
+            return Type.INT, getattr(self.b, table[op])(left, right)
+        if op in self._INT_ARITH:
+            if left_ty is Type.INT:
+                return Type.INT, getattr(self.b,
+                                         self._INT_ARITH[op])(left, right)
+            return Type.FLOAT, getattr(self.b,
+                                       self._FLOAT_ARITH[op])(left, right)
+        self.fail(f"unknown operator {op!r}")  # pragma: no cover
+
+
+def compile_proc(proc: Proc) -> Function:
+    """Lower one parsed procedure to ILOC."""
+    return _CodeGen(proc).run()
+
+
+def compile_source(source: str) -> Function:
+    """Parse and lower a single-procedure MiniFort source."""
+    return compile_proc(parse_proc(source))

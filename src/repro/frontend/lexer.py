@@ -1,0 +1,111 @@
+"""Lexer for MiniFort, the small imperative language of the benchmark
+kernels.
+
+MiniFort stands in for the paper's FORTRAN front end: scalar ``int``/
+``float`` variables, static arrays, counted and conditional loops, and
+arithmetic — enough to express the numerical routines the paper measures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int-literal"
+    FLOAT = "float-literal"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "proc", "int", "float", "array", "if", "else", "while", "for", "to",
+    "out", "fabs", "not",
+})
+
+#: multi-character punctuation first so maximal munch works
+PUNCTUATION = ("<=", ">=", "==", "!=", "&&", "||",
+               "(", ")", "{", "}", "[", "]", ";", ",", "=", "<", ">",
+               "+", "-", "*", "/", "%")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind.value}, {self.text!r}, line {self.line})"
+
+
+class LexError(ValueError):
+    """Raised on unrecognizable input."""
+
+    def __init__(self, line: int, message: str) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split *source* into tokens.  ``#`` comments run to end of line."""
+    tokens: list[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+            tokens.append(Token(kind, text, line))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and
+                            source[i + 1].isdigit()):
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            is_float = False
+            if i < n and source[i] == ".":
+                is_float = True
+                i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            if i < n and source[i] in "eE":
+                is_float = True
+                i += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                if i >= n or not source[i].isdigit():
+                    raise LexError(line, "malformed exponent")
+                while i < n and source[i].isdigit():
+                    i += 1
+            kind = TokKind.FLOAT if is_float else TokKind.INT
+            tokens.append(Token(kind, source[start:i], line))
+            continue
+        for punct in PUNCTUATION:
+            if source.startswith(punct, i):
+                tokens.append(Token(TokKind.PUNCT, punct, line))
+                i += len(punct)
+                break
+        else:
+            raise LexError(line, f"unexpected character {ch!r}")
+    tokens.append(Token(TokKind.EOF, "", line))
+    return tokens

@@ -1,0 +1,294 @@
+"""Recursive-descent parser for MiniFort.
+
+Grammar (EBNF)::
+
+    program   := proc*
+    proc      := 'proc' IDENT '(' [ IDENT {',' IDENT} ] ')' block
+    block     := '{' stmt* '}'
+    stmt      := vardecl | arraydecl | assign | if | while | for | out
+    vardecl   := ('int'|'float') IDENT {',' IDENT} ';'
+    arraydecl := 'array' ('int'|'float') IDENT '[' INT ']' ';'
+    assign    := IDENT '=' expr ';'
+               | IDENT '[' expr ']' '=' expr ';'
+    if        := 'if' '(' expr ')' block [ 'else' block ]
+    while     := 'while' '(' expr ')' block
+    for       := 'for' IDENT '=' expr 'to' expr block
+    out       := 'out' '(' expr ')' ';'
+    expr      := orexpr
+    orexpr    := andexpr { '||' andexpr }
+    andexpr   := cmp { '&&' cmp }
+    cmp       := sum [ ('<'|'<='|'>'|'>='|'=='|'!=') sum ]
+    sum       := term { ('+'|'-') term }
+    term      := factor { ('*'|'/'|'%') factor }
+    factor    := INT | FLOAT | IDENT | IDENT '[' expr ']'
+               | '(' expr ')' | '-' factor | 'not' factor
+               | 'fabs' '(' expr ')' | 'int' '(' expr ')'
+               | 'float' '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (ArrayDecl, Assign, Binary, Expr, FloatLit, For, If,
+                        Index, IntLit, Out, Proc, Program, Stmt, Store, Type,
+                        Unary, VarDecl, VarRef, While)
+from .lexer import TokKind, Token, tokenize
+
+
+class MiniFortSyntaxError(ValueError):
+    def __init__(self, token: Token, message: str) -> None:
+        super().__init__(f"line {token.line}: {message} "
+                         f"(at {token.text!r})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def check(self, text: str) -> bool:
+        return self.cur.text == text and self.cur.kind in (TokKind.PUNCT,
+                                                           TokKind.KEYWORD)
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise MiniFortSyntaxError(self.cur, f"expected {text!r}")
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.cur.kind is not TokKind.IDENT:
+            raise MiniFortSyntaxError(self.cur, "expected identifier")
+        return self.advance().text
+
+    # -- grammar ----------------------------------------------------------------
+
+    def program(self) -> Program:
+        procs = []
+        while self.cur.kind is not TokKind.EOF:
+            procs.append(self.proc())
+        if not procs:
+            raise MiniFortSyntaxError(self.cur, "empty program")
+        return Program(procs)
+
+    def proc(self) -> Proc:
+        self.expect("proc")
+        name = self.expect_ident()
+        self.expect("(")
+        params = []
+        if not self.check(")"):
+            params.append(self.expect_ident())
+            while self.accept(","):
+                params.append(self.expect_ident())
+        self.expect(")")
+        body = self.block()
+        return Proc(name=name, params=params, body=body)
+
+    def block(self) -> list[Stmt]:
+        self.expect("{")
+        stmts = []
+        while not self.accept("}"):
+            stmts.append(self.stmt())
+        return stmts
+
+    def stmt(self) -> Stmt:
+        if self.check("int") or self.check("float"):
+            return self.vardecl()
+        if self.check("array"):
+            return self.arraydecl()
+        if self.check("if"):
+            return self.ifstmt()
+        if self.check("while"):
+            return self.whilestmt()
+        if self.check("for"):
+            return self.forstmt()
+        if self.check("out"):
+            self.advance()
+            self.expect("(")
+            value = self.expr()
+            self.expect(")")
+            self.expect(";")
+            return Out(value)
+        return self.assign()
+
+    def vardecl(self) -> VarDecl:
+        ty = Type(self.advance().text)
+        names = [self.expect_ident()]
+        while self.accept(","):
+            names.append(self.expect_ident())
+        self.expect(";")
+        return VarDecl(ty, names)
+
+    def arraydecl(self) -> ArrayDecl:
+        self.expect("array")
+        if not (self.check("int") or self.check("float")):
+            raise MiniFortSyntaxError(self.cur, "expected element type")
+        ty = Type(self.advance().text)
+        name = self.expect_ident()
+        self.expect("[")
+        if self.cur.kind is not TokKind.INT:
+            raise MiniFortSyntaxError(self.cur, "array size must be an "
+                                      "integer literal")
+        size = int(self.advance().text)
+        self.expect("]")
+        self.expect(";")
+        return ArrayDecl(ty, name, size)
+
+    def assign(self) -> Stmt:
+        name = self.expect_ident()
+        if self.accept("["):
+            index = self.expr()
+            self.expect("]")
+            self.expect("=")
+            value = self.expr()
+            self.expect(";")
+            return Store(name, index, value)
+        self.expect("=")
+        value = self.expr()
+        self.expect(";")
+        return Assign(name, value)
+
+    def ifstmt(self) -> If:
+        self.expect("if")
+        self.expect("(")
+        cond = self.expr()
+        self.expect(")")
+        then = self.block()
+        otherwise: list[Stmt] = []
+        if self.accept("else"):
+            if self.check("if"):
+                otherwise = [self.ifstmt()]
+            else:
+                otherwise = self.block()
+        return If(cond, then, otherwise)
+
+    def whilestmt(self) -> While:
+        self.expect("while")
+        self.expect("(")
+        cond = self.expr()
+        self.expect(")")
+        return While(cond, self.block())
+
+    def forstmt(self) -> For:
+        self.expect("for")
+        var = self.expect_ident()
+        self.expect("=")
+        lo = self.expr()
+        self.expect("to")
+        hi = self.expr()
+        return For(var, lo, hi, self.block())
+
+    # -- expressions ---------------------------------------------------------------
+
+    def expr(self) -> Expr:
+        return self.orexpr()
+
+    def orexpr(self) -> Expr:
+        left = self.andexpr()
+        while self.accept("||"):
+            left = Binary("||", left, self.andexpr())
+        return left
+
+    def andexpr(self) -> Expr:
+        left = self.cmp()
+        while self.accept("&&"):
+            left = Binary("&&", left, self.cmp())
+        return left
+
+    def cmp(self) -> Expr:
+        left = self.sum()
+        for op in ("<=", ">=", "==", "!=", "<", ">"):
+            if self.accept(op):
+                return Binary(op, left, self.sum())
+        return left
+
+    def sum(self) -> Expr:
+        left = self.term()
+        while True:
+            if self.accept("+"):
+                left = Binary("+", left, self.term())
+            elif self.accept("-"):
+                left = Binary("-", left, self.term())
+            else:
+                return left
+
+    def term(self) -> Expr:
+        left = self.factor()
+        while True:
+            if self.accept("*"):
+                left = Binary("*", left, self.factor())
+            elif self.accept("/"):
+                left = Binary("/", left, self.factor())
+            elif self.accept("%"):
+                left = Binary("%", left, self.factor())
+            else:
+                return left
+
+    def factor(self) -> Expr:
+        tok = self.cur
+        if tok.kind is TokKind.INT:
+            self.advance()
+            return IntLit(int(tok.text))
+        if tok.kind is TokKind.FLOAT:
+            self.advance()
+            return FloatLit(float(tok.text))
+        if self.accept("("):
+            inner = self.expr()
+            self.expect(")")
+            return inner
+        if self.accept("-"):
+            return Unary("-", self.factor())
+        if self.accept("not"):
+            return Unary("not", self.factor())
+        if self.accept("fabs"):
+            self.expect("(")
+            inner = self.expr()
+            self.expect(")")
+            return Unary("fabs", inner)
+        if self.accept("int"):
+            self.expect("(")
+            inner = self.expr()
+            self.expect(")")
+            return Unary("int", inner)
+        if self.accept("float"):
+            self.expect("(")
+            inner = self.expr()
+            self.expect(")")
+            return Unary("float", inner)
+        if tok.kind is TokKind.IDENT:
+            name = self.advance().text
+            if self.accept("["):
+                index = self.expr()
+                self.expect("]")
+                return Index(name, index)
+            return VarRef(name)
+        raise MiniFortSyntaxError(tok, "expected an expression")
+
+
+def parse_program(source: str) -> Program:
+    """Parse MiniFort *source* into an AST."""
+    return _Parser(tokenize(source)).program()
+
+
+def parse_proc(source: str) -> Proc:
+    """Parse a source containing exactly one procedure."""
+    program = parse_program(source)
+    if len(program.procs) != 1:
+        raise ValueError(f"expected one proc, found {len(program.procs)}")
+    return program.procs[0]

@@ -1,0 +1,15 @@
+"""ILOC interpreter with dynamic instruction counters."""
+
+from .interpreter import (FP_BASE, Interpreter, InterpreterError, RunResult,
+                          SD_BASE, UninitializedRegister, WORD, run_function)
+
+__all__ = [
+    "FP_BASE",
+    "Interpreter",
+    "InterpreterError",
+    "RunResult",
+    "SD_BASE",
+    "UninitializedRegister",
+    "WORD",
+    "run_function",
+]

@@ -1,0 +1,41 @@
+"""The ILOC-like intermediate representation.
+
+Public surface: :class:`Opcode`, :class:`Reg`, :class:`Instruction`,
+:class:`BasicBlock`, :class:`Function`, :class:`IRBuilder`, the textual
+parser/printer and the verifier.
+"""
+
+from .block import BasicBlock
+from .builder import IRBuilder
+from .function import Function
+from .instruction import Immediate, Instruction, Reg
+from .opcodes import (CountClass, ImmKind, MNEMONIC_TO_OPCODE, NEVER_KILLED,
+                      Opcode, OpcodeInfo, RegClass, count_class_of,
+                      cycle_cost_of)
+from .parser import ParseError, parse_function
+from .printer import function_to_text, print_function
+from .verify import VerificationError, verify_function
+
+__all__ = [
+    "BasicBlock",
+    "CountClass",
+    "Function",
+    "IRBuilder",
+    "Immediate",
+    "ImmKind",
+    "Instruction",
+    "MNEMONIC_TO_OPCODE",
+    "NEVER_KILLED",
+    "Opcode",
+    "OpcodeInfo",
+    "ParseError",
+    "Reg",
+    "RegClass",
+    "VerificationError",
+    "count_class_of",
+    "cycle_cost_of",
+    "function_to_text",
+    "parse_function",
+    "print_function",
+    "verify_function",
+]

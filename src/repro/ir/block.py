@@ -1,0 +1,83 @@
+"""Basic blocks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .instruction import Instruction
+from .opcodes import Opcode
+
+
+class BasicBlock:
+    """A labeled, straight-line sequence of instructions.
+
+    A *well-formed* block ends with exactly one terminator (``jmp``, ``cbr``
+    or ``ret``) and contains no other terminators.  Blocks under construction
+    may be temporarily unterminated.
+    """
+
+    __slots__ = ("label", "instructions")
+
+    def __init__(self, label: str,
+                 instructions: Iterable[Instruction] = ()) -> None:
+        self.label = label
+        self.instructions: list[Instruction] = list(instructions)
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def terminator(self) -> Instruction:
+        """The block's terminator instruction.
+
+        Raises ``ValueError`` on an unterminated block.
+        """
+        if not self.instructions or not self.instructions[-1].is_terminator:
+            raise ValueError(f"block {self.label} is not terminated")
+        return self.instructions[-1]
+
+    @property
+    def is_terminated(self) -> bool:
+        return bool(self.instructions) and self.instructions[-1].is_terminator
+
+    def successors(self) -> tuple[str, ...]:
+        """Labels of successor blocks, in branch order."""
+        return self.terminator.labels
+
+    def body(self) -> list[Instruction]:
+        """All instructions except the terminator."""
+        if self.is_terminated:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    def phis(self) -> list[Instruction]:
+        """Leading φ pseudo-instructions (only present during renumber)."""
+        result = []
+        for inst in self.instructions:
+            if inst.opcode is Opcode.PHI:
+                result.append(inst)
+            else:
+                break
+        return result
+
+    def append(self, inst: Instruction) -> None:
+        self.instructions.append(inst)
+
+    def insert_before_terminator(self, inst: Instruction) -> None:
+        """Insert *inst* immediately before the terminator."""
+        if not self.is_terminated:
+            raise ValueError(f"block {self.label} is not terminated")
+        self.instructions.insert(len(self.instructions) - 1, inst)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines += [f"    {inst}" for inst in self.instructions]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<BasicBlock {self.label} ({len(self.instructions)} insts)>"

@@ -1,0 +1,256 @@
+"""A convenience builder for constructing ILOC functions in Python code."""
+
+from __future__ import annotations
+
+from .block import BasicBlock
+from .function import Function
+from .instruction import Immediate, Instruction, Reg
+from .opcodes import Opcode, RegClass
+
+
+class IRBuilder:
+    """Builds a :class:`~repro.ir.function.Function` incrementally.
+
+    Typical use::
+
+        b = IRBuilder("loop", n_params=1)
+        n = b.param(0)
+        i = b.ldi(0)
+        b.jmp("head")
+        b.label("head")
+        ...
+
+    Instructions are appended to the *current block*, set by :meth:`label`.
+    Register-producing helpers mint a fresh virtual destination register and
+    return it; each helper validates the instruction it emits.
+    """
+
+    def __init__(self, name: str, n_params: int = 0,
+                 entry_label: str = "entry") -> None:
+        self.function = Function(name, n_params)
+        self._current: BasicBlock = self.function.add_block(entry_label)
+
+    # -- block control -----------------------------------------------------------
+
+    def label(self, name: str) -> BasicBlock:
+        """Start (or resume) the block called *name* and make it current."""
+        if self.function.has_block(name):
+            blk = self.function.block(name)
+        else:
+            blk = self.function.add_block(name)
+        self._current = blk
+        return blk
+
+    @property
+    def current(self) -> BasicBlock:
+        return self._current
+
+    def emit(self, opcode: Opcode, dests=(), srcs=(), imms=(),
+             labels=()) -> Instruction:
+        """Append a raw instruction to the current block."""
+        inst = Instruction(opcode, dests, srcs, imms, labels)
+        inst.validate()
+        if self._current.is_terminated:
+            raise ValueError(
+                f"block {self._current.label} already terminated")
+        self._current.append(inst)
+        return inst
+
+    def _unary(self, opcode: Opcode, src: Reg) -> Reg:
+        dest = self.function.new_reg(opcode.info.dests[0])
+        self.emit(opcode, dests=(dest,), srcs=(src,))
+        return dest
+
+    def _binary(self, opcode: Opcode, a: Reg, b: Reg) -> Reg:
+        dest = self.function.new_reg(opcode.info.dests[0])
+        self.emit(opcode, dests=(dest,), srcs=(a, b))
+        return dest
+
+    def _imm_unary(self, opcode: Opcode, src: Reg, imm: Immediate) -> Reg:
+        dest = self.function.new_reg(opcode.info.dests[0])
+        self.emit(opcode, dests=(dest,), srcs=(src,), imms=(imm,))
+        return dest
+
+    def _imm_only(self, opcode: Opcode, imm: Immediate) -> Reg:
+        dest = self.function.new_reg(opcode.info.dests[0])
+        self.emit(opcode, dests=(dest,), imms=(imm,))
+        return dest
+
+    # -- never-killed definitions ---------------------------------------------------
+
+    def ldi(self, value: int) -> Reg:
+        return self._imm_only(Opcode.LDI, value)
+
+    def ldf(self, value: float) -> Reg:
+        return self._imm_only(Opcode.LDF, float(value))
+
+    def lfp(self, offset: int) -> Reg:
+        return self._imm_only(Opcode.LFP, offset)
+
+    def lsd(self, offset: int) -> Reg:
+        return self._imm_only(Opcode.LSD, offset)
+
+    def cldw(self, offset: int) -> Reg:
+        return self._imm_only(Opcode.CLDW, offset)
+
+    def cldf(self, offset: int) -> Reg:
+        return self._imm_only(Opcode.CLDF, offset)
+
+    def param(self, index: int) -> Reg:
+        return self._imm_only(Opcode.PARAM, index)
+
+    def fparam(self, index: int) -> Reg:
+        return self._imm_only(Opcode.FPARAM, index)
+
+    # -- integer arithmetic -------------------------------------------------------------
+
+    def add(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.ADD, a, b)
+
+    def sub(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.SUB, a, b)
+
+    def mul(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.MUL, a, b)
+
+    def div(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.DIV, a, b)
+
+    def neg(self, a: Reg) -> Reg:
+        return self._unary(Opcode.NEG, a)
+
+    def addi(self, a: Reg, imm: int) -> Reg:
+        return self._imm_unary(Opcode.ADDI, a, imm)
+
+    def subi(self, a: Reg, imm: int) -> Reg:
+        return self._imm_unary(Opcode.SUBI, a, imm)
+
+    def muli(self, a: Reg, imm: int) -> Reg:
+        return self._imm_unary(Opcode.MULI, a, imm)
+
+    # -- comparisons -----------------------------------------------------------------------
+
+    def cmp_lt(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.CMP_LT, a, b)
+
+    def cmp_le(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.CMP_LE, a, b)
+
+    def cmp_gt(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.CMP_GT, a, b)
+
+    def cmp_ge(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.CMP_GE, a, b)
+
+    def cmp_eq(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.CMP_EQ, a, b)
+
+    def cmp_ne(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.CMP_NE, a, b)
+
+    def fcmp_lt(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.FCMP_LT, a, b)
+
+    def fcmp_le(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.FCMP_LE, a, b)
+
+    def fcmp_gt(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.FCMP_GT, a, b)
+
+    def fcmp_ge(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.FCMP_GE, a, b)
+
+    def fcmp_eq(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.FCMP_EQ, a, b)
+
+    def fcmp_ne(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.FCMP_NE, a, b)
+
+    # -- float arithmetic ----------------------------------------------------------------------
+
+    def fadd(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.FADD, a, b)
+
+    def fsub(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.FSUB, a, b)
+
+    def fmul(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.FMUL, a, b)
+
+    def fdiv(self, a: Reg, b: Reg) -> Reg:
+        return self._binary(Opcode.FDIV, a, b)
+
+    def fabs(self, a: Reg) -> Reg:
+        return self._unary(Opcode.FABS, a)
+
+    def fneg(self, a: Reg) -> Reg:
+        return self._unary(Opcode.FNEG, a)
+
+    def i2f(self, a: Reg) -> Reg:
+        return self._unary(Opcode.I2F, a)
+
+    def f2i(self, a: Reg) -> Reg:
+        return self._unary(Opcode.F2I, a)
+
+    # -- memory ------------------------------------------------------------------------------------
+
+    def ldw(self, addr: Reg) -> Reg:
+        return self._unary(Opcode.LDW, addr)
+
+    def ldwo(self, addr: Reg, offset: int) -> Reg:
+        return self._imm_unary(Opcode.LDWO, addr, offset)
+
+    def stw(self, value: Reg, addr: Reg) -> None:
+        self.emit(Opcode.STW, srcs=(value, addr))
+
+    def stwo(self, value: Reg, addr: Reg, offset: int) -> None:
+        self.emit(Opcode.STWO, srcs=(value, addr), imms=(offset,))
+
+    def fld(self, addr: Reg) -> Reg:
+        return self._unary(Opcode.FLD, addr)
+
+    def fldo(self, addr: Reg, offset: int) -> Reg:
+        return self._imm_unary(Opcode.FLDO, addr, offset)
+
+    def fst(self, value: Reg, addr: Reg) -> None:
+        self.emit(Opcode.FST, srcs=(value, addr))
+
+    def fsto(self, value: Reg, addr: Reg, offset: int) -> None:
+        self.emit(Opcode.FSTO, srcs=(value, addr), imms=(offset,))
+
+    # -- copies ---------------------------------------------------------------------------------------
+
+    def copy(self, src: Reg) -> Reg:
+        opcode = Opcode.COPY if src.rclass is RegClass.INT else Opcode.FCOPY
+        return self._unary(opcode, src)
+
+    def copy_to(self, dest: Reg, src: Reg) -> Instruction:
+        """Copy into an *existing* register (used for variable assignment)."""
+        opcode = Opcode.COPY if src.rclass is RegClass.INT else Opcode.FCOPY
+        return self.emit(opcode, dests=(dest,), srcs=(src,))
+
+    # -- control flow -------------------------------------------------------------------------------------
+
+    def jmp(self, target: str) -> None:
+        self.emit(Opcode.JMP, labels=(target,))
+
+    def cbr(self, cond: Reg, if_true: str, if_false: str) -> None:
+        self.emit(Opcode.CBR, srcs=(cond,), labels=(if_true, if_false))
+
+    def ret(self) -> None:
+        self.emit(Opcode.RET)
+
+    def out(self, value: Reg) -> None:
+        if value.rclass is RegClass.INT:
+            self.emit(Opcode.OUT, srcs=(value,))
+        else:
+            self.emit(Opcode.FOUT, srcs=(value,))
+
+    # -- finishing -----------------------------------------------------------------------------------------------
+
+    def finish(self) -> Function:
+        """Validate termination of every block and return the function."""
+        for blk in self.function.blocks:
+            if not blk.is_terminated:
+                raise ValueError(f"block {blk.label} is not terminated")
+        return self.function

@@ -1,0 +1,208 @@
+"""Functions (procedures) and their control-flow graphs."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .block import BasicBlock
+from .instruction import Instruction, Reg
+from .opcodes import Opcode, RegClass
+
+
+class Function:
+    """A single procedure: an ordered collection of basic blocks.
+
+    The first block in :attr:`blocks` order is the entry block.  Virtual
+    register numbering is managed here so passes can mint fresh registers
+    with :meth:`new_reg`.
+    """
+
+    def __init__(self, name: str, n_params: int = 0) -> None:
+        self.name = name
+        self.n_params = n_params
+        self.blocks: list[BasicBlock] = []
+        self._by_label: dict[str, BasicBlock] = {}
+        self._next_vreg = 0
+        self._next_label = 0
+        #: number of spill slots handed out so far (grown by spill code)
+        self.n_spill_slots = 0
+
+    # -- block management ---------------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def block(self, label: str) -> BasicBlock:
+        return self._by_label[label]
+
+    def has_block(self, label: str) -> bool:
+        return label in self._by_label
+
+    def add_block(self, label: str | None = None) -> BasicBlock:
+        """Create, register and return a new block.
+
+        With no *label* a fresh one is generated.
+        """
+        if label is None:
+            label = self.new_label()
+        if label in self._by_label:
+            raise ValueError(f"duplicate block label {label!r}")
+        blk = BasicBlock(label)
+        self.blocks.append(blk)
+        self._by_label[label] = blk
+        return blk
+
+    def remove_block(self, label: str) -> None:
+        blk = self._by_label.pop(label)
+        self.blocks.remove(blk)
+
+    def new_label(self) -> str:
+        """A fresh, unused block label."""
+        while True:
+            label = f"B{self._next_label}"
+            self._next_label += 1
+            if label not in self._by_label:
+                return label
+
+    # -- register management --------------------------------------------------------
+
+    def new_reg(self, rclass: RegClass) -> Reg:
+        """A fresh virtual register of class *rclass*."""
+        reg = Reg(rclass, self._next_vreg)
+        self._next_vreg += 1
+        return reg
+
+    def new_spill_slot(self) -> int:
+        """A fresh spill slot index in the frame."""
+        slot = self.n_spill_slots
+        self.n_spill_slots += 1
+        return slot
+
+    def reserve_regs(self, upto: int) -> None:
+        """Ensure :meth:`new_reg` never returns an index below *upto*.
+
+        Used when a function was built by hand or parsed from text.
+        """
+        self._next_vreg = max(self._next_vreg, upto)
+
+    # -- CFG ---------------------------------------------------------------------------
+
+    def successors(self, label: str) -> tuple[str, ...]:
+        return self.block(label).successors()
+
+    def predecessors_map(self) -> dict[str, list[str]]:
+        """Map block label -> ordered list of predecessor labels."""
+        preds: dict[str, list[str]] = {b.label: [] for b in self.blocks}
+        for blk in self.blocks:
+            for succ in blk.successors():
+                preds[succ].append(blk.label)
+        return preds
+
+    def reverse_postorder(self) -> list[str]:
+        """Labels in reverse postorder from the entry (unreachable blocks
+        are excluded)."""
+        visited: set[str] = set()
+        postorder: list[str] = []
+
+        # Iterative DFS to dodge recursion limits on long chains.
+        stack: list[tuple[str, Iterator[str]]] = []
+        entry = self.entry.label
+        visited.add(entry)
+        stack.append((entry, iter(self.block(entry).successors())))
+        while stack:
+            label, succ_iter = stack[-1]
+            advanced = False
+            for succ in succ_iter:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(self.block(succ).successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(label)
+                stack.pop()
+        return list(reversed(postorder))
+
+    def remove_unreachable_blocks(self) -> list[str]:
+        """Drop blocks not reachable from the entry; returns removed labels."""
+        reachable = set(self.reverse_postorder())
+        removed = [b.label for b in self.blocks if b.label not in reachable]
+        for label in removed:
+            self.remove_block(label)
+        return removed
+
+    # -- iteration helpers ---------------------------------------------------------------
+
+    def instructions(self) -> Iterator[tuple[BasicBlock, Instruction]]:
+        """Iterate ``(block, instruction)`` pairs in layout order."""
+        for blk in self.blocks:
+            for inst in blk.instructions:
+                yield blk, inst
+
+    def all_regs(self) -> set[Reg]:
+        """Every register mentioned anywhere in the function."""
+        regs: set[Reg] = set()
+        for _, inst in self.instructions():
+            regs.update(inst.regs())
+        return regs
+
+    def size(self) -> int:
+        """Total instruction count."""
+        return sum(len(b) for b in self.blocks)
+
+    def clone(self) -> "Function":
+        """A deep copy (instructions are cloned, counters preserved)."""
+        out = Function(self.name, self.n_params)
+        for blk in self.blocks:
+            new_blk = out.add_block(blk.label)
+            new_blk.instructions = [inst.copy() for inst in blk.instructions]
+        out._next_vreg = self._next_vreg
+        out._next_label = self._next_label
+        out.n_spill_slots = self.n_spill_slots
+        return out
+
+    # -- edge splitting --------------------------------------------------------------------
+
+    def split_critical_edges(self) -> int:
+        """Insert empty blocks on critical edges; returns how many were split.
+
+        An edge is *critical* when its source has several successors and its
+        target has several predecessors.  Splitting them first lets renumber
+        place φ-copies on an edge without executing them on sibling paths
+        (Section 4.1's copies land in "the corresponding predecessor block",
+        which is only precise on non-critical edges).
+        """
+        preds = self.predecessors_map()
+        n_split = 0
+        for blk in list(self.blocks):
+            succs = blk.successors()
+            if len(succs) < 2:
+                continue
+            new_labels = []
+            changed = False
+            for succ in succs:
+                if len(preds[succ]) < 2:
+                    new_labels.append(succ)
+                    continue
+                mid = self.add_block()
+                mid.append(Instruction(Opcode.JMP, labels=(succ,)))
+                new_labels.append(mid.label)
+                n_split += 1
+                changed = True
+            if changed:
+                term = blk.terminator
+                blk.instructions[-1] = term.with_labels(new_labels)
+        return n_split
+
+    # -- display ------------------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        header = f"proc {self.name} {self.n_params}"
+        return "\n".join([header] + [str(b) for b in self.blocks])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Function {self.name} ({len(self.blocks)} blocks, "
+                f"{self.size()} insts)>")

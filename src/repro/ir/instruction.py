@@ -1,0 +1,219 @@
+"""Registers and instructions of the ILOC-like IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Union
+
+from .opcodes import ImmKind, Opcode, OpcodeInfo, RegClass
+
+Immediate = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand.
+
+    Before allocation all registers are *virtual* (an unbounded namespace);
+    after allocation they are *physical* (indices into the machine's register
+    file).  Integer and float registers live in disjoint namespaces.
+    """
+
+    rclass: RegClass
+    index: int
+    physical: bool = False
+
+    def sort_key(self) -> tuple:
+        return (self.rclass.value, self.physical, self.index)
+
+    def __lt__(self, other: "Reg") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __str__(self) -> str:
+        prefix = self.rclass.value.upper() if self.physical else self.rclass.value
+        return f"{prefix}{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Reg({self})"
+
+    @staticmethod
+    def vint(index: int) -> "Reg":
+        """A virtual integer register."""
+        return Reg(RegClass.INT, index)
+
+    @staticmethod
+    def vfloat(index: int) -> "Reg":
+        """A virtual float register."""
+        return Reg(RegClass.FLOAT, index)
+
+    @staticmethod
+    def pint(index: int) -> "Reg":
+        """A physical integer register."""
+        return Reg(RegClass.INT, index, physical=True)
+
+    @staticmethod
+    def pfloat(index: int) -> "Reg":
+        """A physical float register."""
+        return Reg(RegClass.FLOAT, index, physical=True)
+
+
+class Instruction:
+    """One ILOC instruction: an opcode plus operands.
+
+    Operands are split by kind: destination registers, source registers,
+    immediates and branch labels.  The split mirrors the opcode signature in
+    :class:`~repro.ir.opcodes.OpcodeInfo`; :meth:`validate` checks the match.
+
+    Instructions are mutable (the allocator rewrites registers in place), but
+    operand tuples are replaced wholesale which keeps accidental aliasing
+    away.
+    """
+
+    __slots__ = ("opcode", "dests", "srcs", "imms", "labels")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        dests: Iterable[Reg] = (),
+        srcs: Iterable[Reg] = (),
+        imms: Iterable[Immediate] = (),
+        labels: Iterable[str] = (),
+    ) -> None:
+        self.opcode = opcode
+        self.dests: tuple[Reg, ...] = tuple(dests)
+        self.srcs: tuple[Reg, ...] = tuple(srcs)
+        self.imms: tuple[Immediate, ...] = tuple(imms)
+        self.labels: tuple[str, ...] = tuple(labels)
+
+    # -- structural helpers ---------------------------------------------------
+
+    @property
+    def info(self) -> OpcodeInfo:
+        return self.opcode.info
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.info.is_terminator
+
+    @property
+    def is_copy(self) -> bool:
+        """True for plain copies *and* splits."""
+        return self.info.is_copy
+
+    @property
+    def is_split(self) -> bool:
+        return self.info.is_split
+
+    @property
+    def is_never_killed(self) -> bool:
+        return self.info.never_killed
+
+    @property
+    def dest(self) -> Reg:
+        """The single destination (raises if there is not exactly one)."""
+        (d,) = self.dests
+        return d
+
+    @property
+    def src(self) -> Reg:
+        """The single source (raises if there is not exactly one)."""
+        (s,) = self.srcs
+        return s
+
+    def regs(self) -> tuple[Reg, ...]:
+        """All register operands, destinations first."""
+        return self.dests + self.srcs
+
+    def remat_key(self) -> tuple:
+        """Identity of a never-killed computation: ``(opcode, imms)``.
+
+        Two never-killed instructions compute the same value exactly when
+        their keys are equal (the operand-by-operand comparison of the
+        paper's modified meet, Section 3.2; register sources never occur on
+        never-killed opcodes in this encoding).
+        """
+        if not self.is_never_killed:
+            raise ValueError(f"{self} is not never-killed")
+        return (self.opcode, self.imms)
+
+    # -- rewriting -------------------------------------------------------------
+
+    def rewrite_regs(self, mapping: dict[Reg, Reg]) -> None:
+        """Replace register operands in place according to *mapping*.
+
+        Registers absent from *mapping* are left untouched.
+        """
+        self.dests = tuple(mapping.get(r, r) for r in self.dests)
+        self.srcs = tuple(mapping.get(r, r) for r in self.srcs)
+
+    def copy(self) -> "Instruction":
+        """A shallow clone of this instruction."""
+        return Instruction(self.opcode, self.dests, self.srcs, self.imms,
+                           self.labels)
+
+    def with_labels(self, labels: Iterable[str]) -> "Instruction":
+        """A clone with different branch labels."""
+        return Instruction(self.opcode, self.dests, self.srcs, self.imms,
+                           labels)
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if operands do not match the opcode signature."""
+        info = self.info
+        if self.opcode is Opcode.PHI:
+            # PHI is a pseudo-op with a free-form signature: one dest, any
+            # number of sources (one per predecessor), no imms/labels here.
+            if len(self.dests) != 1 or self.imms or self.labels:
+                raise ValueError(f"malformed phi: {self}")
+            for s in self.srcs:
+                if s.rclass is not self.dest.rclass:
+                    raise ValueError(f"phi operand class mismatch: {self}")
+            return
+        if len(self.dests) != len(info.dests):
+            raise ValueError(
+                f"{info.mnemonic}: expected {len(info.dests)} dests, "
+                f"got {len(self.dests)}")
+        if len(self.srcs) != len(info.srcs):
+            raise ValueError(
+                f"{info.mnemonic}: expected {len(info.srcs)} srcs, "
+                f"got {len(self.srcs)}")
+        if len(self.imms) != len(info.imms):
+            raise ValueError(
+                f"{info.mnemonic}: expected {len(info.imms)} imms, "
+                f"got {len(self.imms)}")
+        if len(self.labels) != info.n_labels:
+            raise ValueError(
+                f"{info.mnemonic}: expected {info.n_labels} labels, "
+                f"got {len(self.labels)}")
+        for reg, cls in zip(self.dests, info.dests):
+            if reg.rclass is not cls:
+                raise ValueError(
+                    f"{info.mnemonic}: dest {reg} should be {cls.name}")
+        for reg, cls in zip(self.srcs, info.srcs):
+            if reg.rclass is not cls:
+                raise ValueError(
+                    f"{info.mnemonic}: src {reg} should be {cls.name}")
+        for imm, kind in zip(self.imms, info.imms):
+            if kind is ImmKind.INT and not isinstance(imm, int):
+                raise ValueError(
+                    f"{info.mnemonic}: immediate {imm!r} should be int")
+            if kind is ImmKind.FLOAT and not isinstance(imm, (int, float)):
+                raise ValueError(
+                    f"{info.mnemonic}: immediate {imm!r} should be float")
+
+    # -- display ----------------------------------------------------------------
+
+    def __str__(self) -> str:
+        parts: list[str] = [self.info.mnemonic]
+        operands: list[str] = [str(r) for r in self.dests]
+        operands += [str(r) for r in self.srcs]
+        operands += [repr(i) if isinstance(i, float) else str(i)
+                     for i in self.imms]
+        operands += list(self.labels)
+        if operands:
+            parts.append(" ".join(operands))
+        return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Instruction {self}>"

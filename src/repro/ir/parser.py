@@ -1,0 +1,134 @@
+"""Parser for the textual ILOC form produced by :mod:`repro.ir.printer`.
+
+The grammar is line-oriented:
+
+* ``proc NAME NPARAMS`` starts a function,
+* ``LABEL:`` starts a basic block,
+* anything else is ``MNEMONIC OPERAND*`` where the operand split into
+  destinations, sources, immediates and labels is given by the opcode's
+  signature,
+* ``#`` starts a comment; blank lines are ignored.
+
+Registers are written ``r4``/``f2`` (virtual) or ``R4``/``F2`` (physical).
+"""
+
+from __future__ import annotations
+
+from .function import Function
+from .instruction import Immediate, Instruction, Reg
+from .opcodes import ImmKind, MNEMONIC_TO_OPCODE, Opcode, RegClass
+
+
+class ParseError(ValueError):
+    """Raised on malformed ILOC text, with a line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _parse_reg(token: str, lineno: int) -> Reg:
+    if len(token) < 2:
+        raise ParseError(lineno, f"bad register {token!r}")
+    head, tail = token[0], token[1:]
+    try:
+        index = int(tail)
+    except ValueError:
+        raise ParseError(lineno, f"bad register {token!r}") from None
+    if head == "r":
+        return Reg(RegClass.INT, index)
+    if head == "f":
+        return Reg(RegClass.FLOAT, index)
+    if head == "R":
+        return Reg(RegClass.INT, index, physical=True)
+    if head == "F":
+        return Reg(RegClass.FLOAT, index, physical=True)
+    raise ParseError(lineno, f"bad register {token!r}")
+
+
+def _parse_imm(token: str, kind: ImmKind, lineno: int) -> Immediate:
+    try:
+        if kind is ImmKind.INT:
+            return int(token)
+        return float(token)
+    except ValueError:
+        raise ParseError(lineno, f"bad immediate {token!r}") from None
+
+
+def _parse_instruction(tokens: list[str], lineno: int) -> Instruction:
+    mnemonic = tokens[0]
+    opcode = MNEMONIC_TO_OPCODE.get(mnemonic)
+    if opcode is None:
+        raise ParseError(lineno, f"unknown opcode {mnemonic!r}")
+    operands = tokens[1:]
+    if opcode is Opcode.PHI:
+        if not operands:
+            raise ParseError(lineno, "phi needs operands")
+        regs = [_parse_reg(t, lineno) for t in operands]
+        return Instruction(opcode, dests=regs[:1], srcs=regs[1:])
+    info = opcode.info
+    expected = (len(info.dests) + len(info.srcs) + len(info.imms)
+                + info.n_labels)
+    if len(operands) != expected:
+        raise ParseError(
+            lineno,
+            f"{mnemonic}: expected {expected} operands, got {len(operands)}")
+    pos = 0
+    dests = [_parse_reg(operands[pos + i], lineno)
+             for i in range(len(info.dests))]
+    pos += len(info.dests)
+    srcs = [_parse_reg(operands[pos + i], lineno)
+            for i in range(len(info.srcs))]
+    pos += len(info.srcs)
+    imms = [_parse_imm(operands[pos + i], kind, lineno)
+            for i, kind in enumerate(info.imms)]
+    pos += len(info.imms)
+    labels = operands[pos:]
+    inst = Instruction(opcode, dests, srcs, imms, labels)
+    try:
+        inst.validate()
+    except ValueError as exc:
+        raise ParseError(lineno, str(exc)) from None
+    return inst
+
+
+def parse_function(text: str) -> Function:
+    """Parse one function from *text*."""
+    fn: Function | None = None
+    current = None
+    max_vreg = -1
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("proc "):
+            if fn is not None:
+                raise ParseError(lineno, "multiple 'proc' headers")
+            parts = line.split()
+            if len(parts) != 3:
+                raise ParseError(lineno, "expected 'proc NAME NPARAMS'")
+            try:
+                n_params = int(parts[2])
+            except ValueError:
+                raise ParseError(lineno, "bad NPARAMS") from None
+            fn = Function(parts[1], n_params)
+            continue
+        if fn is None:
+            raise ParseError(lineno, "missing 'proc' header")
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if not label:
+                raise ParseError(lineno, "empty block label")
+            current = fn.add_block(label)
+            continue
+        if current is None:
+            raise ParseError(lineno, "instruction outside any block")
+        inst = _parse_instruction(line.split(), lineno)
+        for reg in inst.regs():
+            if not reg.physical:
+                max_vreg = max(max_vreg, reg.index)
+        current.append(inst)
+    if fn is None:
+        raise ParseError(0, "no 'proc' header found")
+    fn.reserve_regs(max_vreg + 1)
+    return fn

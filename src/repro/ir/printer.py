@@ -1,0 +1,33 @@
+"""Textual form of ILOC functions.
+
+The format round-trips through :mod:`repro.ir.parser`::
+
+    proc example 1
+    entry:
+        param r0 0
+        ldi r1 0
+        jmp head
+    head:
+        cmp_lt r2 r1 r0
+        cbr r2 body exit
+    ...
+"""
+
+from __future__ import annotations
+
+from .function import Function
+
+
+def function_to_text(fn: Function) -> str:
+    """Serialize *fn* to its textual form."""
+    lines = [f"proc {fn.name} {fn.n_params}"]
+    for blk in fn.blocks:
+        lines.append(f"{blk.label}:")
+        for inst in blk.instructions:
+            lines.append(f"    {inst}")
+    return "\n".join(lines) + "\n"
+
+
+def print_function(fn: Function) -> None:
+    """Print *fn* to stdout."""
+    print(function_to_text(fn), end="")

@@ -1,0 +1,74 @@
+"""Structural verification of ILOC functions."""
+
+from __future__ import annotations
+
+from .function import Function
+from .instruction import Reg
+from .opcodes import Opcode
+
+
+class VerificationError(ValueError):
+    """Raised when a function violates a structural invariant."""
+
+
+def verify_function(fn: Function, allow_phis: bool = False,
+                    require_physical: bool = False,
+                    max_int_reg: int | None = None,
+                    max_float_reg: int | None = None) -> None:
+    """Check structural invariants of *fn*; raise on violation.
+
+    * every block is terminated, with the terminator last and unique,
+    * branch targets exist,
+    * operand signatures match opcodes,
+    * φ pseudo-instructions appear only if *allow_phis* and only at the top
+      of a block,
+    * with *require_physical*, every register is physical and within the
+      file sizes given by *max_int_reg* / *max_float_reg*.
+    """
+    if not fn.blocks:
+        raise VerificationError(f"{fn.name}: no blocks")
+    labels = {b.label for b in fn.blocks}
+    for blk in fn.blocks:
+        if not blk.is_terminated:
+            raise VerificationError(f"{fn.name}/{blk.label}: unterminated")
+        seen_non_phi = False
+        for i, inst in enumerate(blk.instructions):
+            try:
+                inst.validate()
+            except ValueError as exc:
+                raise VerificationError(
+                    f"{fn.name}/{blk.label}: {exc}") from None
+            if inst.is_terminator and i != len(blk.instructions) - 1:
+                raise VerificationError(
+                    f"{fn.name}/{blk.label}: terminator {inst} not last")
+            if inst.opcode is Opcode.PHI:
+                if not allow_phis:
+                    raise VerificationError(
+                        f"{fn.name}/{blk.label}: unexpected phi {inst}")
+                if seen_non_phi:
+                    raise VerificationError(
+                        f"{fn.name}/{blk.label}: phi {inst} after non-phi")
+            else:
+                seen_non_phi = True
+            for label in inst.labels:
+                if label not in labels:
+                    raise VerificationError(
+                        f"{fn.name}/{blk.label}: unknown target {label!r}")
+            if require_physical:
+                _check_physical(fn, blk.label, inst.regs(),
+                                max_int_reg, max_float_reg)
+
+
+def _check_physical(fn: Function, blabel: str, regs: tuple[Reg, ...],
+                    max_int_reg: int | None,
+                    max_float_reg: int | None) -> None:
+    from .opcodes import RegClass
+
+    for reg in regs:
+        if not reg.physical:
+            raise VerificationError(
+                f"{fn.name}/{blabel}: virtual register {reg} after allocation")
+        limit = max_int_reg if reg.rclass is RegClass.INT else max_float_reg
+        if limit is not None and reg.index >= limit:
+            raise VerificationError(
+                f"{fn.name}/{blabel}: register {reg} out of file (k={limit})")

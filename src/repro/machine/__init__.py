@@ -1,0 +1,13 @@
+"""Target machine descriptions and presets."""
+
+from .presets import (huge_machine, machine_with, standard_machine,
+                      tiny_machine)
+from .target import MachineDescription
+
+__all__ = [
+    "MachineDescription",
+    "huge_machine",
+    "machine_with",
+    "standard_machine",
+    "tiny_machine",
+]

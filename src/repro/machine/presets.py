@@ -1,0 +1,40 @@
+"""Preset machine descriptions used by the experiments.
+
+* :func:`standard_machine` — the paper's target: sixteen integer and sixteen
+  floating-point registers (Section 5.1).
+* :func:`huge_machine` — the hypothetical 128-register machine used as the
+  zero-spill baseline when isolating spill cycles (Section 5.2).
+* :func:`tiny_machine` — a pressure-cooker configuration handy in tests and
+  the Figure 1 demonstration.
+"""
+
+from __future__ import annotations
+
+from .target import MachineDescription
+
+
+def standard_machine() -> MachineDescription:
+    """The paper's standard target (Section 5.1)."""
+    return MachineDescription(name="standard", int_regs=16, float_regs=16)
+
+
+def huge_machine() -> MachineDescription:
+    """The 128-register baseline machine (Section 5.2)."""
+    return MachineDescription(name="huge", int_regs=128, float_regs=128)
+
+
+def tiny_machine(int_regs: int = 4, float_regs: int = 4) -> MachineDescription:
+    """A small register file that forces spilling (tests, Figure 1 demo)."""
+    return MachineDescription(name=f"tiny{int_regs}x{float_regs}",
+                              int_regs=int_regs, float_regs=float_regs)
+
+
+def machine_with(int_regs: int, float_regs: int | None = None,
+                 name: str | None = None) -> MachineDescription:
+    """An arbitrary register-set variation, as Section 5 encourages."""
+    if float_regs is None:
+        float_regs = int_regs
+    if name is None:
+        name = f"k{int_regs}x{float_regs}"
+    return MachineDescription(name=name, int_regs=int_regs,
+                              float_regs=float_regs)

@@ -1,0 +1,66 @@
+"""Target machine descriptions.
+
+The paper's experiments target an abstract machine specified "in a small
+table ... varied to allow convenient experimentation with a wide variety of
+register sets" (Section 5).  A :class:`MachineDescription` plays that role:
+it fixes the number of allocatable integer and float registers and the cycle
+cost model (loads/stores two cycles, everything else one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import CountClass, Opcode, RegClass
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """An abstract target for allocation and cost accounting.
+
+    Attributes:
+        name: display name.
+        int_regs: number of allocatable integer registers (k for INT).
+        float_regs: number of allocatable float registers (k for FLOAT).
+        load_cost: cycles per load (paper: 2).
+        store_cost: cycles per store (paper: 2).
+        other_cost: cycles per non-memory instruction (paper: 1).
+    """
+
+    name: str
+    int_regs: int
+    float_regs: int
+    load_cost: int = 2
+    store_cost: int = 2
+    other_cost: int = 1
+
+    def k(self, rclass: RegClass) -> int:
+        """The number of colors available for *rclass*."""
+        if rclass is RegClass.INT:
+            return self.int_regs
+        return self.float_regs
+
+    def cycle_cost(self, opcode: Opcode) -> int:
+        """Cost of one dynamic execution of *opcode*."""
+        cls = opcode.info.count_class
+        if cls is CountClass.LOAD:
+            return self.load_cost
+        if cls is CountClass.STORE:
+            return self.store_cost
+        return self.other_cost
+
+    def cycles(self, counts: dict[CountClass, int]) -> int:
+        """Total cycles for a dynamic count vector keyed by count class."""
+        per_class = {
+            CountClass.LOAD: self.load_cost,
+            CountClass.STORE: self.store_cost,
+        }
+        return sum(n * per_class.get(cls, self.other_cost)
+                   for cls, n in counts.items())
+
+    def class_cost(self, cls: CountClass) -> int:
+        if cls is CountClass.LOAD:
+            return self.load_cost
+        if cls is CountClass.STORE:
+            return self.store_cost
+        return self.other_cost

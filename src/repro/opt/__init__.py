@@ -1,0 +1,54 @@
+"""Scalar optimizations run before allocation.
+
+The paper's allocator consumes heavily optimized ILOC; this package
+provides the passes that give MiniFort output the same character:
+dead-code elimination, local value numbering and loop-invariant code
+motion.  :func:`optimize` runs the standard pipeline to a fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function
+from .dce import DCEStats, eliminate_dead_code
+from .licm import LICMStats, hoist_loop_invariants
+from .lvn import LVNStats, run_lvn
+
+
+@dataclass
+class OptStats:
+    """Aggregate statistics for one :func:`optimize` run."""
+
+    lvn_replaced: int = 0
+    licm_hoisted: int = 0
+    dce_removed: int = 0
+    rounds: int = 0
+
+
+def optimize(fn: Function, max_rounds: int = 4) -> OptStats:
+    """Run LVN → LICM → DCE on *fn* in place until nothing changes."""
+    stats = OptStats()
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        lvn = run_lvn(fn)
+        licm = hoist_loop_invariants(fn)
+        dce = eliminate_dead_code(fn)
+        stats.lvn_replaced += lvn.replaced
+        stats.licm_hoisted += licm.hoisted
+        stats.dce_removed += dce.removed
+        if lvn.replaced == 0 and licm.hoisted == 0 and dce.removed == 0:
+            break
+    return stats
+
+
+__all__ = [
+    "DCEStats",
+    "LICMStats",
+    "LVNStats",
+    "OptStats",
+    "eliminate_dead_code",
+    "hoist_loop_invariants",
+    "optimize",
+    "run_lvn",
+]

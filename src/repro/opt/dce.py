@@ -1,0 +1,68 @@
+"""Dead-code elimination.
+
+The paper's allocator consumes the output of an optimizing compiler
+("routines expressed in ILOC, a low-level intermediate language designed
+to allow extensive optimization").  This pass removes instructions whose
+results are never used and that have no side effects — including the dead
+copies and address computations the naive MiniFort code generator leaves
+behind.
+
+The analysis is a backward mark-and-sweep over def-use information,
+iterated to a fixed point (removing one dead instruction can kill the
+instructions feeding it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function, Instruction, Opcode
+
+
+@dataclass
+class DCEStats:
+    """How many instructions the pass removed."""
+
+    removed: int = 0
+    passes: int = 0
+
+
+def _is_removable(inst: Instruction) -> bool:
+    info = inst.info
+    if info.has_side_effects or info.is_terminator:
+        return False
+    if inst.opcode is Opcode.PHI:
+        return False  # DCE runs on executable (non-SSA) code
+    if not inst.dests:
+        return False
+    return True
+
+
+def eliminate_dead_code(fn: Function) -> DCEStats:
+    """Remove dead pure instructions from *fn* in place.
+
+    An instruction is dead when every destination is unused by any
+    remaining instruction.  DIV is treated as pure: MiniFort division by
+    zero is a dynamic error, but dead divisions produced by the front end
+    are always the compiler's own temporaries, and the paper's optimizer
+    removes them just the same.
+    """
+    stats = DCEStats()
+    while True:
+        stats.passes += 1
+        used = set()
+        for _blk, inst in fn.instructions():
+            used.update(inst.srcs)
+        removed_this_pass = 0
+        for blk in fn.blocks:
+            kept = []
+            for inst in blk.instructions:
+                if (_is_removable(inst)
+                        and not any(d in used for d in inst.dests)):
+                    removed_this_pass += 1
+                    continue
+                kept.append(inst)
+            blk.instructions = kept
+        stats.removed += removed_this_pass
+        if removed_this_pass == 0:
+            return stats

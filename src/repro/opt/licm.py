@@ -1,0 +1,122 @@
+"""Loop-invariant code motion.
+
+Hoists pure, speculation-safe computations whose operands are not
+redefined inside the loop to a preheader block.  Combined with local
+value numbering this turns the front end's per-iteration address
+arithmetic (``lsd`` + ``muli`` + ``add``) into loop-invariant values —
+precisely the long-lived, partially never-killed live ranges whose
+spilling the paper studies.
+
+Safety conditions for hoisting an instruction ``d <- op srcs`` out of
+loop L:
+
+* ``op`` is pure and cannot trap (divisions are excluded — executing a
+  division speculatively could fault when the original never ran),
+* no source register has a definition inside L,
+* ``d`` has exactly one definition inside L,
+* ``d`` is not live-in at L's header (so every use of this value, inside
+  or after the loop, is reached only through this definition — giving it
+  the preheader value is then indistinguishable).
+
+Loops are processed innermost-first so invariants percolate outward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import compute_liveness, compute_loops
+from ..ir import Function, Instruction, Opcode, Reg
+from .lvn import _NUMBERABLE
+
+
+@dataclass
+class LICMStats:
+    """How many instructions were hoisted."""
+
+    hoisted: int = 0
+    preheaders_created: int = 0
+
+
+#: pure and safe to execute speculatively
+_HOISTABLE = frozenset(op for op in _NUMBERABLE
+                       if op not in (Opcode.DIV, Opcode.FDIV))
+
+
+def hoist_loop_invariants(fn: Function) -> LICMStats:
+    """Apply loop-invariant code motion to *fn* in place."""
+    stats = LICMStats()
+    processed: set[str] = set()
+    # innermost first: deeper loops feed their invariants to outer ones.
+    # Loops are recomputed after each one is processed so that freshly
+    # created inner preheaders are counted as part of the enclosing
+    # loop's body.
+    while True:
+        loops = compute_loops(fn)
+        remaining = [loop for loop in loops.loops.values()
+                     if loop.header not in processed]
+        if not remaining:
+            return stats
+        loop = max(remaining, key=lambda l: l.depth)
+        _hoist_one_loop(fn, loop, stats)
+        processed.add(loop.header)
+
+
+def _preheader(fn: Function, header: str, body: set[str],
+               stats: LICMStats) -> str | None:
+    """The label of the block whose end flows uniquely into *header* from
+    outside the loop; created if necessary.  ``None`` if the header is
+    the function entry (nowhere to put one)."""
+    if header == fn.entry.label:
+        return None
+    preds = fn.predecessors_map()
+    entry_preds = [p for p in preds[header] if p not in body]
+    if not entry_preds:
+        return None
+    if len(entry_preds) == 1:
+        pred = entry_preds[0]
+        if fn.block(pred).successors() == (header,):
+            return pred
+    pre = fn.add_block()
+    pre_blk = fn.block(pre.label)
+    pre_blk.append(Instruction(Opcode.JMP, labels=(header,)))
+    for pred in entry_preds:
+        term = fn.block(pred).terminator
+        labels = tuple(pre.label if lbl == header else lbl
+                       for lbl in term.labels)
+        fn.block(pred).instructions[-1] = term.with_labels(labels)
+    stats.preheaders_created += 1
+    return pre.label
+
+
+def _hoist_one_loop(fn: Function, loop, stats: LICMStats) -> None:
+    pre_label = _preheader(fn, loop.header, loop.body, stats)
+    if pre_label is None:
+        return
+    changed = True
+    while changed:
+        changed = False
+        liveness = compute_liveness(fn)
+        live_at_header = liveness.live_in(loop.header)
+        defs_in_loop: dict[Reg, int] = {}
+        for label in loop.body:
+            for inst in fn.block(label).instructions:
+                for d in inst.dests:
+                    defs_in_loop[d] = defs_in_loop.get(d, 0) + 1
+
+        for label in sorted(loop.body):
+            blk = fn.block(label)
+            kept = []
+            for inst in blk.instructions:
+                if (inst.opcode in _HOISTABLE
+                        and inst.dests
+                        and defs_in_loop.get(inst.dest, 0) == 1
+                        and inst.dest not in live_at_header
+                        and all(s not in defs_in_loop for s in inst.srcs)):
+                    fn.block(pre_label).insert_before_terminator(inst)
+                    defs_in_loop.pop(inst.dest, None)
+                    stats.hoisted += 1
+                    changed = True
+                else:
+                    kept.append(inst)
+            blk.instructions = kept

@@ -1,0 +1,115 @@
+"""Local value numbering (per-block common-subexpression elimination).
+
+Numbers the values computed inside each basic block and replaces repeated
+computations with copies of the first occurrence.  Literals, address
+constants (``lsd``/``lfp``) and commutative operations are canonicalized,
+so the MiniFort code generator's habit of re-materializing array bases and
+constants at every occurrence collapses into single definitions per block
+— giving the allocator the longer, more interesting live ranges that the
+paper's optimized FORTRAN exhibits.
+
+Copies are value-transparent: ``copy d s`` gives *d* the value number of
+*s*, so chains introduced by the front end do not block matching.  Memory
+loads are *not* numbered (a store may intervene); pure register
+computations only.  Redefinition of a register invalidates any table
+entry whose cached home it was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import BasicBlock, Function, Instruction, Opcode, Reg, RegClass
+
+
+@dataclass
+class LVNStats:
+    """How many computations local value numbering removed."""
+
+    replaced: int = 0
+
+
+#: opcodes that are pure functions of (register values, immediates)
+_NUMBERABLE = frozenset({
+    Opcode.LDI, Opcode.LDF, Opcode.LFP, Opcode.LSD,
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.NEG,
+    Opcode.ADDI, Opcode.SUBI, Opcode.MULI,
+    Opcode.CMP_LT, Opcode.CMP_LE, Opcode.CMP_GT, Opcode.CMP_GE,
+    Opcode.CMP_EQ, Opcode.CMP_NE,
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+    Opcode.FABS, Opcode.FNEG,
+    Opcode.FCMP_LT, Opcode.FCMP_LE, Opcode.FCMP_GT, Opcode.FCMP_GE,
+    Opcode.FCMP_EQ, Opcode.FCMP_NE,
+    Opcode.I2F, Opcode.F2I,
+})
+
+
+def _copy_opcode(reg: Reg) -> Opcode:
+    return Opcode.COPY if reg.rclass is RegClass.INT else Opcode.FCOPY
+
+
+def run_lvn(fn: Function) -> LVNStats:
+    """Apply local value numbering to every block of *fn* in place."""
+    stats = LVNStats()
+    for blk in fn.blocks:
+        stats.replaced += _lvn_block(blk)
+    return stats
+
+
+def _lvn_block(blk: BasicBlock) -> int:
+    value_of: dict[Reg, int] = {}            # register -> value number
+    expr_table: dict[tuple, tuple[int, Reg]] = {}   # key -> (number, home)
+    replaced = 0
+    next_number = 0
+
+    def fresh() -> int:
+        nonlocal next_number
+        next_number += 1
+        return next_number
+
+    def number_for(reg: Reg) -> int:
+        if reg not in value_of:
+            value_of[reg] = fresh()
+        return value_of[reg]
+
+    def invalidate_home(reg: Reg) -> None:
+        stale = [key for key, (_n, home) in expr_table.items()
+                 if home == reg]
+        for key in stale:
+            del expr_table[key]
+
+    new_instructions: list[Instruction] = []
+    for inst in blk.instructions:
+        if inst.is_copy:
+            number = number_for(inst.src)
+            invalidate_home(inst.dest)
+            value_of[inst.dest] = number
+            new_instructions.append(inst)
+            continue
+        if inst.opcode not in _NUMBERABLE:
+            for d in inst.dests:
+                invalidate_home(d)
+                value_of[d] = fresh()
+            new_instructions.append(inst)
+            continue
+        operands = tuple(number_for(s) for s in inst.srcs)
+        if inst.info.commutative:
+            operands = tuple(sorted(operands))
+        key = (inst.opcode, operands, inst.imms)
+        hit = expr_table.get(key)
+        dest = inst.dest
+        if hit is not None:
+            number, home = hit
+            new_instructions.append(
+                Instruction(_copy_opcode(dest), dests=(dest,),
+                            srcs=(home,)))
+            invalidate_home(dest)
+            value_of[dest] = number
+            replaced += 1
+            continue
+        invalidate_home(dest)
+        value_of[dest] = fresh()
+        expr_table[key] = (value_of[dest], dest)
+        new_instructions.append(inst)
+    blk.instructions = new_instructions
+    return replaced

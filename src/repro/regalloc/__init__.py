@@ -1,0 +1,46 @@
+"""The optimistic graph-coloring register allocator with rematerialization."""
+
+from .allocator import (AllocationError, AllocationResult, AllocationStats,
+                        RoundTimes, allocate)
+from .coalesce import CoalesceStats, build_coalesce_loop, coalesce_pass
+from .interference import InterferenceGraph, build_interference_graph
+from .local import (LocalAllocationError, LocalAllocationResult,
+                    allocate_local)
+from .renumber import RenumberOutcome, run_renumber
+from .select import SelectResult, find_partners, select
+from .simplify import SimplifyResult, simplify
+from .spillcode import SpillCodeStats, insert_spill_code
+from .slots import SlotPackingResult, pack_spill_slots
+from .spillcost import SpillCosts, compute_spill_costs
+from .splitting import SCHEMES, SplittingScheme
+
+__all__ = [
+    "AllocationError",
+    "AllocationResult",
+    "AllocationStats",
+    "CoalesceStats",
+    "InterferenceGraph",
+    "LocalAllocationError",
+    "LocalAllocationResult",
+    "RenumberOutcome",
+    "SCHEMES",
+    "allocate_local",
+    "SplittingScheme",
+    "RoundTimes",
+    "SelectResult",
+    "SimplifyResult",
+    "SlotPackingResult",
+    "pack_spill_slots",
+    "SpillCodeStats",
+    "SpillCosts",
+    "allocate",
+    "build_coalesce_loop",
+    "build_interference_graph",
+    "coalesce_pass",
+    "compute_spill_costs",
+    "find_partners",
+    "insert_spill_code",
+    "run_renumber",
+    "select",
+    "simplify",
+]

@@ -1,0 +1,218 @@
+"""The optimistic register allocator (Figure 2 of the paper).
+
+The driver iterates
+
+    renumber -> build/coalesce -> spill costs -> simplify -> select
+
+inserting spill code and retrying whenever select leaves nodes uncolored.
+Per-phase wall-clock times are recorded in the same shape as the paper's
+Table 2 (cfa, renum, build, costs, color, spill — per round).
+
+Three allocator variants share the driver, differing only in renumber's
+splitting policy (:class:`~repro.remat.RenumberMode`):
+
+* ``CHAITIN`` — the paper's *Old* / Optimistic column (Chaitin's limited
+  rematerialization: whole live ranges whose defs are one never-killed
+  instruction),
+* ``REMAT`` — the paper's *New* column (tag-driven splitting),
+* ``SPLIT_ALL`` — the Section 6 maximal-splitting extension.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..analysis import compute_dominance, compute_loops
+from ..ir import Function, Reg, verify_function
+from ..machine import MachineDescription, standard_machine
+from ..remat import RenumberMode
+from .coalesce import build_coalesce_loop
+from .interference import build_interference_graph
+from .renumber import run_renumber
+from .select import find_partners, select
+from .simplify import simplify
+from .spillcode import insert_spill_code
+from .spillcost import compute_spill_costs
+
+
+class AllocationError(RuntimeError):
+    """Raised when allocation cannot converge (register file too small)."""
+
+
+@dataclass
+class RoundTimes:
+    """Per-iteration phase timings, Table 2 style (seconds)."""
+
+    renumber: float = 0.0
+    build: float = 0.0
+    costs: float = 0.0
+    color: float = 0.0
+    spill: float = 0.0
+
+
+@dataclass
+class AllocationStats:
+    """Aggregate counters for one allocation."""
+
+    n_rounds: int = 0
+    n_spilled_ranges: int = 0
+    n_remat_spills: int = 0
+    n_memory_spills: int = 0
+    n_splits_inserted: int = 0
+    n_copies_coalesced: int = 0
+    n_splits_coalesced: int = 0
+    n_identity_copies_removed: int = 0
+    n_spill_slots: int = 0
+    n_live_ranges_first_round: int = 0
+
+
+@dataclass
+class AllocationResult:
+    """The allocated function plus everything measured along the way."""
+
+    function: Function
+    mode: RenumberMode
+    machine: MachineDescription
+    stats: AllocationStats
+    cfa_time: float
+    round_times: list[RoundTimes]
+    total_time: float
+
+    @property
+    def rounds(self) -> int:
+        return len(self.round_times)
+
+
+def allocate(fn: Function, machine: MachineDescription | None = None,
+             mode: RenumberMode = RenumberMode.REMAT,
+             max_rounds: int = 50, clone: bool = True,
+             biased: bool = True, lookahead: bool = True,
+             coalesce_splits: bool = True, optimistic: bool = True,
+             pre_split=None) -> AllocationResult:
+    """Allocate registers for *fn*.
+
+    Args:
+        fn: input function over virtual registers.
+        machine: target description (default: the paper's standard 16+16).
+        mode: renumber splitting policy (Old vs New allocator).
+        max_rounds: bail-out bound on color/spill iterations.
+        clone: work on a copy (default) or rewrite *fn* in place.
+        biased: enable biased coloring (Section 4.3).
+        lookahead: enable limited lookahead inside biased coloring.
+        coalesce_splits: enable conservative split coalescing (Section 4.2).
+        optimistic: Briggs' optimistic coloring (the default); with
+            ``False`` simplify spills its candidates outright, like
+            Chaitin's original allocator.
+        pre_split: optional hook ``f(fn, dom, loops) -> None`` run once
+            before the first renumber — used by the Section 6 loop-based
+            splitting schemes.
+
+    Returns:
+        an :class:`AllocationResult` whose ``function`` references only
+        physical registers within the machine's files.
+    """
+    if machine is None:
+        machine = standard_machine()
+    t_start = time.perf_counter()
+    work = fn.clone() if clone else fn
+    work.remove_unreachable_blocks()
+    work.split_critical_edges()
+
+    # control-flow analysis: the CFG shape never changes after edge
+    # splitting, so dominance and loop nesting are computed once
+    t0 = time.perf_counter()
+    dom = compute_dominance(work)
+    loops = compute_loops(work, dom)
+    cfa_time = time.perf_counter() - t0
+
+    if pre_split is not None:
+        pre_split(work, dom, loops)
+
+    stats = AllocationStats()
+    round_times: list[RoundTimes] = []
+    no_spill_regs: set[Reg] = set()
+
+    for round_index in range(max_rounds):
+        times = RoundTimes()
+        round_times.append(times)
+        stats.n_rounds += 1
+
+        t0 = time.perf_counter()
+        outcome = run_renumber(work, mode, dom=dom,
+                               no_spill_regs=no_spill_regs)
+        times.renumber = time.perf_counter() - t0
+        stats.n_splits_inserted += outcome.result.n_splits_inserted
+        if round_index == 0:
+            stats.n_live_ranges_first_round = len(
+                outcome.result.live_ranges)
+        no_spill = outcome.no_spill
+
+        t0 = time.perf_counter()
+        graph, cstats = build_coalesce_loop(
+            work, machine, build_interference_graph, no_spill=no_spill,
+            coalesce_splits=coalesce_splits)
+        times.build = time.perf_counter() - t0
+        stats.n_copies_coalesced += cstats.copies_removed
+        stats.n_splits_coalesced += cstats.splits_removed
+
+        t0 = time.perf_counter()
+        costs = compute_spill_costs(work, loops, machine, no_spill=no_spill)
+        times.costs = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        order = simplify(graph, machine, costs, optimistic=optimistic)
+        partners = find_partners(work) if biased else None
+        chosen = select(graph, order, machine, partners=partners,
+                        lookahead=lookahead)
+        chosen.spilled.extend(order.pessimistic_spills)
+        times.color = time.perf_counter() - t0
+
+        if not chosen.spilled:
+            _assign_physical(work, chosen.coloring, stats)
+            break
+
+        t0 = time.perf_counter()
+        spill_stats = insert_spill_code(work, chosen.spilled, costs)
+        times.spill = time.perf_counter() - t0
+        stats.n_spilled_ranges += len(chosen.spilled)
+        stats.n_remat_spills += spill_stats.n_remat_ranges
+        stats.n_memory_spills += spill_stats.n_memory_ranges
+        no_spill_regs = no_spill | spill_stats.new_temps
+    else:
+        raise AllocationError(
+            f"{fn.name}: no coloring after {max_rounds} rounds on "
+            f"{machine.name} (k_int={machine.int_regs}, "
+            f"k_float={machine.float_regs})")
+
+    stats.n_spill_slots = work.n_spill_slots
+    verify_function(work, require_physical=True,
+                    max_int_reg=machine.int_regs,
+                    max_float_reg=machine.float_regs)
+    return AllocationResult(function=work, mode=mode, machine=machine,
+                            stats=stats, cfa_time=cfa_time,
+                            round_times=round_times,
+                            total_time=time.perf_counter() - t_start)
+
+
+def _assign_physical(fn: Function, coloring: dict[Reg, int],
+                     stats: AllocationStats) -> None:
+    """Rewrite live ranges to physical registers and drop identity copies.
+
+    Biased coloring often gives split partners the same color; the split
+    then becomes an identity copy and disappears here — the late removal
+    of unproductive splits (Section 3.4).
+    """
+    mapping = {
+        reg: Reg(reg.rclass, color, physical=True)
+        for reg, color in coloring.items()
+    }
+    for blk in fn.blocks:
+        new_instructions = []
+        for inst in blk.instructions:
+            inst.rewrite_regs(mapping)
+            if inst.is_copy and inst.dest == inst.src:
+                stats.n_identity_copies_removed += 1
+                continue
+            new_instructions.append(inst)
+        blk.instructions = new_instructions

@@ -1,0 +1,131 @@
+"""Coalescing: aggressive for ordinary copies, conservative for splits
+(Sections 2 and 4.2).
+
+Chaitin's coalesce combines live ranges ``l_i`` and ``l_j`` when ``l_j`` is
+defined by a copy from ``l_i`` and they do not otherwise interfere.  To
+keep the splits renumber so carefully introduced, split instructions are
+only *conservatively* coalesced: the combined live range must have fewer
+than k neighbors of *significant degree* (degree >= k), which guarantees it
+still simplifies and therefore can never spill.
+
+The driver follows the paper's schedule: first coalesce all ordinary
+copies to a fixed point (rebuilding the graph between rounds), then begin
+conservatively coalescing split instructions, again to a fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function, Reg
+from ..machine import MachineDescription
+from ..unionfind import DisjointSets
+from .interference import InterferenceGraph
+
+
+@dataclass
+class CoalesceStats:
+    """How many copies each stage removed."""
+
+    copies_removed: int = 0
+    splits_removed: int = 0
+
+
+def _conservative_ok(graph: InterferenceGraph, a: Reg, b: Reg,
+                     k: int) -> bool:
+    """Briggs' criterion: the merged node has < k significant neighbors."""
+    significant = 0
+    for n in graph.neighbors(a) | graph.neighbors(b):
+        if graph.degree(n) >= k:
+            significant += 1
+            if significant >= k:
+                return False
+    return True
+
+
+def coalesce_pass(fn: Function, graph: InterferenceGraph,
+                  machine: MachineDescription,
+                  splits: bool,
+                  no_spill: set[Reg] | None = None) -> int:
+    """One pass over the code, combining what the stage allows.
+
+    With ``splits=False`` only ordinary copies are (aggressively)
+    coalesced; with ``splits=True`` only split instructions are, under the
+    conservative criterion.  The graph is updated in place by node merging
+    and the code rewritten, so several combines can happen per pass.
+    Returns the number of instructions removed.
+    """
+    ds = DisjointSets()
+    removed_ids: set[int] = set()
+    merged = 0
+
+    for blk in fn.blocks:
+        for inst in blk.instructions:
+            if not inst.is_copy or inst.is_split is not splits:
+                continue
+            dest = ds.find(inst.dest)
+            src = ds.find(inst.src)
+            if dest == src:
+                removed_ids.add(id(inst))
+                merged += 1
+                continue
+            if dest not in graph or src not in graph:
+                continue
+            if graph.interferes(dest, src):
+                continue
+            if splits and not _conservative_ok(graph, dest, src,
+                                               machine.k(dest.rclass)):
+                continue
+            keep = ds.union(dest, src)
+            gone = src if keep == dest else dest
+            graph.merge(keep, gone)
+            if no_spill is not None and gone in no_spill:
+                no_spill.discard(gone)
+                no_spill.add(keep)
+            removed_ids.add(id(inst))
+            merged += 1
+
+    if merged:
+        rename = {reg: ds.find(reg) for reg in fn.all_regs() if reg in ds}
+        for blk in fn.blocks:
+            new_instructions = []
+            for inst in blk.instructions:
+                if id(inst) in removed_ids:
+                    continue
+                inst.rewrite_regs(rename)
+                if inst.is_copy and inst.dest == inst.src:
+                    continue  # became an identity copy through renaming
+                new_instructions.append(inst)
+            blk.instructions = new_instructions
+    return merged
+
+
+def build_coalesce_loop(fn: Function, machine: MachineDescription,
+                        build_graph, no_spill: set[Reg] | None = None,
+                        coalesce_splits: bool = True,
+                        ) -> tuple[InterferenceGraph, CoalesceStats]:
+    """The paper's build–coalesce loop.
+
+    *build_graph* is called to (re)construct the interference graph; the
+    loop alternates building and coalescing until no combine fires, first
+    for ordinary copies, then (if *coalesce_splits*) conservatively for
+    splits.  Returns the final graph and the statistics.
+    """
+    stats = CoalesceStats()
+    graph = build_graph(fn)
+    while True:
+        n = coalesce_pass(fn, graph, machine, splits=False,
+                          no_spill=no_spill)
+        stats.copies_removed += n
+        if n == 0:
+            break
+        graph = build_graph(fn)
+    if coalesce_splits:
+        while True:
+            n = coalesce_pass(fn, graph, machine, splits=True,
+                              no_spill=no_spill)
+            stats.splits_removed += n
+            if n == 0:
+                break
+            graph = build_graph(fn)
+    return graph, stats

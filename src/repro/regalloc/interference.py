@@ -1,0 +1,120 @@
+"""The interference graph (Section 2, *Build*).
+
+Chaitin advocated a dual representation: a triangular bit matrix for O(1)
+membership tests plus adjacency vectors for fast neighbor iteration.  This
+class keeps both views (a set of index pairs and per-node adjacency sets)
+and additionally supports in-place *node merging* so that coalescing can
+perform several combines per build of the graph.
+
+Integer and float live ranges never interfere — they are colored from
+disjoint register files — so cross-class edges are rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function, Reg
+from ..analysis import compute_liveness
+
+
+class InterferenceGraph:
+    """An undirected graph over live-range registers."""
+
+    def __init__(self, nodes: list[Reg] | None = None) -> None:
+        self._adj: dict[Reg, set[Reg]] = {}
+        # the triangular "bit matrix": canonicalized index pairs
+        self._matrix: set[tuple[Reg, Reg]] = set()
+        for node in nodes or ():
+            self.add_node(node)
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, reg: Reg) -> None:
+        self._adj.setdefault(reg, set())
+
+    @staticmethod
+    def _key(a: Reg, b: Reg) -> tuple[Reg, Reg]:
+        return (a, b) if a.sort_key() <= b.sort_key() else (b, a)
+
+    def add_edge(self, a: Reg, b: Reg) -> None:
+        """Record that *a* and *b* interfere.  Self and cross-class pairs
+        are ignored."""
+        if a == b or a.rclass is not b.rclass:
+            return
+        key = self._key(a, b)
+        if key in self._matrix:
+            return
+        self._matrix.add(key)
+        self._adj.setdefault(a, set()).add(b)
+        self._adj.setdefault(b, set()).add(a)
+
+    # -- queries ---------------------------------------------------------------
+
+    def nodes(self) -> list[Reg]:
+        return list(self._adj)
+
+    def __contains__(self, reg: Reg) -> bool:
+        return reg in self._adj
+
+    def interferes(self, a: Reg, b: Reg) -> bool:
+        return self._key(a, b) in self._matrix
+
+    def neighbors(self, reg: Reg) -> set[Reg]:
+        return self._adj[reg]
+
+    def degree(self, reg: Reg) -> int:
+        return len(self._adj[reg])
+
+    def n_edges(self) -> int:
+        return len(self._matrix)
+
+    # -- mutation (coalescing support) -------------------------------------------
+
+    def merge(self, keep: Reg, gone: Reg) -> None:
+        """Combine node *gone* into *keep*: N(keep) := N(keep) ∪ N(gone).
+
+        Used by coalescing.  The result is the interference graph of the
+        rewritten code (up to the usual conservative union).
+        """
+        if keep.rclass is not gone.rclass:
+            raise ValueError(f"cannot merge {keep} with {gone}")
+        for n in list(self._adj[gone]):
+            self._matrix.discard(self._key(gone, n))
+            self._adj[n].discard(gone)
+            self.add_edge(keep, n)
+        del self._adj[gone]
+        self._matrix.discard(self._key(keep, gone))
+
+    def remove_node(self, reg: Reg) -> None:
+        for n in list(self._adj[reg]):
+            self._matrix.discard(self._key(reg, n))
+            self._adj[n].discard(reg)
+        del self._adj[reg]
+
+
+def build_interference_graph(fn: Function) -> InterferenceGraph:
+    """Construct the interference graph of *fn* (post-renumber code).
+
+    Classic backward walk: at each definition point the destinations
+    interfere with everything currently live, except that a copy's
+    destination does not interfere with its source (Chaitin's refinement
+    that makes coalescing possible).
+    """
+    liveness = compute_liveness(fn)
+    graph = InterferenceGraph()
+    for _blk, inst in fn.instructions():
+        for r in inst.regs():
+            graph.add_node(r)
+
+    for blk in fn.blocks:
+        live: set[Reg] = set(liveness.live_out(blk.label))
+        for inst in reversed(blk.instructions):
+            src_exempt = inst.src if inst.is_copy else None
+            for d in inst.dests:
+                for l in live:
+                    if l is not d and l != src_exempt:
+                        graph.add_edge(d, l)
+            live.difference_update(inst.dests)
+            live.update(inst.srcs)
+    return graph

@@ -1,0 +1,62 @@
+"""The renumber phase (Section 4.1).
+
+Wraps the SSA + tag-propagation + splitting pipeline into the allocator's
+first phase.  The six steps of the paper's modified renumber map onto:
+
+1. liveness                         — :func:`repro.analysis.compute_liveness`
+2. pruned φ insertion               — :func:`repro.ssa.construct_ssa`
+3. renaming + tag initialization    — ``construct_ssa`` + ``initial_tags``
+4. sparse tag propagation           — :func:`repro.remat.propagate_tags`
+5. unioning identically-tagged copies  — :func:`repro.remat.plan_unions`
+6. φ examination: union or split       — ``plan_unions`` + ``apply_plan``
+
+Under ``RenumberMode.CHAITIN`` steps 4–5 are skipped and step 6 degenerates
+to "union everything" — the paper's *Old* allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import DominanceInfo, compute_dominance
+from ..ir import Function, Reg
+from ..remat import (RenumberMode, RenumberResult, apply_plan, plan_unions,
+                     propagate_tags)
+from ..ssa import SSAGraph, construct_ssa
+
+
+@dataclass
+class RenumberOutcome:
+    """A :class:`~repro.remat.RenumberResult` plus allocator bookkeeping."""
+
+    result: RenumberResult
+    #: live ranges that must not be chosen for spilling (they contain
+    #: spill temporaries minted by an earlier round)
+    no_spill: set[Reg] = field(default_factory=set)
+
+
+def run_renumber(fn: Function, mode: RenumberMode,
+                 dom: DominanceInfo | None = None,
+                 no_spill_regs: set[Reg] | None = None) -> RenumberOutcome:
+    """Renumber *fn* in place under *mode*.
+
+    *no_spill_regs* names (pre-renumber) registers that are spill
+    temporaries; the returned outcome translates them into the new
+    live-range namespace.
+    """
+    if dom is None:
+        dom = compute_dominance(fn)
+    info = construct_ssa(fn, dom=dom)
+    tags = None
+    if mode is RenumberMode.REMAT:
+        graph = SSAGraph.build(fn, info)
+        tags = propagate_tags(graph)
+    plan = plan_unions(fn, info, tags, mode)
+    result = apply_plan(fn, info, plan, tags)
+
+    no_spill: set[Reg] = set()
+    if no_spill_regs:
+        for lr, values in result.members.items():
+            if any(info.orig_reg[v] in no_spill_regs for v in values):
+                no_spill.add(lr)
+    return RenumberOutcome(result=result, no_spill=no_spill)

@@ -1,0 +1,103 @@
+"""The select phase with biased coloring (Sections 2 and 4.3).
+
+Select pops nodes off simplify's stack and gives each a color distinct
+from its already-colored neighbors; nodes with no free color are left
+uncolored (they will be spilled).
+
+*Biased coloring* removes unproductive splits late: before coloring, the
+allocator finds *partners* — live ranges connected by split (or copy)
+instructions — and select first tries colors already assigned to a
+partner.  With *limited lookahead* it additionally prefers, among free
+colors, one that is still free for an uncolored partner, so the partner
+can later match it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import Function, Reg
+from ..machine import MachineDescription
+from .interference import InterferenceGraph
+from .simplify import SimplifyResult
+
+
+@dataclass
+class SelectResult:
+    """Colors for the colorable nodes, plus the nodes left uncolored."""
+
+    coloring: dict[Reg, int] = field(default_factory=dict)
+    spilled: list[Reg] = field(default_factory=list)
+
+
+def find_partners(fn: Function,
+                  splits_only: bool = False) -> dict[Reg, set[Reg]]:
+    """Live ranges connected by split (and optionally plain copy)
+    instructions."""
+    partners: dict[Reg, set[Reg]] = {}
+    for _blk, inst in fn.instructions():
+        if not inst.is_copy:
+            continue
+        if splits_only and not inst.is_split:
+            continue
+        a, b = inst.dest, inst.src
+        if a == b:
+            continue
+        partners.setdefault(a, set()).add(b)
+        partners.setdefault(b, set()).add(a)
+    return partners
+
+
+def select(graph: InterferenceGraph, order: SimplifyResult,
+           machine: MachineDescription,
+           partners: dict[Reg, set[Reg]] | None = None,
+           lookahead: bool = True) -> SelectResult:
+    """Assign colors in the order determined by simplify."""
+    partners = partners or {}
+    result = SelectResult()
+    coloring = result.coloring
+
+    for node in reversed(order.stack):
+        k = machine.k(node.rclass)
+        forbidden = {coloring[n] for n in graph.neighbors(node)
+                     if n in coloring}
+        available = [c for c in range(k) if c not in forbidden]
+        if not available:
+            result.spilled.append(node)
+            continue
+        coloring[node] = _choose_color(node, available, graph, coloring,
+                                       partners, lookahead)
+    return result
+
+
+def _choose_color(node: Reg, available: list[int],
+                  graph: InterferenceGraph, coloring: dict[Reg, int],
+                  partners: dict[Reg, set[Reg]],
+                  lookahead: bool) -> int:
+    """Biased choice among *available* colors."""
+    # sorted for cross-run determinism (sets iterate in hash order)
+    mates = sorted(partners.get(node, ()), key=lambda r: r.sort_key())
+    # 1. a color some colored partner already has
+    for mate in mates:
+        c = coloring.get(mate)
+        if c is not None and c in available:
+            return c
+    if lookahead and mates:
+        # 2. limited lookahead: prefer a color still free for an uncolored
+        #    partner, so the partner can match it later
+        uncolored = [m for m in mates if m not in coloring and m in graph]
+        best_color = None
+        best_score = -1
+        for c in available:
+            score = 0
+            for mate in uncolored:
+                mate_forbidden = {coloring[n] for n in graph.neighbors(mate)
+                                  if n in coloring}
+                if c not in mate_forbidden:
+                    score += 1
+            if score > best_score:
+                best_color, best_score = c, score
+        if best_color is not None:
+            return best_color
+    # 3. first free color (Chaitin's default)
+    return available[0]

@@ -1,0 +1,114 @@
+"""The optimistic simplify phase (Section 2, *Simplify*).
+
+Briggs' variant of Chaitin's simplification: remove nodes of degree < k
+(pushing them on the stack and decrementing neighbor degrees); when only
+high-degree nodes remain, choose a spill *candidate* by Chaitin's metric —
+minimum spill cost divided by current degree — but push it on the stack
+anyway ("optimism"): select may still find it a color.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..ir import Reg
+from ..machine import MachineDescription
+from .interference import InterferenceGraph
+from .spillcost import SpillCosts
+
+
+@dataclass
+class SimplifyResult:
+    """The coloring order and which pushes were spill candidates."""
+
+    #: every node, in push order (select pops from the end)
+    stack: list[Reg]
+    #: nodes pushed as spill candidates (degree >= k at push time)
+    candidates: set[Reg]
+    #: nodes spilled outright by the pessimistic (original Chaitin)
+    #: variant; empty under the optimistic default
+    pessimistic_spills: list[Reg] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.pessimistic_spills is None:
+            self.pessimistic_spills = []
+
+
+def simplify(graph: InterferenceGraph, machine: MachineDescription,
+             costs: SpillCosts, optimistic: bool = True) -> SimplifyResult:
+    """Order the nodes of *graph* for select.
+
+    With ``optimistic=False`` the phase behaves like Chaitin's original
+    simplification: a spill candidate is spilled immediately instead of
+    being pushed for select to try — the pessimism that Briggs' optimistic
+    coloring removed (and the paper's base allocator assumes removed).
+    """
+    degree: dict[Reg, int] = {n: graph.degree(n) for n in graph.nodes()}
+    removed: set[Reg] = set()
+    stack: list[Reg] = []
+    candidates: set[Reg] = set()
+    pessimistic_spills: list[Reg] = []
+
+    def k_of(reg: Reg) -> int:
+        return machine.k(reg.rclass)
+
+    worklist = [n for n in degree if degree[n] < k_of(n)]
+    remaining = len(degree)
+
+    def remove(node: Reg, push: bool = True) -> None:
+        nonlocal remaining
+        removed.add(node)
+        if push:
+            stack.append(node)
+        remaining -= 1
+        for n in graph.neighbors(node):
+            if n in removed:
+                continue
+            degree[n] -= 1
+            if degree[n] == k_of(n) - 1:
+                worklist.append(n)
+
+    while remaining:
+        while worklist:
+            node = worklist.pop()
+            if node not in removed and degree[node] < k_of(node):
+                remove(node)
+        if not remaining:
+            break
+        candidate = _pick_spill_candidate(degree, removed, costs)
+        if candidate is None:
+            break  # only isolated leftovers; cannot happen in practice
+        candidates.add(candidate)
+        if optimistic:
+            remove(candidate)
+        else:
+            pessimistic_spills.append(candidate)
+            remove(candidate, push=False)
+    return SimplifyResult(stack=stack, candidates=candidates,
+                          pessimistic_spills=pessimistic_spills)
+
+
+def _pick_spill_candidate(degree: dict[Reg, int], removed: set[Reg],
+                          costs: SpillCosts) -> Reg | None:
+    """Chaitin's choice: minimize cost / current degree.
+
+    Infinite-cost nodes (spill temporaries) are chosen only when no finite
+    node remains — the optimistic select usually colors them anyway.
+    """
+    best: Reg | None = None
+    best_ratio = math.inf
+    fallback: Reg | None = None
+    for node, deg in degree.items():
+        if node in removed:
+            continue
+        cost = costs.cost.get(node, math.inf)
+        if math.isinf(cost):
+            if fallback is None:
+                fallback = node
+            continue
+        ratio = cost / max(deg, 1)
+        if ratio < best_ratio or (ratio == best_ratio and best is not None
+                                  and node.sort_key() < best.sort_key()):
+            best, best_ratio = node, ratio
+    return best if best is not None else fallback

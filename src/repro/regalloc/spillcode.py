@@ -1,0 +1,105 @@
+"""Spill-code insertion (Section 2, *Spill Code*; Section 3.2 end).
+
+Each uncolored live range is converted "into a collection of tiny live
+ranges by inserting a load or store at each use and definition" — unless
+its tag says it is rematerializable, in which case every use is preceded
+by a fresh execution of the tag instruction and the original definitions
+are simply deleted (never-killed values need no stores; the Ideal column
+of Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import Function, Instruction, Opcode, Reg, RegClass
+from .spillcost import SpillCosts
+
+
+@dataclass
+class SpillCodeStats:
+    """What one spill round did to the code."""
+
+    #: temporaries minted for reloads/stores (they must not respill)
+    new_temps: set[Reg] = field(default_factory=set)
+    n_remat_ranges: int = 0
+    n_memory_ranges: int = 0
+    n_reloads: int = 0
+    n_remats: int = 0
+    n_stores: int = 0
+    n_deleted_defs: int = 0
+
+
+def _reload_opcode(rclass: RegClass) -> Opcode:
+    return Opcode.SPLD if rclass is RegClass.INT else Opcode.FSPLD
+
+
+def _store_opcode(rclass: RegClass) -> Opcode:
+    return Opcode.SPST if rclass is RegClass.INT else Opcode.FSPST
+
+
+def insert_spill_code(fn: Function, spilled: list[Reg],
+                      costs: SpillCosts) -> SpillCodeStats:
+    """Rewrite *fn* in place, spilling every live range in *spilled*."""
+    stats = SpillCodeStats()
+    spill_set = set(spilled)
+    remat = {r: costs.remat[r] for r in spill_set if r in costs.remat}
+    stats.n_remat_ranges = len(remat)
+    stats.n_memory_ranges = len(spill_set) - len(remat)
+    slots: dict[Reg, int] = {}
+
+    def slot_of(reg: Reg) -> int:
+        if reg not in slots:
+            slots[reg] = fn.new_spill_slot()
+        return slots[reg]
+
+    for blk in fn.blocks:
+        new_instructions: list[Instruction] = []
+        for inst in blk.instructions:
+            # a definition of a rematerializable spilled range disappears:
+            # its defs are all the (pure) never-killed tag instruction
+            if (inst.dests and inst.dests[0] in remat
+                    and inst.is_never_killed):
+                stats.n_deleted_defs += 1
+                continue
+
+            # reload spilled sources just before the use
+            replacement: dict[Reg, Reg] = {}
+            for src in set(inst.srcs):
+                if src not in spill_set:
+                    continue
+                temp = fn.new_reg(src.rclass)
+                stats.new_temps.add(temp)
+                replacement[src] = temp
+                if src in remat:
+                    new_instructions.append(
+                        remat[src].make_instruction(temp))
+                    stats.n_remats += 1
+                else:
+                    new_instructions.append(
+                        Instruction(_reload_opcode(src.rclass),
+                                    dests=(temp,), imms=(slot_of(src),)))
+                    stats.n_reloads += 1
+            if replacement:
+                inst.srcs = tuple(replacement.get(s, s) for s in inst.srcs)
+
+            # store spilled destinations just after the definition
+            stores: list[Instruction] = []
+            new_dests = []
+            for d in inst.dests:
+                if d in spill_set:
+                    temp = fn.new_reg(d.rclass)
+                    stats.new_temps.add(temp)
+                    new_dests.append(temp)
+                    stores.append(
+                        Instruction(_store_opcode(d.rclass), srcs=(temp,),
+                                    imms=(slot_of(d),)))
+                    stats.n_stores += 1
+                else:
+                    new_dests.append(d)
+            inst.dests = tuple(new_dests)
+
+            new_instructions.append(inst)
+            new_instructions.extend(stores)
+        blk.instructions = new_instructions
+    return stats

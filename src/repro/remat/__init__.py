@@ -1,0 +1,30 @@
+"""Rematerialization tags: lattice, initialization, propagation, splitting.
+
+This package is the paper's primary contribution (Section 3): tag each SSA
+value with how it should be spilled, propagate the tags sparsely, then
+split live ranges so values with different tags are isolated.
+"""
+
+from .lattice import BOTTOM, InstTag, TOP, Tag, is_remat, meet, meet_all
+from .propagate import propagate_tags
+from .split import (RenumberMode, RenumberResult, SplitPlan, apply_plan,
+                    plan_unions)
+from .tags import initial_tag, initial_tags
+
+__all__ = [
+    "BOTTOM",
+    "InstTag",
+    "RenumberMode",
+    "RenumberResult",
+    "SplitPlan",
+    "TOP",
+    "Tag",
+    "apply_plan",
+    "initial_tag",
+    "initial_tags",
+    "is_remat",
+    "meet",
+    "meet_all",
+    "plan_unions",
+    "propagate_tags",
+]

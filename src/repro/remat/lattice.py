@@ -1,0 +1,91 @@
+"""The rematerialization lattice (Section 3.2 of the paper).
+
+Three kinds of element:
+
+* ⊤ (*top*) — no information yet; the optimistic initial tag of values
+  defined by copies and φ-nodes,
+* ``inst`` — the value is *never-killed* and should be rematerialized by
+  the instruction identified by the tag,
+* ⊥ (*bottom*) — the value must be spilled and restored the heavyweight
+  way.
+
+The meet ⊓ follows the paper's table::
+
+    any  ⊓ ⊤     = any
+    any  ⊓ ⊥     = ⊥
+    inst_i ⊓ inst_j = inst_i   if inst_i = inst_j
+    inst_i ⊓ inst_j = ⊥        if inst_i ≠ inst_j
+
+``inst_i = inst_j`` compares the instructions operand by operand; in this
+IR never-killed opcodes carry only immediates, so the comparison is of
+``(opcode, immediates)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Iterable, Union
+
+from ..ir import Immediate, Instruction, Opcode
+
+
+@dataclass(frozen=True)
+class _Top:
+    def __repr__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class _Bottom:
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+@dataclass(frozen=True)
+class InstTag:
+    """A never-killed computation: rematerialize with this instruction."""
+
+    opcode: Opcode
+    imms: tuple[Immediate, ...]
+
+    def __repr__(self) -> str:
+        imms = " ".join(str(i) for i in self.imms)
+        return f"inst[{self.opcode.mnemonic} {imms}]"
+
+    def make_instruction(self, dest) -> Instruction:
+        """Materialize the tag as an instruction defining *dest*."""
+        return Instruction(self.opcode, dests=(dest,), imms=self.imms)
+
+    @staticmethod
+    def of(inst: Instruction) -> "InstTag":
+        """The tag of a never-killed instruction."""
+        opcode, imms = inst.remat_key()
+        return InstTag(opcode, imms)
+
+
+TOP = _Top()
+BOTTOM = _Bottom()
+
+Tag = Union[_Top, _Bottom, InstTag]
+
+
+def meet(a: Tag, b: Tag) -> Tag:
+    """The paper's modified meet operation."""
+    if a is TOP:
+        return b
+    if b is TOP:
+        return a
+    if a is BOTTOM or b is BOTTOM:
+        return BOTTOM
+    return a if a == b else BOTTOM
+
+
+def meet_all(tags: Iterable[Tag]) -> Tag:
+    """Fold :func:`meet` over *tags* (⊤ for an empty sequence)."""
+    return reduce(meet, tags, TOP)
+
+
+def is_remat(tag: Tag) -> bool:
+    """True when *tag* says the value can be rematerialized."""
+    return isinstance(tag, InstTag)

@@ -1,0 +1,63 @@
+"""Sparse propagation of rematerialization tags (Section 3.2).
+
+An analog of Wegman and Zadeck's *sparse simple constant* algorithm with
+the modified lattice of :mod:`repro.remat.lattice`:
+
+* values defined by copies take the tag of the value flowing in,
+* values defined by φ-nodes take the meet of their operands' tags,
+* everything else keeps its initial tag (``inst`` or ⊥).
+
+The worklist runs over SSA edges only (sparse), so each value is
+re-evaluated at most twice — the lattice has height two.
+"""
+
+from __future__ import annotations
+
+from ..ir import Instruction, Opcode, Reg
+from ..ssa import SSAGraph
+from .lattice import BOTTOM, Tag, TOP, meet, meet_all
+from .tags import initial_tags
+
+
+def _evaluate(inst: Instruction, tags: dict[Reg, Tag]) -> Tag:
+    """Re-evaluate the tag of the value defined by a copy or φ."""
+    if inst.opcode is Opcode.PHI:
+        return meet_all(tags[s] for s in inst.srcs)
+    # copy (or split): the tag of the incoming value
+    return tags[inst.src]
+
+
+def propagate_tags(graph: SSAGraph,
+                   lower_leftover_top: bool = True) -> dict[Reg, Tag]:
+    """Propagate tags over *graph* to a fixed point.
+
+    With *lower_leftover_top* (the default) any value still at ⊤ after the
+    fixed point — possible only for values fed exclusively by other ⊤
+    values, which strict SSA rules out for executable code — is lowered to
+    ⊥ so consumers never see ⊤.
+    """
+    tags = initial_tags(graph)
+    worklist: list[Reg] = [v for v, t in tags.items() if t is not TOP]
+    on_list = set(worklist)
+    while worklist:
+        value = worklist.pop()
+        on_list.discard(value)
+        for user in graph.users[value]:
+            if user.opcode is not Opcode.PHI and not user.is_copy:
+                continue
+            for dest in user.dests:
+                if dest not in tags:
+                    continue
+                new_tag = _evaluate(user, tags)
+                old_tag = tags[dest]
+                merged = meet(old_tag, new_tag)
+                if merged != old_tag:
+                    tags[dest] = merged
+                    if dest not in on_list:
+                        worklist.append(dest)
+                        on_list.add(dest)
+    if lower_leftover_top:
+        for value, tag in tags.items():
+            if tag is TOP:
+                tags[value] = BOTTOM
+    return tags

@@ -1,0 +1,185 @@
+"""Live-range formation and tag-driven splitting (Sections 3.3, 3.4, 4.1).
+
+Renumber's last two steps operate on the SSA form:
+
+5. Examine each copy instruction.  If the source and destination values
+   have identical ``inst`` tags, union them and remove the copy.
+6. Examine the operands of each φ-node.  If an operand value has the same
+   tag as the result value, union the values; otherwise insert a *split* (a
+   distinguished copy) connecting the values in the corresponding
+   predecessor block.
+
+Three policies are provided:
+
+* ``CHAITIN`` — the paper's *Old* allocator: union every φ operand with the
+  φ result (classic live-range discovery, no splits, no tags needed),
+* ``REMAT`` — the paper's *New* allocator: the tag-driven steps above,
+* ``SPLIT_ALL`` — the Section 6 extension that splits at every φ-node
+  (Cytron–Ferrante-style maximal splitting).
+
+Ordering safety
+---------------
+
+Split copies are inserted at the end of predecessor blocks without
+parallel-copy machinery.  This is safe because no split's destination web
+can be another split's source web: destination webs are always ⊥-tagged
+(an ``inst``-tagged φ result forces *all* its operands to carry the same
+``inst`` tag, so no split is inserted into it), while source webs are
+always ``inst``-tagged (a ⊥ operand always matches its ⊥ result and is
+unioned instead).  Under ``SPLIT_ALL`` every value is its own live range,
+so destinations (φ results of the successor) and sources (values reaching
+the predecessor's end) are likewise disjoint.  Critical edges must have
+been split beforehand.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..ir import Function, Instruction, Opcode, Reg, RegClass
+from ..ssa import SSAInfo
+from ..unionfind import DisjointSets
+from .lattice import BOTTOM, Tag, is_remat, meet_all
+
+
+class RenumberMode(enum.Enum):
+    """Live-range formation policy."""
+
+    #: the paper's baseline (Chaitin's renumber: union all φ webs)
+    CHAITIN = "chaitin"
+    #: the paper's contribution (tag-driven splitting)
+    REMAT = "remat"
+    #: Section 6 extension: a split at every φ operand
+    SPLIT_ALL = "split_all"
+
+
+@dataclass
+class SplitPlan:
+    """Which values to union, which copies die, which splits to insert."""
+
+    ds: DisjointSets
+    #: instruction identities (``id()``) of copies removed by step 5
+    deleted_copies: set[int] = field(default_factory=set)
+    #: (pred_label, phi_result_value, operand_value) triples needing splits
+    splits: list[tuple[str, Reg, Reg]] = field(default_factory=list)
+
+
+@dataclass
+class RenumberResult:
+    """The outcome of renumber: code rewritten in terms of live ranges."""
+
+    fn: Function
+    #: the fresh register of every live range
+    live_ranges: list[Reg]
+    #: SSA value -> live-range register
+    value_to_lr: dict[Reg, Reg]
+    #: live-range register -> member SSA values
+    members: dict[Reg, list[Reg]]
+    #: live-range register -> meet of member tags (⊥ when tags were not
+    #: computed, i.e. under CHAITIN where spill handling re-derives them)
+    lr_tags: dict[Reg, Tag]
+    n_splits_inserted: int = 0
+    n_copies_removed: int = 0
+
+
+def plan_unions(fn: Function, info: SSAInfo, tags: dict[Reg, Tag] | None,
+                mode: RenumberMode) -> SplitPlan:
+    """Decide unions, copy removals and split insertions for *mode*."""
+    ds = DisjointSets(info.def_site.keys())
+    plan = SplitPlan(ds=ds)
+
+    if mode is RenumberMode.REMAT:
+        if tags is None:
+            raise ValueError("REMAT renumbering requires propagated tags")
+        # step 5: copies whose endpoints carry identical inst tags
+        for _blk, inst in fn.instructions():
+            if not inst.is_copy:
+                continue
+            src_tag, dest_tag = tags[inst.src], tags[inst.dest]
+            if is_remat(src_tag) and src_tag == dest_tag:
+                ds.union(inst.src, inst.dest)
+                plan.deleted_copies.add(id(inst))
+
+    for label, preds in info.phi_preds.items():
+        for phi in fn.block(label).phis():
+            result = phi.dest
+            for pred, operand in zip(preds, phi.srcs):
+                if mode is RenumberMode.CHAITIN:
+                    ds.union(result, operand)
+                elif mode is RenumberMode.SPLIT_ALL:
+                    plan.splits.append((label_pred(pred), result, operand))
+                else:  # REMAT, step 6
+                    if tags[operand] == tags[result]:
+                        ds.union(result, operand)
+                    else:
+                        plan.splits.append((pred, result, operand))
+    return plan
+
+
+def label_pred(pred: str) -> str:
+    """Identity helper kept for symmetry/clarity in :func:`plan_unions`."""
+    return pred
+
+
+def apply_plan(fn: Function, info: SSAInfo, plan: SplitPlan,
+               tags: dict[Reg, Tag] | None = None) -> RenumberResult:
+    """Rewrite *fn* from SSA values to live ranges according to *plan*.
+
+    φ pseudo-ops disappear; step-5 copies and identity copies are removed;
+    splits appear at the end of the named predecessor blocks.
+    """
+    ds = plan.ds
+
+    # one fresh register per union class
+    classes = ds.classes()
+    lr_of_root: dict[Reg, Reg] = {}
+    members: dict[Reg, list[Reg]] = {}
+    lr_tags: dict[Reg, Tag] = {}
+    for root, values in classes.items():
+        lr = fn.new_reg(root.rclass)
+        lr_of_root[root] = lr
+        members[lr] = values
+        if tags is not None:
+            lr_tags[lr] = meet_all(tags[v] for v in values)
+        else:
+            lr_tags[lr] = BOTTOM
+
+    value_to_lr = {value: lr_of_root[ds.find(value)]
+                   for value in info.def_site}
+
+    # insert split copies (before operand rewriting: we map values directly)
+    n_splits = 0
+    for pred, result, operand in plan.splits:
+        dest_lr = value_to_lr[result]
+        src_lr = value_to_lr[operand]
+        if dest_lr == src_lr:
+            continue  # degenerate (possible only under SPLIT_ALL re-runs)
+        opcode = (Opcode.SPLIT if dest_lr.rclass is RegClass.INT
+                  else Opcode.FSPLIT)
+        fn.block(pred).insert_before_terminator(
+            Instruction(opcode, dests=(dest_lr,), srcs=(src_lr,)))
+        n_splits += 1
+
+    # rewrite instructions, dropping φs, dead copies and identity copies
+    n_removed = 0
+    for blk in fn.blocks:
+        new_instructions: list[Instruction] = []
+        for inst in blk.instructions:
+            if inst.opcode is Opcode.PHI:
+                continue
+            if id(inst) in plan.deleted_copies:
+                n_removed += 1
+                continue
+            inst.dests = tuple(value_to_lr.get(r, r) for r in inst.dests)
+            inst.srcs = tuple(value_to_lr.get(r, r) for r in inst.srcs)
+            if inst.is_copy and inst.dest == inst.src:
+                n_removed += 1
+                continue
+            new_instructions.append(inst)
+        blk.instructions = new_instructions
+
+    return RenumberResult(fn=fn, live_ranges=list(members),
+                          value_to_lr=value_to_lr, members=members,
+                          lr_tags=lr_tags, n_splits_inserted=n_splits,
+                          n_copies_removed=n_removed)

@@ -1,0 +1,28 @@
+"""Initial rematerialization tags (Section 3.2).
+
+"A value defined by a copy instruction or a φ-node has an initial tag of ⊤.
+If a value is defined by an appropriate instruction (never-killed) ... the
+value's tag is simply a pointer to the instruction.  Any value defined by
+an 'inappropriate' instruction is immediately tagged with ⊥."
+"""
+
+from __future__ import annotations
+
+from ..ir import Instruction, Opcode, Reg
+from ..ssa import SSAGraph
+from .lattice import BOTTOM, InstTag, TOP, Tag
+
+
+def initial_tag(inst: Instruction) -> Tag:
+    """The initial lattice element for a value defined by *inst*."""
+    if inst.opcode is Opcode.PHI or inst.is_copy:
+        return TOP
+    if inst.is_never_killed:
+        return InstTag.of(inst)
+    return BOTTOM
+
+
+def initial_tags(graph: SSAGraph) -> dict[Reg, Tag]:
+    """Initial tags for every value of an SSA graph."""
+    return {value: initial_tag(inst)
+            for value, inst in graph.def_inst.items()}

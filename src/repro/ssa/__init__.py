@@ -1,0 +1,12 @@
+"""Pruned static single assignment form."""
+
+from .construction import SSAError, SSAInfo, construct_ssa
+from .ssa_graph import SSAGraph
+
+__all__ = ["SSAError", "SSAGraph", "SSAInfo", "construct_ssa"]
+
+# destroy_ssa imports from repro.remat, which imports repro.ssa; import it
+# last so the module graph resolves cleanly.
+from .destruction import destroy_ssa  # noqa: E402
+
+__all__.append("destroy_ssa")

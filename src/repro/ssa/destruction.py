@@ -1,0 +1,29 @@
+"""Standalone SSA destruction.
+
+A convenience wrapper over the planning machinery in
+:mod:`repro.remat.split`: either union every φ web (Chaitin-style, no
+copies — semantically valid because webs of one original register are never
+simultaneously live) or insert a copy for every φ operand (maximal
+splitting).  The register allocator uses the richer, tag-driven path in
+renumber; this module serves tests, examples and the Section 6 extension.
+"""
+
+from __future__ import annotations
+
+from ..ir import Function
+from .construction import SSAInfo
+
+
+def destroy_ssa(fn: Function, info: SSAInfo,
+                insert_copies: bool = False):
+    """Remove φs from *fn* in place.
+
+    With ``insert_copies=False`` φ webs are unioned (no copies); with
+    ``insert_copies=True`` a copy is placed on every φ edge instead.
+    Returns the :class:`~repro.remat.split.RenumberResult`.
+    """
+    from ..remat.split import RenumberMode, apply_plan, plan_unions
+
+    mode = RenumberMode.SPLIT_ALL if insert_copies else RenumberMode.CHAITIN
+    plan = plan_unions(fn, info, tags=None, mode=mode)
+    return apply_plan(fn, info, plan)

@@ -1,0 +1,40 @@
+"""A value-graph view of a function in SSA form.
+
+"A natural way to view the SSA graph for a procedure is as a collection of
+values, each composed of a single definition and one or more uses"
+(Section 3.1).  This module provides that view: per-value defining
+instruction and use list, which the sparse tag propagation walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function, Instruction, Opcode, Reg
+from .construction import SSAInfo
+
+
+@dataclass
+class SSAGraph:
+    """Defs and uses of every SSA value."""
+
+    #: value -> defining instruction (PHI pseudo-op for φ values)
+    def_inst: dict[Reg, Instruction]
+    #: value -> instructions that read it (φs included)
+    users: dict[Reg, list[Instruction]]
+
+    @staticmethod
+    def build(fn: Function, info: SSAInfo) -> "SSAGraph":
+        def_inst = {value: site[1] for value, site in info.def_site.items()}
+        users: dict[Reg, list[Instruction]] = {v: [] for v in def_inst}
+        for _blk, inst in fn.instructions():
+            for s in inst.srcs:
+                if s in users:
+                    users[s].append(inst)
+        return SSAGraph(def_inst=def_inst, users=users)
+
+    def values(self) -> set[Reg]:
+        return set(self.def_inst)
+
+    def is_phi(self, value: Reg) -> bool:
+        return self.def_inst[value].opcode is Opcode.PHI

@@ -1,0 +1,72 @@
+"""A disjoint-set (union-find) structure.
+
+The paper's renumber "forms live ranges by unioning together all the values
+reaching each φ-node using a fast disjoint-set union" and keeps the
+structure alive "while building the interference graph and coalescing
+(where coalesces are further union operations)" — Section 4.1.  This module
+is that structure: union by size with path compression.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class DisjointSets:
+    """Union-find over arbitrary hashable items.
+
+    Items are added lazily on first :meth:`find`/:meth:`union`.
+    """
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: dict[T, T] = {}
+        self._size: dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        """Register *item* as a singleton if unknown."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def find(self, item: T) -> T:
+        """The canonical representative of *item*'s class."""
+        self.add(item)
+        root = item
+        parent = self._parent
+        while parent[root] != root:
+            root = parent[root]
+        # path compression
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: T, b: T) -> T:
+        """Merge the classes of *a* and *b*; returns the surviving root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def same(self, a: T, b: T) -> bool:
+        return self.find(a) == self.find(b)
+
+    def classes(self) -> dict[T, list[T]]:
+        """Map each root to the sorted-by-insertion list of its members."""
+        result: dict[T, list[T]] = {}
+        for item in self._parent:
+            result.setdefault(self.find(item), []).append(item)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._parent)

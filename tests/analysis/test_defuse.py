@@ -1,0 +1,38 @@
+"""Tests for def-use site collection."""
+
+from repro.analysis import compute_def_use
+from repro.ir import IRBuilder
+
+from ..helpers import single_loop
+
+
+class TestDefUse:
+    def test_counts_defs_and_uses(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        y = b.add(x, x)
+        b.out(y)
+        b.ret()
+        du = compute_def_use(b.finish())
+        assert len(du.defs_of(x)) == 1
+        assert len(du.uses_of(x)) == 2       # both add operands
+        assert len(du.uses_of(y)) == 1
+
+    def test_sites_point_at_instructions(self):
+        fn = single_loop()
+        du = compute_def_use(fn)
+        for reg in du.regs():
+            for site in du.defs_of(reg):
+                inst = fn.block(site.block).instructions[site.index]
+                assert reg in inst.dests
+            for site in du.uses_of(reg):
+                inst = fn.block(site.block).instructions[site.index]
+                assert reg in inst.srcs
+
+    def test_unused_reg_has_no_uses(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        b.ret()
+        du = compute_def_use(b.finish())
+        assert du.uses_of(x) == []
+        assert len(du.defs_of(x)) == 1

@@ -1,0 +1,119 @@
+"""Tests for dominators and dominance frontiers."""
+
+import pytest
+
+from repro.analysis import (compute_dominance, iterated_dominance_frontier)
+
+from ..helpers import (ALL_SHAPES, diamond, naive_dominators, nested_loops,
+                       single_loop)
+
+
+class TestIdom:
+    def test_entry_is_its_own_idom(self):
+        dom = compute_dominance(diamond())
+        assert dom.idom["entry"] == "entry"
+
+    def test_diamond_idoms(self):
+        dom = compute_dominance(diamond())
+        assert dom.idom["left"] == "entry"
+        assert dom.idom["right"] == "entry"
+        assert dom.idom["join"] == "entry"
+
+    def test_loop_idoms(self):
+        dom = compute_dominance(single_loop())
+        assert dom.idom["head"] == "entry"
+        assert dom.idom["body"] == "head"
+        assert dom.idom["exit"] == "head"
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_matches_naive_dominators(self, shape):
+        fn = shape()
+        dom = compute_dominance(fn)
+        reference = naive_dominators(fn)
+        for label in dom.rpo:
+            assert set(dom.dominators_of(label)) == reference[label], label
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_dominates_predicate_agrees(self, shape):
+        fn = shape()
+        dom = compute_dominance(fn)
+        reference = naive_dominators(fn)
+        for a in dom.rpo:
+            for b in dom.rpo:
+                assert dom.dominates(a, b) == (a in reference[b]), (a, b)
+
+
+class TestDominatorTree:
+    def test_children_partition_non_roots(self):
+        fn = nested_loops()
+        dom = compute_dominance(fn)
+        seen = []
+        for kids in dom.children.values():
+            seen.extend(kids)
+        non_roots = [label for label in dom.rpo if dom.idom[label] != label]
+        assert sorted(seen) == sorted(non_roots)
+
+    def test_preorder_visits_parents_first(self):
+        fn = nested_loops()
+        dom = compute_dominance(fn)
+        order = dom.dom_tree_preorder()
+        pos = {label: i for i, label in enumerate(order)}
+        for label in dom.rpo:
+            if dom.idom[label] != label:
+                assert pos[dom.idom[label]] < pos[label]
+
+    def test_preorder_covers_all_blocks(self):
+        fn = nested_loops()
+        dom = compute_dominance(fn)
+        assert sorted(dom.dom_tree_preorder()) == sorted(dom.rpo)
+
+
+class TestFrontiers:
+    def test_diamond_frontier(self):
+        dom = compute_dominance(diamond())
+        assert dom.frontier["left"] == {"join"}
+        assert dom.frontier["right"] == {"join"}
+        assert dom.frontier["join"] == set()
+        assert dom.frontier["entry"] == set()
+
+    def test_loop_header_in_own_frontier(self):
+        """A loop header is in the frontier of its latch — and of itself
+        when it dominates the latch (it does in a natural loop)."""
+        dom = compute_dominance(single_loop())
+        assert "head" in dom.frontier["body"]
+        assert "head" in dom.frontier["head"]
+
+    def test_frontier_definition_holds(self):
+        """b in DF(a) iff a dominates a predecessor of b but not strictly b."""
+        for shape in ALL_SHAPES:
+            fn = shape()
+            dom = compute_dominance(fn)
+            preds = fn.predecessors_map()
+            for a in dom.rpo:
+                expected = set()
+                for b in dom.rpo:
+                    dominates_pred = any(
+                        p in dom.idom and dom.dominates(a, p)
+                        for p in preds[b])
+                    if dominates_pred and not dom.strictly_dominates(a, b):
+                        expected.add(b)
+                assert dom.frontier[a] == expected, (fn.name, a)
+
+
+class TestIteratedFrontier:
+    def test_idf_of_entry_def_is_empty_in_straightline(self):
+        fn = diamond()
+        dom = compute_dominance(fn)
+        assert iterated_dominance_frontier(dom, {"entry"}) == set()
+
+    def test_idf_includes_join_for_branch_defs(self):
+        fn = diamond()
+        dom = compute_dominance(fn)
+        assert iterated_dominance_frontier(dom, {"left"}) == {"join"}
+
+    def test_idf_iterates(self):
+        fn = single_loop()
+        dom = compute_dominance(fn)
+        # a def in body reaches head (the join of the back edge)
+        idf = iterated_dominance_frontier(dom, {"body"})
+        assert "head" in idf

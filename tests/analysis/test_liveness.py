@@ -1,0 +1,88 @@
+"""Tests for live-variable analysis."""
+
+import pytest
+
+from repro.analysis import block_use_def, compute_liveness, live_at_instruction
+from repro.ir import IRBuilder, Reg
+
+from ..helpers import ALL_SHAPES, naive_live_in, single_loop
+
+
+class TestUseDef:
+    def test_use_before_def_is_upward_exposed(self):
+        b = IRBuilder("f")
+        x = b.function.new_reg(Reg.vint(0).rclass)
+        y = b.addi(x, 1)       # uses x (upward exposed), defs y
+        z = b.addi(y, 1)       # uses y (already defined here), defs z
+        b.ret()
+        use, defs = block_use_def(b.function.entry.instructions)
+        assert x in use and y not in use
+        assert {y, z} <= defs
+
+    def test_def_then_use_not_exposed(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        y = b.addi(x, 1)
+        b.ret()
+        use, defs = block_use_def(b.function.entry.instructions)
+        assert use == set()
+        assert x in defs and y in defs
+
+
+class TestLiveness:
+    def test_loop_variable_live_around_backedge(self):
+        fn = single_loop()
+        live = compute_liveness(fn)
+        # the induction variable is the copy_to target in entry; find it as
+        # the register used by cmp_lt in head
+        cmp_inst = fn.block("head").instructions[0]
+        iv = cmp_inst.srcs[0]
+        assert iv in live.live_in("head")
+        assert iv in live.live_out("body")
+        assert iv in live.live_in("exit")
+
+    def test_dead_after_last_use(self):
+        fn = single_loop()
+        live = compute_liveness(fn)
+        # the cmp result is consumed by the cbr inside head, dead outside
+        cmp_dest = fn.block("head").instructions[0].dest
+        assert cmp_dest not in live.live_out("head")
+        assert cmp_dest not in live.live_in("head")
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_matches_naive_liveness(self, shape):
+        fn = shape()
+        live = compute_liveness(fn)
+        reference = naive_live_in(fn)
+        for label in fn.reverse_postorder():
+            assert live.live_in(label) == reference[label], (fn.name, label)
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_nothing_live_into_entry_except_params(self, shape):
+        """Well-formed functions define every register before use, so no
+        register is live into the entry block."""
+        fn = shape()
+        live = compute_liveness(fn)
+        assert live.live_in(fn.entry.label) == set()
+
+
+class TestLiveAtInstruction:
+    def test_point_liveness_matches_block_boundaries(self):
+        fn = single_loop()
+        live = compute_liveness(fn)
+        for blk in fn.blocks:
+            at_top = live_at_instruction(fn, live, blk.label, 0)
+            assert at_top == live.live_in(blk.label)
+
+    def test_point_liveness_after_def(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        y = b.addi(x, 2)
+        b.out(y)
+        b.ret()
+        fn = b.finish()
+        live = compute_liveness(fn)
+        # before the addi, x is live; after it (before out), only y
+        assert x in live_at_instruction(fn, live, "entry", 1)
+        at_out = live_at_instruction(fn, live, "entry", 2)
+        assert y in at_out and x not in at_out

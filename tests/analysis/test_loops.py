@@ -1,0 +1,71 @@
+"""Tests for natural loops and nesting depth."""
+
+from repro.analysis import (compute_dominance, compute_loops, find_back_edges)
+
+from ..helpers import diamond, if_in_loop, nested_loops, single_loop
+
+
+class TestBackEdges:
+    def test_diamond_has_none(self):
+        fn = diamond()
+        assert find_back_edges(fn, compute_dominance(fn)) == []
+
+    def test_single_loop_backedge(self):
+        fn = single_loop()
+        edges = find_back_edges(fn, compute_dominance(fn))
+        assert edges == [("body", "head")]
+
+    def test_nested_loops_have_two(self):
+        fn = nested_loops()
+        edges = set(find_back_edges(fn, compute_dominance(fn)))
+        assert edges == {("ibody", "ihead"), ("iexit", "ohead")}
+
+
+class TestLoopBodies:
+    def test_single_loop_body(self):
+        info = compute_loops(single_loop())
+        loop = info.loops["head"]
+        assert loop.body == {"head", "body"}
+        assert loop.latches == {"body"}
+        assert loop.depth == 1
+        assert loop.parent is None
+
+    def test_nested_bodies_and_parents(self):
+        info = compute_loops(nested_loops())
+        outer = info.loops["ohead"]
+        inner = info.loops["ihead"]
+        assert inner.body < outer.body
+        assert inner.parent == "ohead"
+        assert outer.parent is None
+        assert outer.depth == 1 and inner.depth == 2
+
+    def test_if_in_loop_body_includes_diamond(self):
+        info = compute_loops(if_in_loop())
+        loop = info.loops["head"]
+        assert {"body", "then", "els", "latch"} <= loop.body
+
+
+class TestDepths:
+    def test_depths_outside_loops_are_zero(self):
+        info = compute_loops(nested_loops())
+        assert info.depth["entry"] == 0
+        assert info.depth["oexit"] == 0
+
+    def test_nested_depths(self):
+        info = compute_loops(nested_loops())
+        assert info.depth["ohead"] == 1
+        assert info.depth["oibody"] == 1
+        assert info.depth["ihead"] == 2
+        assert info.depth["ibody"] == 2
+        assert info.depth["iexit"] == 1
+
+    def test_loop_of_returns_innermost(self):
+        info = compute_loops(nested_loops())
+        assert info.loop_of("ibody").header == "ihead"
+        assert info.loop_of("oibody").header == "ohead"
+        assert info.loop_of("entry") is None
+
+    def test_blocks_at_depth(self):
+        info = compute_loops(nested_loops())
+        assert "ibody" in info.blocks_at_depth(2)
+        assert "entry" in info.blocks_at_depth(0)

@@ -1,0 +1,50 @@
+"""Tests for postdominators and reverse dominance frontiers."""
+
+from repro.analysis import VIRTUAL_EXIT, compute_postdominance
+from repro.ir import IRBuilder
+
+from ..helpers import diamond, single_loop
+
+
+class TestPostdominance:
+    def test_join_postdominates_branches(self):
+        pdom = compute_postdominance(diamond())
+        assert pdom.postdominates("join", "entry")
+        assert pdom.postdominates("join", "left")
+        assert pdom.postdominates("join", "right")
+        assert not pdom.postdominates("left", "entry")
+
+    def test_ipdom_of_diamond(self):
+        pdom = compute_postdominance(diamond())
+        assert pdom.ipdom["left"] == "join"
+        assert pdom.ipdom["right"] == "join"
+        assert pdom.ipdom["entry"] == "join"
+        assert pdom.ipdom["join"] == VIRTUAL_EXIT
+
+    def test_loop_exit_postdominates_loop(self):
+        pdom = compute_postdominance(single_loop())
+        assert pdom.postdominates("exit", "head")
+        assert pdom.postdominates("exit", "body")
+        assert pdom.postdominates("head", "body")
+
+    def test_reverse_frontier_of_diamond(self):
+        pdom = compute_postdominance(diamond())
+        # walking the reverse CFG, 'entry' is the join: branches' reverse
+        # frontier is entry
+        assert pdom.frontier["left"] == {"entry"}
+        assert pdom.frontier["right"] == {"entry"}
+
+    def test_multiple_rets(self):
+        b = IRBuilder("two_rets")
+        c = b.ldi(1)
+        b.cbr(c, "a", "z")
+        b.label("a")
+        b.ret()
+        b.label("z")
+        b.ret()
+        fn = b.finish()
+        pdom = compute_postdominance(fn)
+        assert pdom.ipdom["a"] == VIRTUAL_EXIT
+        assert pdom.ipdom["z"] == VIRTUAL_EXIT
+        assert pdom.ipdom["entry"] == VIRTUAL_EXIT
+        assert not pdom.postdominates("a", "entry")

@@ -1,0 +1,26 @@
+"""Tests for the register-set sweep experiment."""
+
+from repro.benchsuite import KERNELS_BY_NAME
+from repro.experiments import run_register_sweep
+
+KERNELS = [KERNELS_BY_NAME[n] for n in ("adapt", "zeroin", "ptrsum")]
+
+
+class TestSweep:
+    def test_spill_cycles_decrease_with_registers(self):
+        sweep = run_register_sweep(ks=(6, 10, 16, 32), kernels=KERNELS)
+        olds = [p.old_spill for p in sweep.points]
+        assert olds == sorted(olds, reverse=True)
+        assert sweep.points[-1].old_spill == 0   # 32 regs: no pressure
+
+    def test_remat_wins_in_the_pressure_band(self):
+        sweep = run_register_sweep(ks=(16,), kernels=KERNELS)
+        (point,) = sweep.points
+        assert point.new_spill < point.old_spill
+
+    def test_render(self):
+        sweep = run_register_sweep(ks=(8, 16), kernels=KERNELS)
+        text = sweep.render()
+        assert "Register-set sweep" in text
+        assert "improvement" in text
+        assert len(text.splitlines()) >= 6

@@ -1,0 +1,38 @@
+"""Tests for text-table rendering details."""
+
+from repro.experiments import render_table
+
+
+class TestRenderTable:
+    def test_numeric_columns_right_aligned(self):
+        text = render_table(["name", "n"], [["a", "5"], ["long", "1234"]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("1234")
+        assert lines[-2].endswith("   5")
+
+    def test_text_columns_left_aligned(self):
+        text = render_table(["name", "n"], [["a", "1"], ["bb", "2"]])
+        body = text.splitlines()[-2:]
+        assert body[0].startswith("a ")
+        assert body[1].startswith("bb")
+
+    def test_percent_and_comma_values_count_as_numeric(self):
+        text = render_table(["v"], [["1,234"], ["56%"], ["-7"]])
+        lines = text.splitlines()
+        width = len(lines[0])
+        for line in lines[2:]:
+            assert len(line) <= max(width, 5)
+
+    def test_blank_cells_allowed(self):
+        text = render_table(["a", "b"], [["x", ""], ["y", "3"]])
+        assert "x" in text and "3" in text
+
+    def test_separator_matches_width(self):
+        text = render_table(["head", "x"], [["content", "1"]])
+        header, sep = text.splitlines()[0], text.splitlines()[1]
+        assert len(sep) >= len("head")
+
+    def test_title_block(self):
+        text = render_table(["a"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == ""

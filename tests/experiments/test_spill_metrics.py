@@ -1,0 +1,64 @@
+"""Tests for the Section 5.2 measurement methodology."""
+
+from repro.benchsuite import KERNELS_BY_NAME
+from repro.experiments import (compare_kernel, measure, measure_baseline)
+from repro.ir import CountClass
+from repro.machine import huge_machine, machine_with, standard_machine
+from repro.remat import RenumberMode
+
+
+class TestMeasure:
+    def test_huge_machine_is_the_floor(self):
+        kernel = KERNELS_BY_NAME["adapt"]
+        baseline = measure_baseline(kernel, cost_machine=standard_machine())
+        pressured = measure(kernel, machine_with(8, 8), RenumberMode.CHAITIN,
+                            cost_machine=standard_machine())
+        assert pressured.total_cycles >= baseline.total_cycles
+
+    def test_spill_cycles_zero_when_no_pressure(self):
+        kernel = KERNELS_BY_NAME["zeroin"]          # tiny working set
+        baseline = measure_baseline(kernel, cost_machine=standard_machine())
+        std = measure(kernel, standard_machine(), RenumberMode.REMAT)
+        assert std.spill_cycles_vs(baseline) == 0
+
+    def test_total_is_sum_of_classes(self):
+        kernel = KERNELS_BY_NAME["repvid"]
+        m = measure(kernel, standard_machine(), RenumberMode.REMAT)
+        assert m.total_cycles == sum(m.class_cycles.values())
+
+    def test_class_costs_use_machine_model(self):
+        kernel = KERNELS_BY_NAME["repvid"]
+        m = measure(kernel, standard_machine(), RenumberMode.REMAT)
+        # loads cost 2: class cycles for LOAD must be even
+        assert m.class_cycles.get(CountClass.LOAD, 0) % 2 == 0
+
+
+class TestCompareKernel:
+    def test_contributions_sum_to_total(self):
+        kernel = KERNELS_BY_NAME["adapt"]
+        row = compare_kernel(kernel, standard_machine())
+        assert row.differs
+        total = sum(row.contributions.values())
+        assert abs(total - row.total_percent) < 1e-6
+
+    def test_adapt_improves_with_paper_pattern(self):
+        """Fewer loads (positive contribution), more immediates
+        (negative ldi/addi contribution), net improvement."""
+        kernel = KERNELS_BY_NAME["adapt"]
+        row = compare_kernel(kernel, standard_machine())
+        assert row.total_percent > 0
+        assert row.contributions[CountClass.LOAD] > 0
+        assert (row.contributions[CountClass.LDI]
+                + row.contributions[CountClass.ADDI]) < 0
+
+    def test_colbur_degrades(self):
+        """The designed loss specimen mirrors the paper's colbur row."""
+        kernel = KERNELS_BY_NAME["colbur"]
+        row = compare_kernel(kernel, standard_machine())
+        assert row.total_percent < 0
+
+    def test_no_difference_row(self):
+        kernel = KERNELS_BY_NAME["zeroin"]
+        row = compare_kernel(kernel, standard_machine())
+        assert not row.differs
+        assert row.total_percent == 0.0

@@ -1,0 +1,89 @@
+"""Tests for the Table 1 / Table 2 generators and the ablation harness."""
+
+from repro.benchsuite import KERNELS_BY_NAME
+from repro.experiments import (generate_table1, generate_table2,
+                               paper_percent, render_table, run_ablation,
+                               run_heuristic_ablation)
+from repro.machine import machine_with, standard_machine
+
+FAST_KERNELS = [KERNELS_BY_NAME[n]
+                for n in ("zeroin", "adapt", "marginal", "colbur")]
+
+
+class TestPaperPercent:
+    def test_blank_for_exact_zero(self):
+        assert paper_percent(0.0) == ""
+
+    def test_insignificant_improvement_is_0(self):
+        assert paper_percent(0.2) == "0"
+
+    def test_insignificant_loss_is_minus_0(self):
+        assert paper_percent(-0.2) == "-0"
+
+    def test_rounding(self):
+        assert paper_percent(26.6) == "27"
+        assert paper_percent(-11.4) == "-11"
+
+
+class TestRenderTable:
+    def test_headers_and_alignment(self):
+        text = render_table(["name", "value"],
+                            [["a", "1"], ["bb", "22"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert lines[3].startswith("-")
+
+
+class TestTable1:
+    def test_generates_rows_for_all_kernels(self):
+        table = generate_table1(kernels=FAST_KERNELS)
+        assert len(table.rows) == len(FAST_KERNELS)
+
+    def test_render_hides_unchanged_rows(self):
+        table = generate_table1(kernels=FAST_KERNELS)
+        text = table.render()
+        assert "zeroin" not in text      # no difference -> not shown
+        assert "adapt" in text
+
+    def test_summary_counts(self):
+        table = generate_table1(kernels=FAST_KERNELS)
+        assert table.n_improved >= 2
+        assert table.n_degraded >= 1
+        assert "improvements in" in table.render()
+
+
+class TestTable2:
+    def test_columns_and_phases(self):
+        table = generate_table2(routines=("repvid", "tomcatv"), repeats=2)
+        assert len(table.columns) == 2
+        text = table.render()
+        assert "cfa" in text and "renum" in text and "build" in text
+        assert "total" in text
+
+    def test_tomcatv_takes_extra_spill_rounds(self):
+        """Parallel to the paper's note that tomcatv required an
+        additional round of spilling."""
+        table = generate_table2(routines=("tomcatv",), repeats=1)
+        old, new = table.columns[0]
+        assert len(old.rounds) >= 2
+
+
+class TestAblation:
+    def test_all_schemes_measured(self):
+        result = run_ablation(kernels=FAST_KERNELS[:2],
+                              machine=machine_with(8, 8))
+        for per_scheme in result.spill.values():
+            assert set(per_scheme) == {
+                "chaitin", "remat", "around-all-loops",
+                "around-outer-loops", "around-unused-loops", "at-phis",
+                "forward-reverse-df"}
+        assert "wins vs remat" in result.render()
+
+    def test_heuristic_ablation(self):
+        result = run_heuristic_ablation(kernels=FAST_KERNELS[:2],
+                                        machine=machine_with(8, 8))
+        for per in result.spill.values():
+            assert set(per) == {"full", "no-biasing", "no-lookahead",
+                                "no-conservative", "pessimistic"}
+        assert "TOTAL" in result.render()

@@ -1,0 +1,170 @@
+"""Tests for MiniFort code generation (behavior via the interpreter)."""
+
+import pytest
+
+from repro.frontend import MiniFortTypeError, compile_source
+from repro.interp import run_function
+from repro.ir import Opcode, verify_function
+
+
+def run(source, args=None):
+    fn = compile_source(source)
+    verify_function(fn)
+    return run_function(fn, args=args).output
+
+
+class TestScalars:
+    def test_int_arithmetic(self):
+        out = run("proc f() { int x; x = (3 + 4) * 2 - 5; out(x); }")
+        assert out == [9]
+
+    def test_division_truncates_like_c(self):
+        assert run("proc f() { out(-7 / 2); }") == [-3]
+
+    def test_modulo(self):
+        assert run("proc f() { out(13 % 5); out(-7 % 3); }") == [3, -1]
+
+    def test_float_arithmetic(self):
+        out = run("proc f() { float x; x = 1.5 * 4.0 + 0.25; out(x); }")
+        assert out == [6.25]
+
+    def test_casts(self):
+        assert run("proc f() { out(int(2.9)); out(float(3) / 2.0); }") \
+            == [2, 1.5]
+
+    def test_fabs_and_negation(self):
+        assert run("proc f() { out(fabs(-2.5)); out(-(3)); }") == [2.5, -3]
+
+    def test_params(self):
+        assert run("proc f(a, b) { out(a * 10 + b); }", args=[4, 2]) == [42]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = """proc f(n) {
+            if (n > 3) { out(1); } else { out(0); }
+        }"""
+        assert run(src, args=[5]) == [1]
+        assert run(src, args=[2]) == [0]
+
+    def test_if_without_else(self):
+        src = "proc f(n) { if (n == 1) { out(7); } out(9); }"
+        assert run(src, args=[1]) == [7, 9]
+        assert run(src, args=[0]) == [9]
+
+    def test_while(self):
+        src = """proc f(n) {
+            int i; i = 0;
+            while (i < n) { i = i + 2; }
+            out(i);
+        }"""
+        assert run(src, args=[5]) == [6]
+
+    def test_for_half_open(self):
+        src = """proc f(n) {
+            int i, s; s = 0;
+            for i = 0 to n { s = s + i; }
+            out(s); out(i);
+        }"""
+        assert run(src, args=[5]) == [10, 5]
+
+    def test_for_bound_evaluated_once(self):
+        """Mutating a variable used in the bound must not change the trip
+        count (the bound is captured in a register)."""
+        src = """proc f() {
+            int i, n, c; n = 3; c = 0;
+            for i = 0 to n { n = 100; c = c + 1; }
+            out(c);
+        }"""
+        assert run(src) == [3]
+
+    def test_nested_loops(self):
+        src = """proc f(n) {
+            int i, j, s; s = 0;
+            for i = 0 to n { for j = 0 to i { s = s + 1; } }
+            out(s);
+        }"""
+        assert run(src, args=[4]) == [6]
+
+    def test_logical_operators(self):
+        src = """proc f(a, b) {
+            out(a < 2 && b < 2);
+            out(a < 2 || b < 2);
+            out(not (a == b));
+        }"""
+        assert run(src, args=[1, 5]) == [0, 1, 1]
+
+
+class TestArrays:
+    def test_store_load_roundtrip(self):
+        src = """proc f() {
+            array int a[4];
+            a[0] = 10; a[3] = 13;
+            out(a[0] + a[3]); out(a[1]);
+        }"""
+        assert run(src) == [23, 0]
+
+    def test_float_arrays(self):
+        src = """proc f(n) {
+            int i; float s;
+            array float x[16];
+            for i = 0 to n { x[i] = float(i) * 1.5; }
+            s = 0.0;
+            for i = 0 to n { s = s + x[i]; }
+            out(s);
+        }"""
+        assert run(src, args=[4]) == [9.0]
+
+    def test_two_arrays_distinct_storage(self):
+        src = """proc f() {
+            array int a[4]; array int b[4];
+            a[0] = 1; b[0] = 2;
+            out(a[0]); out(b[0]);
+        }"""
+        assert run(src) == [1, 2]
+
+    def test_address_code_uses_lsd(self):
+        fn = compile_source(
+            "proc f() { array int a[4]; a[0] = 1; out(a[0]); }")
+        opcodes = [i.opcode for _b, i in fn.instructions()]
+        assert Opcode.LSD in opcodes
+        assert Opcode.MULI in opcodes
+
+
+class TestTypeErrors:
+    def test_mixed_arithmetic_rejected(self):
+        with pytest.raises(MiniFortTypeError, match="mixed"):
+            compile_source("proc f() { out(1 + 2.0); }")
+
+    def test_assign_wrong_type(self):
+        with pytest.raises(MiniFortTypeError):
+            compile_source("proc f() { int x; x = 1.5; }")
+
+    def test_undeclared_variable(self):
+        with pytest.raises(MiniFortTypeError, match="undeclared"):
+            compile_source("proc f() { out(x); }")
+
+    def test_redeclaration(self):
+        with pytest.raises(MiniFortTypeError, match="redeclaration"):
+            compile_source("proc f() { int x; float x; }")
+
+    def test_array_as_scalar(self):
+        with pytest.raises(MiniFortTypeError):
+            compile_source("proc f() { array int a[4]; out(a); }")
+
+    def test_scalar_indexed(self):
+        with pytest.raises(MiniFortTypeError):
+            compile_source("proc f() { int a; out(a[0]); }")
+
+    def test_float_condition_rejected(self):
+        with pytest.raises(MiniFortTypeError, match="condition"):
+            compile_source("proc f() { float x; x = 1.0; "
+                           "if (x) { out(1); } }")
+
+    def test_float_modulo_rejected(self):
+        with pytest.raises(MiniFortTypeError):
+            compile_source("proc f() { out(1.0 % 2.0); }")
+
+    def test_float_for_variable_rejected(self):
+        with pytest.raises(MiniFortTypeError):
+            compile_source("proc f() { float x; for x = 0 to 3 { } }")

@@ -1,0 +1,47 @@
+"""Tests for the MiniFort lexer."""
+
+import pytest
+
+from repro.frontend import LexError, TokKind, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_and_idents(self):
+        toks = kinds("proc foo int floaty")
+        assert toks == [(TokKind.KEYWORD, "proc"), (TokKind.IDENT, "foo"),
+                        (TokKind.KEYWORD, "int"), (TokKind.IDENT, "floaty")]
+
+    def test_numbers(self):
+        toks = kinds("42 3.5 1e3 2.5e-2 7")
+        assert toks == [(TokKind.INT, "42"), (TokKind.FLOAT, "3.5"),
+                        (TokKind.FLOAT, "1e3"), (TokKind.FLOAT, "2.5e-2"),
+                        (TokKind.INT, "7")]
+
+    def test_punctuation_maximal_munch(self):
+        toks = kinds("<= < == = != >= >")
+        assert [t for _k, t in toks] == ["<=", "<", "==", "=", "!=", ">=",
+                                         ">"]
+
+    def test_comments_ignored(self):
+        toks = kinds("a # the rest vanishes\nb")
+        assert [t for _k, t in toks] == ["a", "b"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        lines = [t.line for t in tokens[:-1]]
+        assert lines == [1, 2, 4]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind is TokKind.EOF
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_malformed_exponent(self):
+        with pytest.raises(LexError):
+            tokenize("1e+")

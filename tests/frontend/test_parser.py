@@ -1,0 +1,108 @@
+"""Tests for the MiniFort parser."""
+
+import pytest
+
+from repro.frontend import (Assign, Binary, FloatLit, For, If, Index,
+                            IntLit, MiniFortSyntaxError, Out, Store, Type,
+                            Unary, VarDecl, VarRef, While, parse_proc,
+                            parse_program)
+
+
+class TestStructure:
+    def test_proc_header(self):
+        p = parse_proc("proc f(a, b) { out(a); }")
+        assert p.name == "f"
+        assert p.params == ["a", "b"]
+
+    def test_multiple_procs(self):
+        prog = parse_program("proc f() { out(1); } proc g() { out(2); }")
+        assert [p.name for p in prog.procs] == ["f", "g"]
+        assert prog.proc("g").name == "g"
+
+    def test_decls(self):
+        p = parse_proc("proc f() { int i, j; float x; array float a[8]; }")
+        decl_i, decl_x, decl_a = p.body
+        assert isinstance(decl_i, VarDecl) and decl_i.names == ["i", "j"]
+        assert decl_x.type is Type.FLOAT
+        assert decl_a.name == "a" and decl_a.size == 8
+
+    def test_if_else_chain(self):
+        p = parse_proc("""proc f() {
+            int a;
+            if (a < 1) { out(1); } else if (a < 2) { out(2); }
+            else { out(3); }
+        }""")
+        node = p.body[1]
+        assert isinstance(node, If)
+        assert isinstance(node.otherwise[0], If)
+
+    def test_for_and_while(self):
+        p = parse_proc("""proc f(n) {
+            int i;
+            for i = 0 to n { out(i); }
+            while (i > 0) { i = i - 1; }
+        }""")
+        loop, wh = p.body[1], p.body[2]
+        assert isinstance(loop, For) and loop.var == "i"
+        assert isinstance(wh, While)
+
+    def test_array_store_and_load(self):
+        p = parse_proc("proc f() { array int a[4]; a[1] = a[0] + 2; }")
+        store = p.body[1]
+        assert isinstance(store, Store)
+        assert isinstance(store.value, Binary)
+        assert isinstance(store.value.left, Index)
+
+
+class TestPrecedence:
+    def expr_of(self, text):
+        return parse_proc(f"proc f() {{ int x; x = {text}; }}").body[1].value
+
+    def test_mul_binds_tighter_than_add(self):
+        e = self.expr_of("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_parens_override(self):
+        e = self.expr_of("(1 + 2) * 3")
+        assert e.op == "*"
+
+    def test_comparison_looser_than_arith(self):
+        e = self.expr_of("1 + 2 < 3 * 4")
+        assert e.op == "<"
+
+    def test_logical_looser_than_comparison(self):
+        e = self.expr_of("1 < 2 && 3 < 4 || 0 == 1")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_unary_minus(self):
+        e = self.expr_of("-x + 1")
+        assert e.op == "+"
+        assert isinstance(e.left, Unary) and e.left.op == "-"
+
+    def test_float_literals(self):
+        e = self.expr_of("2.5")
+        assert isinstance(e, FloatLit) and e.value == 2.5
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(MiniFortSyntaxError):
+            parse_proc("proc f() { out(1) }")
+
+    def test_missing_paren(self):
+        with pytest.raises(MiniFortSyntaxError):
+            parse_proc("proc f( { }")
+
+    def test_garbage_expression(self):
+        with pytest.raises(MiniFortSyntaxError):
+            parse_proc("proc f() { int x; x = ; }")
+
+    def test_array_size_must_be_literal(self):
+        with pytest.raises(MiniFortSyntaxError):
+            parse_proc("proc f(n) { array int a[n]; }")
+
+    def test_empty_program(self):
+        with pytest.raises(MiniFortSyntaxError):
+            parse_program("")

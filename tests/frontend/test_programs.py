@@ -1,0 +1,167 @@
+"""Whole-program MiniFort tests: deeper nesting, interactions between
+features, and behavioral edge cases."""
+
+from repro.frontend import compile_source
+from repro.interp import run_function
+from repro.ir import verify_function
+
+
+def run(source, args=None):
+    fn = compile_source(source)
+    verify_function(fn)
+    return run_function(fn, args=args, max_steps=2_000_000).output
+
+
+class TestNesting:
+    def test_triple_nested_loops(self):
+        src = """proc f(n) {
+            int i, j, k, c; c = 0;
+            for i = 0 to n {
+              for j = 0 to i {
+                for k = 0 to j { c = c + 1; }
+              }
+            }
+            out(c);
+        }"""
+        # sum over i<4, j<i, k<j of 1 = C(4,3) = 4
+        assert run(src, args=[4]) == [4]
+
+    def test_if_inside_while_inside_for(self):
+        src = """proc f(n) {
+            int i, j, acc; acc = 0;
+            for i = 0 to n {
+              j = i;
+              while (j > 0) {
+                if (j % 2 == 0) { acc = acc + j; } else { acc = acc - 1; }
+                j = j / 2;
+              }
+            }
+            out(acc);
+        }"""
+        assert run(src, args=[6]) == [run(src, args=[6])[0]]  # determinism
+        result = run(src, args=[6])[0]
+        # independently computed expectation
+        expected = 0
+        for i in range(6):
+            j = i
+            while j > 0:
+                if j % 2 == 0:
+                    expected += j
+                else:
+                    expected -= 1
+                j = abs(j) // 2
+        assert result == expected
+
+    def test_else_if_chain_dispatch(self):
+        src = """proc f(n) {
+            if (n < 0) { out(0); }
+            else if (n == 0) { out(1); }
+            else if (n < 10) { out(2); }
+            else { out(3); }
+        }"""
+        assert run(src, args=[-5]) == [0]
+        assert run(src, args=[0]) == [1]
+        assert run(src, args=[7]) == [2]
+        assert run(src, args=[70]) == [3]
+
+    def test_empty_blocks(self):
+        src = """proc f(n) {
+            int i;
+            if (n > 0) { } else { }
+            for i = 0 to n { }
+            while (n < 0) { }
+            out(n);
+        }"""
+        assert run(src, args=[3]) == [3]
+
+
+class TestSemanticEdges:
+    def test_zero_trip_for_loop(self):
+        src = """proc f() {
+            int i, c; c = 0;
+            for i = 5 to 5 { c = c + 1; }
+            for i = 9 to 2 { c = c + 1; }
+            out(c); out(i);
+        }"""
+        assert run(src) == [0, 9]
+
+    def test_shadowing_is_rejected_but_reuse_is_fine(self):
+        src = """proc f() {
+            int i, acc; acc = 0;
+            for i = 0 to 3 { acc = acc + i; }
+            for i = 0 to 2 { acc = acc + 10 * i; }
+            out(acc);
+        }"""
+        assert run(src) == [3 + 10]
+
+    def test_negative_literals_via_unary_minus(self):
+        assert run("proc f() { out(-3 + -4); out(-(2 * 5)); }") \
+            == [-7, -10]
+
+    def test_float_int_mix_through_casts(self):
+        src = """proc f(n) {
+            float x;
+            x = float(n) / 4.0;
+            out(int(x * 10.0));
+        }"""
+        assert run(src, args=[10]) == [25]
+
+    def test_array_aliasing_through_same_index(self):
+        src = """proc f() {
+            array int a[8];
+            int i;
+            a[3] = 1;
+            i = 3;
+            a[i] = a[i] + a[3];
+            out(a[3]);
+        }"""
+        assert run(src) == [2]
+
+    def test_expression_evaluation_order_is_left_to_right(self):
+        """a[i] evaluated before the store target in 'a[i] = a[i] + 1'."""
+        src = """proc f() {
+            array int a[4];
+            a[0] = 41;
+            a[0] = a[0] + 1;
+            out(a[0]);
+        }"""
+        assert run(src) == [42]
+
+    def test_large_loop_is_linear(self):
+        src = """proc f(n) {
+            int i, s; s = 0;
+            for i = 0 to n { s = s + i; }
+            out(s);
+        }"""
+        assert run(src, args=[1000]) == [499500]
+
+    def test_while_with_compound_condition(self):
+        src = """proc f(n) {
+            int i, j;
+            i = 0; j = n;
+            while (i < j && j > 0) { i = i + 1; j = j - 1; }
+            out(i); out(j);
+        }"""
+        # 0/7 -> 1/6 -> 2/5 -> 3/4 -> 4/3 (stop: 4 < 3 is false)
+        assert run(src, args=[7]) == [4, 3]
+
+
+class TestAllocationOfPrograms:
+    def test_deeply_nested_program_allocates_small(self):
+        from repro.machine import machine_with
+        from repro.regalloc import allocate
+        src = """proc f(n) {
+            int i, j, k, acc; acc = 0;
+            for i = 0 to n {
+              for j = 0 to n {
+                for k = 0 to n {
+                  acc = acc + i * j + k;
+                }
+              }
+            }
+            out(acc);
+        }"""
+        fn = compile_source(src)
+        expected = run_function(fn.clone(), args=[4]).output
+        result = allocate(fn, machine=machine_with(4, 4))
+        assert run_function(result.function, args=[4]).output == expected

@@ -1,0 +1,201 @@
+"""Tests for the ILOC interpreter."""
+
+import pytest
+
+from repro.interp import (FP_BASE, InterpreterError, SD_BASE,
+                          UninitializedRegister, WORD, run_function)
+from repro.ir import CountClass, IRBuilder, Opcode, parse_function
+
+from ..helpers import figure1_fragment, nested_loops, single_loop
+
+
+class TestBasics:
+    def test_arithmetic_and_out(self):
+        b = IRBuilder("f")
+        x = b.ldi(6)
+        y = b.ldi(7)
+        b.out(b.mul(x, y))
+        b.ret()
+        assert run_function(b.finish()).output == [42]
+
+    def test_loop_counts_to_n(self):
+        result = run_function(single_loop(), args=[5])
+        assert result.output == [5]
+
+    def test_nested_loops_sum(self):
+        result = run_function(nested_loops(), args=[4])
+        # sum over i<4 of sum j<4 of j = 4 * 6
+        assert result.output == [24]
+
+    def test_float_pipeline(self):
+        b = IRBuilder("f")
+        x = b.ldf(1.5)
+        y = b.fmul(x, b.ldf(4.0))
+        z = b.fabs(b.fneg(y))
+        b.out(z)
+        b.ret()
+        assert run_function(b.finish()).output == [6.0]
+
+    def test_conversions(self):
+        b = IRBuilder("f")
+        i = b.ldi(3)
+        f = b.i2f(i)
+        g = b.fadd(f, b.ldf(0.75))
+        b.out(b.f2i(g))
+        b.ret()
+        assert run_function(b.finish()).output == [3]
+
+    def test_truncating_division(self):
+        b = IRBuilder("f")
+        a = b.ldi(-7)
+        c = b.ldi(2)
+        b.out(b.div(a, c))
+        b.ret()
+        assert run_function(b.finish()).output == [-3]  # C semantics, not -4
+
+    def test_figure1_fragment_runs(self):
+        result = run_function(figure1_fragment(), args=[3])
+        # first loop adds 3 loads of mem[SD+64] (= 0) plus +1 per trip
+        assert result.output[0] == 3
+        assert result.output[1] == 3 + 64 + SD_BASE
+
+
+class TestMemory:
+    def test_static_area_roundtrip(self):
+        b = IRBuilder("f")
+        base = b.lsd(0)
+        v = b.ldi(99)
+        b.stwo(v, base, 8)
+        b.out(b.ldwo(base, 8))
+        b.ret()
+        result = run_function(b.finish())
+        assert result.output == [99]
+        assert result.memory[SD_BASE + 8] == 99
+
+    def test_frame_locals(self):
+        b = IRBuilder("f")
+        addr = b.lfp(16)
+        b.stw(b.ldi(5), addr)
+        b.out(b.ldw(addr))
+        b.ret()
+        result = run_function(b.finish())
+        assert result.output == [5]
+        assert result.memory[FP_BASE + 16] == 5
+
+    def test_spill_slots_below_frame(self):
+        text = """proc f 0
+entry:
+    ldi r0 123
+    spst r0 0
+    spld r1 0
+    out r1
+    ret
+"""
+        result = run_function(parse_function(text))
+        assert result.output == [123]
+        assert result.memory[FP_BASE - WORD] == 123
+
+    def test_float_spill_slots(self):
+        text = """proc f 0
+entry:
+    ldf f0 2.5
+    fspst f0 3
+    fspld f1 3
+    fout f1
+    ret
+"""
+        assert run_function(parse_function(text)).output == [2.5]
+
+    def test_const_pool(self):
+        b = IRBuilder("f")
+        b.out(b.cldw(4))
+        b.out(b.cldf(8))
+        b.ret()
+        result = run_function(b.finish(), const_pool={4: 11, 8: 2.5})
+        assert result.output == [11, 2.5]
+
+    def test_uninitialized_memory_reads_zero(self):
+        b = IRBuilder("f")
+        base = b.lsd(0)
+        b.out(b.ldw(base))
+        b.ret()
+        assert run_function(b.finish()).output == [0]
+
+
+class TestParams:
+    def test_params_read_arguments(self):
+        b = IRBuilder("f", n_params=2)
+        x = b.param(0)
+        y = b.param(1)
+        b.out(b.sub(x, y))
+        b.ret()
+        assert run_function(b.finish(), args=[10, 4]).output == [6]
+
+    def test_fparam(self):
+        b = IRBuilder("f", n_params=1)
+        x = b.fparam(0)
+        b.out(b.fmul(x, x))
+        b.ret()
+        assert run_function(b.finish(), args=[1.5]).output == [2.25]
+
+    def test_missing_argument_raises(self):
+        b = IRBuilder("f", n_params=1)
+        b.param(0)
+        b.ret()
+        with pytest.raises(InterpreterError):
+            run_function(b.finish(), args=[])
+
+
+class TestErrors:
+    def test_uninitialized_register(self):
+        text = "proc f 0\nentry:\n    out r9\n    ret\n"
+        with pytest.raises(UninitializedRegister):
+            run_function(parse_function(text))
+
+    def test_division_by_zero(self):
+        b = IRBuilder("f")
+        z = b.ldi(0)
+        b.out(b.div(z, z))
+        b.ret()
+        with pytest.raises(InterpreterError):
+            run_function(b.finish())
+
+    def test_step_limit(self):
+        b = IRBuilder("f")
+        b.jmp("spin")
+        b.label("spin")
+        b.jmp("spin")
+        fn = b.function
+        with pytest.raises(InterpreterError, match="steps"):
+            run_function(fn, max_steps=100)
+
+
+class TestCounters:
+    def test_count_classes(self):
+        text = """proc f 0
+entry:
+    ldi r0 1
+    addi r1 r0 2
+    copy r2 r1
+    spst r2 0
+    spld r3 0
+    out r3
+    ret
+"""
+        result = run_function(parse_function(text))
+        assert result.count(CountClass.LDI) == 1
+        assert result.count(CountClass.ADDI) == 1
+        assert result.count(CountClass.COPY) == 1
+        assert result.count(CountClass.STORE) == 1
+        assert result.count(CountClass.LOAD) == 1
+
+    def test_dynamic_counts_scale_with_trip_count(self):
+        r5 = run_function(single_loop(), args=[5])
+        r10 = run_function(single_loop(), args=[10])
+        d5 = r5.opcode_counts[Opcode.ADDI]
+        d10 = r10.opcode_counts[Opcode.ADDI]
+        assert d10 == d5 + 5
+
+    def test_steps_equals_sum_of_opcode_counts(self):
+        result = run_function(single_loop(), args=[7])
+        assert result.steps == sum(result.opcode_counts.values())

@@ -1,0 +1,110 @@
+"""Coverage tests for every IRBuilder helper."""
+
+import pytest
+
+from repro.interp import run_function
+from repro.ir import IRBuilder, Opcode, RegClass, verify_function
+
+
+class TestEveryEmitter:
+    def test_int_helpers_emit_validated_instructions(self):
+        b = IRBuilder("f", n_params=1)
+        n = b.param(0)
+        regs = [
+            b.ldi(1), b.lfp(8), b.lsd(16), b.cldw(0),
+        ]
+        x, y = regs[0], b.ldi(2)
+        results = [
+            b.add(x, y), b.sub(x, y), b.mul(x, y), b.div(x, y), b.neg(x),
+            b.addi(x, 1), b.subi(x, 1), b.muli(x, 2),
+            b.cmp_lt(x, y), b.cmp_le(x, y), b.cmp_gt(x, y),
+            b.cmp_ge(x, y), b.cmp_eq(x, y), b.cmp_ne(x, y),
+        ]
+        for r in results:
+            assert r.rclass is RegClass.INT
+        b.out(results[0])
+        b.ret()
+        verify_function(b.finish())
+
+    def test_float_helpers(self):
+        b = IRBuilder("f", n_params=1)
+        f = b.ldf(1.5)
+        g = b.cldf(8)
+        h = b.fparam(0)
+        results = [
+            b.fadd(f, g), b.fsub(f, g), b.fmul(f, g), b.fdiv(f, g),
+            b.fabs(f), b.fneg(f), b.i2f(b.ldi(1)),
+        ]
+        for r in results:
+            assert r.rclass is RegClass.FLOAT
+        icmp = [b.fcmp_lt(f, g), b.fcmp_le(f, g), b.fcmp_gt(f, g),
+                b.fcmp_ge(f, g), b.fcmp_eq(f, g), b.fcmp_ne(f, g),
+                b.f2i(h)]
+        for r in icmp:
+            assert r.rclass is RegClass.INT
+        b.out(results[0])
+        b.ret()
+        verify_function(b.finish())
+
+    def test_memory_helpers(self):
+        b = IRBuilder("f")
+        base = b.lsd(0)
+        v = b.ldi(5)
+        fv = b.ldf(1.5)
+        b.stw(v, base)
+        b.stwo(v, base, 8)
+        b.fst(fv, b.lsd(16))
+        b.fsto(fv, base, 24)
+        b.out(b.ldw(base))
+        b.out(b.ldwo(base, 8))
+        b.out(b.fld(b.lsd(16)))
+        b.out(b.fldo(base, 24))
+        b.ret()
+        fn = b.finish()
+        verify_function(fn)
+        assert run_function(fn).output == [5, 5, 1.5, 1.5]
+
+    def test_copy_helpers_dispatch_by_class(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        f = b.ldf(1.0)
+        cx = b.copy(x)
+        cf = b.copy(f)
+        assert cx.rclass is RegClass.INT and cf.rclass is RegClass.FLOAT
+        b.copy_to(x, cx)
+        b.copy_to(f, cf)
+        b.out(x)
+        b.ret()
+        fn = b.finish()
+        opcodes = [i.opcode for i in fn.entry.instructions]
+        assert Opcode.COPY in opcodes and Opcode.FCOPY in opcodes
+
+    def test_out_dispatches_by_class(self):
+        b = IRBuilder("f")
+        b.out(b.ldi(1))
+        b.out(b.ldf(2.0))
+        b.ret()
+        fn = b.finish()
+        opcodes = [i.opcode for i in fn.entry.instructions]
+        assert Opcode.OUT in opcodes and Opcode.FOUT in opcodes
+
+    def test_emit_into_terminated_block_rejected(self):
+        b = IRBuilder("f")
+        b.ret()
+        with pytest.raises(ValueError):
+            b.ldi(1)
+
+    def test_finish_rejects_unterminated(self):
+        b = IRBuilder("f")
+        b.ldi(1)
+        with pytest.raises(ValueError):
+            b.finish()
+
+    def test_label_resumes_existing_block(self):
+        b = IRBuilder("f")
+        b.jmp("later")
+        b.label("later")
+        blk = b.label("later")
+        assert blk.label == "later"
+        b.ret()
+        assert len(b.function.blocks) == 2

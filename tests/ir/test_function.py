@@ -1,0 +1,194 @@
+"""Tests for basic blocks, functions and CFG helpers."""
+
+import pytest
+
+from repro.ir import (Function, Instruction, IRBuilder, Opcode, Reg, RegClass,
+                      verify_function)
+
+
+def diamond() -> Function:
+    """entry -> (left | right) -> join, with a critical-edge-free shape."""
+    b = IRBuilder("diamond")
+    cond = b.ldi(1)
+    b.cbr(cond, "left", "right")
+    b.label("left")
+    b.jmp("join")
+    b.label("right")
+    b.jmp("join")
+    b.label("join")
+    b.ret()
+    return b.finish()
+
+
+class TestBasicBlock:
+    def test_terminator_accessors(self):
+        fn = diamond()
+        assert fn.entry.terminator.opcode is Opcode.CBR
+        assert fn.entry.successors() == ("left", "right")
+
+    def test_body_excludes_terminator(self):
+        fn = diamond()
+        assert all(not i.is_terminator for i in fn.entry.body())
+        assert len(fn.entry.body()) == len(fn.entry) - 1
+
+    def test_insert_before_terminator(self):
+        fn = diamond()
+        blk = fn.block("left")
+        inst = Instruction(Opcode.NOP)
+        blk.insert_before_terminator(inst)
+        assert blk.instructions[-2] is inst
+        assert blk.is_terminated
+
+    def test_unterminated_block_raises(self):
+        fn = Function("f")
+        blk = fn.add_block("only")
+        with pytest.raises(ValueError):
+            _ = blk.terminator
+
+
+class TestFunction:
+    def test_entry_is_first_block(self):
+        fn = diamond()
+        assert fn.entry.label == "entry"
+
+    def test_duplicate_label_rejected(self):
+        fn = Function("f")
+        fn.add_block("x")
+        with pytest.raises(ValueError):
+            fn.add_block("x")
+
+    def test_new_reg_monotone_and_classed(self):
+        fn = Function("f")
+        a = fn.new_reg(RegClass.INT)
+        c = fn.new_reg(RegClass.FLOAT)
+        assert a.index != c.index
+        assert a.rclass is RegClass.INT and c.rclass is RegClass.FLOAT
+
+    def test_reserve_regs(self):
+        fn = Function("f")
+        fn.reserve_regs(100)
+        assert fn.new_reg(RegClass.INT).index >= 100
+
+    def test_predecessors_map(self):
+        fn = diamond()
+        preds = fn.predecessors_map()
+        assert preds["join"] == ["left", "right"]
+        assert preds["entry"] == []
+        assert preds["left"] == ["entry"]
+
+    def test_reverse_postorder_starts_at_entry(self):
+        fn = diamond()
+        rpo = fn.reverse_postorder()
+        assert rpo[0] == "entry"
+        assert set(rpo) == {"entry", "left", "right", "join"}
+        # every block appears after all of its non-backedge predecessors
+        pos = {label: i for i, label in enumerate(rpo)}
+        assert pos["join"] > pos["left"] and pos["join"] > pos["right"]
+
+    def test_remove_unreachable_blocks(self):
+        fn = diamond()
+        orphan = fn.add_block("orphan")
+        orphan.append(Instruction(Opcode.RET))
+        removed = fn.remove_unreachable_blocks()
+        assert removed == ["orphan"]
+        assert not fn.has_block("orphan")
+
+    def test_size_counts_instructions(self):
+        fn = diamond()
+        assert fn.size() == sum(len(b) for b in fn.blocks)
+
+
+class TestCriticalEdges:
+    def test_diamond_has_no_critical_edges(self):
+        fn = diamond()
+        assert fn.split_critical_edges() == 0
+
+    def test_if_without_else_has_a_critical_edge(self):
+        b = IRBuilder("halfif")
+        cond = b.ldi(1)
+        b.cbr(cond, "then", "join")      # entry -> join is critical
+        b.label("then")
+        b.jmp("join")
+        b.label("join")
+        b.ret()
+        fn = b.finish()
+        n = fn.split_critical_edges()
+        assert n == 1
+        preds = fn.predecessors_map()
+        # after splitting, no edge is critical
+        for blk in fn.blocks:
+            succs = blk.successors()
+            if len(succs) >= 2:
+                for s in succs:
+                    assert len(preds[s]) == 1
+        verify_function(fn)
+
+    def test_split_preserves_branch_order(self):
+        b = IRBuilder("halfif")
+        cond = b.ldi(0)
+        b.cbr(cond, "then", "join")
+        b.label("then")
+        b.jmp("join")
+        b.label("join")
+        b.ret()
+        fn = b.finish()
+        fn.split_critical_edges()
+        # the cbr's first label must still lead (possibly via a fresh
+        # block) to 'then', the second to 'join'
+        t0, t1 = fn.entry.terminator.labels
+        assert t0 == "then"
+        mid = fn.block(t1)
+        assert mid.terminator.labels == ("join",)
+
+
+class TestVerify:
+    def test_verify_accepts_diamond(self):
+        verify_function(diamond())
+
+    def test_verify_rejects_unterminated(self):
+        fn = Function("f")
+        fn.add_block("entry")
+        with pytest.raises(ValueError):
+            verify_function(fn)
+
+    def test_verify_rejects_unknown_target(self):
+        fn = Function("f")
+        blk = fn.add_block("entry")
+        blk.append(Instruction(Opcode.JMP, labels=("nowhere",)))
+        with pytest.raises(ValueError):
+            verify_function(fn)
+
+    def test_verify_rejects_misplaced_terminator(self):
+        fn = Function("f")
+        blk = fn.add_block("entry")
+        blk.append(Instruction(Opcode.RET))
+        blk.append(Instruction(Opcode.NOP))
+        with pytest.raises(ValueError):
+            verify_function(fn)
+
+    def test_verify_rejects_stray_phi(self):
+        fn = Function("f")
+        blk = fn.add_block("entry")
+        blk.append(Instruction(Opcode.PHI, dests=(Reg.vint(0),),
+                               srcs=(Reg.vint(1),)))
+        blk.append(Instruction(Opcode.RET))
+        with pytest.raises(ValueError):
+            verify_function(fn)
+        verify_function(fn, allow_phis=True)
+
+    def test_verify_physical_mode(self):
+        fn = Function("f")
+        blk = fn.add_block("entry")
+        blk.append(Instruction(Opcode.LDI, dests=(Reg.pint(3),), imms=(1,)))
+        blk.append(Instruction(Opcode.RET))
+        verify_function(fn, require_physical=True, max_int_reg=16)
+        with pytest.raises(ValueError):
+            verify_function(fn, require_physical=True, max_int_reg=3)
+
+    def test_verify_physical_rejects_virtual(self):
+        fn = Function("f")
+        blk = fn.add_block("entry")
+        blk.append(Instruction(Opcode.LDI, dests=(Reg.vint(3),), imms=(1,)))
+        blk.append(Instruction(Opcode.RET))
+        with pytest.raises(ValueError):
+            verify_function(fn, require_physical=True)

@@ -1,0 +1,117 @@
+"""Tests for registers and instructions."""
+
+import pytest
+
+from repro.ir import Instruction, Opcode, Reg, RegClass
+
+
+class TestReg:
+    def test_virtual_str(self):
+        assert str(Reg.vint(3)) == "r3"
+        assert str(Reg.vfloat(7)) == "f7"
+
+    def test_physical_str(self):
+        assert str(Reg.pint(3)) == "R3"
+        assert str(Reg.pfloat(0)) == "F0"
+
+    def test_equality_and_hash(self):
+        assert Reg.vint(1) == Reg.vint(1)
+        assert Reg.vint(1) != Reg.vfloat(1)
+        assert Reg.vint(1) != Reg.pint(1)
+        assert len({Reg.vint(1), Reg.vint(1), Reg.vint(2)}) == 2
+
+    def test_ordering_is_total(self):
+        regs = [Reg.vint(5), Reg.vfloat(2), Reg.pint(1), Reg.vint(0)]
+        assert sorted(regs) == sorted(regs[::-1])
+
+
+class TestInstruction:
+    def test_str_add(self):
+        inst = Instruction(Opcode.ADD, dests=(Reg.vint(2),),
+                           srcs=(Reg.vint(0), Reg.vint(1)))
+        assert str(inst) == "add r2 r0 r1"
+
+    def test_str_ldi(self):
+        inst = Instruction(Opcode.LDI, dests=(Reg.vint(4),), imms=(42,))
+        assert str(inst) == "ldi r4 42"
+
+    def test_str_cbr(self):
+        inst = Instruction(Opcode.CBR, srcs=(Reg.vint(1),),
+                           labels=("a", "b"))
+        assert str(inst) == "cbr r1 a b"
+
+    def test_validate_accepts_wellformed(self):
+        Instruction(Opcode.FADD, dests=(Reg.vfloat(0),),
+                    srcs=(Reg.vfloat(1), Reg.vfloat(2))).validate()
+
+    def test_validate_rejects_wrong_class(self):
+        inst = Instruction(Opcode.ADD, dests=(Reg.vfloat(0),),
+                           srcs=(Reg.vint(1), Reg.vint(2)))
+        with pytest.raises(ValueError):
+            inst.validate()
+
+    def test_validate_rejects_wrong_arity(self):
+        inst = Instruction(Opcode.ADD, dests=(Reg.vint(0),),
+                           srcs=(Reg.vint(1),))
+        with pytest.raises(ValueError):
+            inst.validate()
+
+    def test_validate_rejects_wrong_label_count(self):
+        inst = Instruction(Opcode.JMP, labels=("a", "b"))
+        with pytest.raises(ValueError):
+            inst.validate()
+
+    def test_validate_rejects_float_imm_for_int_slot(self):
+        inst = Instruction(Opcode.LDI, dests=(Reg.vint(0),), imms=(1.5,))
+        with pytest.raises(ValueError):
+            inst.validate()
+
+    def test_phi_validation(self):
+        phi = Instruction(Opcode.PHI, dests=(Reg.vint(0),),
+                          srcs=(Reg.vint(1), Reg.vint(2), Reg.vint(3)))
+        phi.validate()
+        bad = Instruction(Opcode.PHI, dests=(Reg.vint(0),),
+                          srcs=(Reg.vfloat(1),))
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_rewrite_regs(self):
+        inst = Instruction(Opcode.ADD, dests=(Reg.vint(2),),
+                           srcs=(Reg.vint(0), Reg.vint(1)))
+        inst.rewrite_regs({Reg.vint(0): Reg.pint(5), Reg.vint(2): Reg.pint(6)})
+        assert inst.srcs == (Reg.pint(5), Reg.vint(1))
+        assert inst.dests == (Reg.pint(6),)
+
+    def test_copy_is_independent(self):
+        inst = Instruction(Opcode.ADD, dests=(Reg.vint(2),),
+                           srcs=(Reg.vint(0), Reg.vint(1)))
+        clone = inst.copy()
+        clone.rewrite_regs({Reg.vint(0): Reg.vint(9)})
+        assert inst.srcs[0] == Reg.vint(0)
+
+    def test_remat_key_equality(self):
+        a = Instruction(Opcode.LDI, dests=(Reg.vint(0),), imms=(7,))
+        b = Instruction(Opcode.LDI, dests=(Reg.vint(9),), imms=(7,))
+        c = Instruction(Opcode.LDI, dests=(Reg.vint(0),), imms=(8,))
+        d = Instruction(Opcode.LSD, dests=(Reg.vint(0),), imms=(7,))
+        assert a.remat_key() == b.remat_key()
+        assert a.remat_key() != c.remat_key()
+        assert a.remat_key() != d.remat_key()
+
+    def test_remat_key_rejects_ordinary_ops(self):
+        inst = Instruction(Opcode.ADD, dests=(Reg.vint(2),),
+                           srcs=(Reg.vint(0), Reg.vint(1)))
+        with pytest.raises(ValueError):
+            inst.remat_key()
+
+    def test_single_dest_src_accessors(self):
+        inst = Instruction(Opcode.COPY, dests=(Reg.vint(1),),
+                           srcs=(Reg.vint(0),))
+        assert inst.dest == Reg.vint(1)
+        assert inst.src == Reg.vint(0)
+        assert inst.is_copy and not inst.is_split
+
+    def test_split_flags(self):
+        inst = Instruction(Opcode.SPLIT, dests=(Reg.vint(1),),
+                           srcs=(Reg.vint(0),))
+        assert inst.is_copy and inst.is_split

@@ -1,0 +1,81 @@
+"""Tests for opcode metadata."""
+
+from repro.ir import (CountClass, MNEMONIC_TO_OPCODE, NEVER_KILLED, Opcode,
+                      RegClass, count_class_of, cycle_cost_of)
+
+
+class TestOpcodeTable:
+    def test_mnemonics_are_unique(self):
+        mnemonics = [op.mnemonic for op in Opcode]
+        assert len(mnemonics) == len(set(mnemonics))
+
+    def test_mnemonic_lookup_roundtrip(self):
+        for op in Opcode:
+            assert MNEMONIC_TO_OPCODE[op.mnemonic] is op
+
+    def test_never_killed_set_matches_paper(self):
+        """The paper's four never-killed categories are all represented."""
+        assert Opcode.LDI in NEVER_KILLED            # immediate int loads
+        assert Opcode.LDF in NEVER_KILLED            # immediate fp loads
+        assert Opcode.LFP in NEVER_KILLED            # frame-pointer offsets
+        assert Opcode.LSD in NEVER_KILLED            # static-area offsets
+        assert Opcode.CLDW in NEVER_KILLED           # constant-location loads
+        assert Opcode.CLDF in NEVER_KILLED
+        assert Opcode.PARAM in NEVER_KILLED          # frame-home reloads
+        assert Opcode.FPARAM in NEVER_KILLED
+
+    def test_ordinary_ops_are_not_never_killed(self):
+        for op in (Opcode.ADD, Opcode.LDW, Opcode.COPY, Opcode.FMUL,
+                   Opcode.ADDI, Opcode.SPLD):
+            assert op not in NEVER_KILLED
+
+    def test_never_killed_opcodes_take_no_register_sources(self):
+        """Tag equality relies on never-killed ops having only immediates."""
+        for op in NEVER_KILLED:
+            assert op.info.srcs == ()
+
+    def test_terminators(self):
+        assert Opcode.JMP.info.is_terminator
+        assert Opcode.CBR.info.is_terminator
+        assert Opcode.RET.info.is_terminator
+        assert not Opcode.ADD.info.is_terminator
+
+    def test_copy_flags(self):
+        assert Opcode.COPY.info.is_copy and not Opcode.COPY.info.is_split
+        assert Opcode.SPLIT.info.is_copy and Opcode.SPLIT.info.is_split
+        assert Opcode.FSPLIT.info.is_split
+        assert not Opcode.ADD.info.is_copy
+
+
+class TestCostModel:
+    def test_loads_and_stores_cost_two_cycles(self):
+        for op in (Opcode.LDW, Opcode.LDWO, Opcode.FLD, Opcode.FLDO,
+                   Opcode.STW, Opcode.STWO, Opcode.FST, Opcode.FSTO,
+                   Opcode.SPLD, Opcode.SPST, Opcode.FSPLD, Opcode.FSPST,
+                   Opcode.CLDW, Opcode.CLDF, Opcode.PARAM):
+            assert cycle_cost_of(op) == 2, op
+
+    def test_everything_else_costs_one_cycle(self):
+        for op in (Opcode.ADD, Opcode.LDI, Opcode.LDF, Opcode.COPY,
+                   Opcode.SPLIT, Opcode.ADDI, Opcode.JMP, Opcode.CBR,
+                   Opcode.LFP, Opcode.LSD, Opcode.FMUL):
+            assert cycle_cost_of(op) == 1, op
+
+    def test_count_classes_match_table1_columns(self):
+        assert count_class_of(Opcode.SPLD) is CountClass.LOAD
+        assert count_class_of(Opcode.LDW) is CountClass.LOAD
+        assert count_class_of(Opcode.SPST) is CountClass.STORE
+        assert count_class_of(Opcode.COPY) is CountClass.COPY
+        assert count_class_of(Opcode.SPLIT) is CountClass.COPY
+        assert count_class_of(Opcode.LDI) is CountClass.LDI
+        assert count_class_of(Opcode.LDF) is CountClass.LDI
+        assert count_class_of(Opcode.ADDI) is CountClass.ADDI
+        assert count_class_of(Opcode.LSD) is CountClass.ADDI
+        assert count_class_of(Opcode.ADD) is CountClass.OTHER
+
+    def test_signature_classes(self):
+        assert Opcode.FCMP_LT.info.dests == (RegClass.INT,)
+        assert Opcode.FCMP_LT.info.srcs == (RegClass.FLOAT, RegClass.FLOAT)
+        assert Opcode.I2F.info.dests == (RegClass.FLOAT,)
+        assert Opcode.CBR.info.n_labels == 2
+        assert Opcode.JMP.info.n_labels == 1

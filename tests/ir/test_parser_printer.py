@@ -1,0 +1,134 @@
+"""Round-trip tests for the textual ILOC parser and printer."""
+
+import pytest
+
+from repro.ir import (IRBuilder, Opcode, ParseError, Reg, function_to_text,
+                      parse_function, verify_function)
+
+SAMPLE = """
+# sum the first n integers
+proc sumto 1
+entry:
+    param r0 0
+    ldi r1 0
+    ldi r2 0
+    jmp head
+head:
+    cmp_lt r3 r2 r0
+    cbr r3 body exit
+body:
+    add r1 r1 r2
+    addi r2 r2 1
+    jmp head
+exit:
+    out r1
+    ret
+"""
+
+
+class TestParse:
+    def test_parses_sample(self):
+        fn = parse_function(SAMPLE)
+        assert fn.name == "sumto"
+        assert fn.n_params == 1
+        assert [b.label for b in fn.blocks] == ["entry", "head", "body",
+                                                "exit"]
+        verify_function(fn)
+
+    def test_roundtrip_is_stable(self):
+        fn = parse_function(SAMPLE)
+        text = function_to_text(fn)
+        fn2 = parse_function(text)
+        assert function_to_text(fn2) == text
+
+    def test_parser_reserves_vreg_space(self):
+        fn = parse_function(SAMPLE)
+        fresh = fn.new_reg(fn.entry.instructions[0].dest.rclass)
+        assert fresh.index > 3
+
+    def test_float_instructions(self):
+        text = """proc f 0
+entry:
+    ldf f0 2.5
+    fadd f1 f0 f0
+    fout f1
+    ret
+"""
+        fn = parse_function(text)
+        (blk,) = fn.blocks
+        assert blk.instructions[0].imms == (2.5,)
+        assert function_to_text(fn) == text
+
+    def test_physical_registers(self):
+        text = """proc f 0
+entry:
+    ldi R3 1
+    copy R4 R3
+    ret
+"""
+        fn = parse_function(text)
+        inst = fn.entry.instructions[0]
+        assert inst.dest.physical and inst.dest.index == 3
+
+    def test_comments_and_blanks_ignored(self):
+        fn = parse_function("proc f 0\n\n# hi\nentry:\n    ret  # done\n")
+        assert fn.entry.instructions[0].opcode is Opcode.RET
+
+    def test_phi_parses(self):
+        text = "proc f 0\nentry:\n    phi r2 r0 r1\n    ret\n"
+        fn = parse_function(text)
+        phi = fn.entry.instructions[0]
+        assert phi.opcode is Opcode.PHI
+        assert phi.dests == (Reg.vint(2),)
+        assert phi.srcs == (Reg.vint(0), Reg.vint(1))
+
+
+class TestParseErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(ParseError, match="unknown opcode"):
+            parse_function("proc f 0\nentry:\n    frobnicate r1\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(ParseError, match="expected"):
+            parse_function("proc f 0\nentry:\n    add r1 r2\n")
+
+    def test_bad_register(self):
+        with pytest.raises(ParseError, match="bad register"):
+            parse_function("proc f 0\nentry:\n    copy r1 x2\n")
+
+    def test_bad_immediate(self):
+        with pytest.raises(ParseError, match="bad immediate"):
+            parse_function("proc f 0\nentry:\n    ldi r1 abc\n")
+
+    def test_missing_proc(self):
+        with pytest.raises(ParseError, match="proc"):
+            parse_function("entry:\n    ret\n")
+
+    def test_instruction_outside_block(self):
+        with pytest.raises(ParseError, match="outside"):
+            parse_function("proc f 0\n    ret\n")
+
+    def test_duplicate_proc(self):
+        with pytest.raises(ParseError, match="multiple"):
+            parse_function("proc f 0\nproc g 0\n")
+
+    def test_wrong_class_register(self):
+        with pytest.raises(ParseError):
+            parse_function("proc f 0\nentry:\n    add f1 r2 r3\n")
+
+
+class TestPrinterMatchesBuilder:
+    def test_builder_output_parses(self):
+        b = IRBuilder("k", n_params=2)
+        x = b.param(0)
+        y = b.param(1)
+        s = b.add(x, y)
+        f = b.i2f(s)
+        g = b.fmul(f, b.ldf(0.5))
+        b.out(g)
+        b.ret()
+        fn = b.finish()
+        text = function_to_text(fn)
+        fn2 = parse_function(text)
+        assert function_to_text(fn2) == text
+        assert fn2.size() == fn.size()

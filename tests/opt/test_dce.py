@@ -1,0 +1,76 @@
+"""Tests for dead-code elimination."""
+
+from repro.interp import run_function
+from repro.ir import IRBuilder, Opcode, parse_function
+from repro.opt import eliminate_dead_code
+
+from ..helpers import ALL_SHAPES
+
+
+class TestDCE:
+    def test_removes_unused_pure_instruction(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        b.ldi(99)                     # dead
+        b.out(x)
+        b.ret()
+        fn = b.finish()
+        stats = eliminate_dead_code(fn)
+        assert stats.removed == 1
+        assert fn.size() == 3
+
+    def test_removes_transitively_dead_chains(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        y = b.addi(x, 1)              # feeds only z
+        z = b.muli(y, 2)              # dead
+        b.out(x)
+        b.ret()
+        fn = b.finish()
+        stats = eliminate_dead_code(fn)
+        assert stats.removed == 2
+        assert stats.passes >= 2
+
+    def test_keeps_side_effects(self):
+        text = """proc f 0
+entry:
+    ldi r0 1
+    stw r0 r0
+    spst r0 3
+    out r0
+    ret
+"""
+        fn = parse_function(text)
+        assert eliminate_dead_code(fn).removed == 0
+
+    def test_keeps_terminators_and_live_code(self):
+        text = """proc f 0
+entry:
+    ldi r0 1
+    cbr r0 a z
+a:
+    ldi r1 2
+    out r1
+    ret
+z:
+    ret
+"""
+        fn = parse_function(text)
+        assert eliminate_dead_code(fn).removed == 0
+
+    def test_dead_load_removed(self):
+        """Loads have no side effects and may be dropped when unused."""
+        b = IRBuilder("f")
+        base = b.lsd(0)
+        b.ldw(base)                   # dead load (base then also dead)
+        b.out(b.ldi(7))
+        b.ret()
+        fn = b.finish()
+        assert eliminate_dead_code(fn).removed == 2
+
+    def test_semantics_preserved_on_shapes(self):
+        for shape in ALL_SHAPES:
+            fn = shape()
+            expected = run_function(fn.clone(), args=[6]).output
+            eliminate_dead_code(fn)
+            assert run_function(fn, args=[6]).output == expected, shape

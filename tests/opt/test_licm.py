@@ -1,0 +1,199 @@
+"""Tests for loop-invariant code motion."""
+
+from repro.analysis import compute_loops
+from repro.interp import run_function
+from repro.ir import Opcode, parse_function, verify_function
+from repro.opt import hoist_loop_invariants, optimize
+
+from ..helpers import ALL_SHAPES, nested_loops
+
+LOOP_WITH_INVARIANT = """proc f 1
+entry:
+    param r0 0
+    ldi r1 0
+    jmp head
+head:
+    cmp_lt r2 r1 r0
+    cbr r2 body exit
+body:
+    lsd r3 64
+    addi r4 r3 8
+    add r1 r1 r4
+    jmp head
+exit:
+    out r1
+    ret
+"""
+
+
+class TestLICM:
+    def test_hoists_invariant_chain(self):
+        fn = parse_function(LOOP_WITH_INVARIANT)
+        expected = run_function(fn.clone(), args=[100000]).output
+        stats = hoist_loop_invariants(fn)
+        assert stats.hoisted == 2       # the lsd and the addi
+        verify_function(fn)
+        assert run_function(fn, args=[100000]).output == expected
+        # the loop body no longer computes the address
+        body_ops = [i.opcode for i in fn.block("body").instructions]
+        assert Opcode.LSD not in body_ops
+        assert Opcode.ADDI not in body_ops
+
+    def test_hoisting_reduces_dynamic_count(self):
+        # the invariant address is ~65608, so a bound of 1_000_000 gives
+        # the loop a double-digit trip count
+        fn = parse_function(LOOP_WITH_INVARIANT)
+        before = run_function(fn.clone(), args=[1_000_000]).steps
+        hoist_loop_invariants(fn)
+        after = run_function(fn, args=[1_000_000]).steps
+        assert after < before
+
+    def test_does_not_hoist_variant_computation(self):
+        fn = parse_function(LOOP_WITH_INVARIANT)
+        hoist_loop_invariants(fn)
+        # the accumulation add uses r1 which is redefined in the loop
+        body_ops = [i.opcode for i in fn.block("body").instructions]
+        assert Opcode.ADD in body_ops
+
+    def test_does_not_hoist_divisions(self):
+        """Division may trap; speculating it out of a guarded loop body
+        could fault when the loop never runs."""
+        text = """proc f 1
+entry:
+    param r0 0
+    ldi r1 10
+    ldi r5 0
+    jmp head
+head:
+    cmp_lt r2 r5 r0
+    cbr r2 body exit
+body:
+    div r3 r1 r5
+    addi r5 r5 1
+    jmp head
+exit:
+    out r5
+    ret
+"""
+        fn = parse_function(text)
+        hoist_loop_invariants(fn)
+        body_ops = [i.opcode for i in fn.block("body").instructions]
+        assert Opcode.DIV in body_ops
+        # n=0: loop never executes, so the division never runs
+        assert run_function(fn, args=[0]).output == [0]
+
+    def test_live_in_destinations_not_hoisted(self):
+        """A value used at the header before its in-loop redefinition must
+        stay put."""
+        text = """proc f 1
+entry:
+    param r0 0
+    ldi r1 5
+    ldi r5 0
+    jmp head
+head:
+    add r6 r5 r1
+    cmp_lt r2 r6 r0
+    cbr r2 body exit
+body:
+    ldi r1 3
+    addi r5 r5 1
+    jmp head
+exit:
+    out r1
+    ret
+"""
+        fn = parse_function(text)
+        expected = run_function(fn.clone(), args=[6]).output
+        hoist_loop_invariants(fn)
+        assert run_function(fn, args=[6]).output == expected
+
+    def test_creates_preheader_when_needed(self):
+        fn = nested_loops()
+        n_blocks = len(fn.blocks)
+        stats = hoist_loop_invariants(fn)
+        assert len(fn.blocks) >= n_blocks   # preheaders may be added
+        verify_function(fn)
+
+    def test_nested_loops_percolate_outward(self):
+        """An invariant of the inner loop that is also invariant in the
+        outer loop ends up outside both."""
+        text = """proc f 1
+entry:
+    param r0 0
+    ldi r1 0
+    ldi r9 0
+    jmp ohead
+ohead:
+    cmp_lt r2 r1 r0
+    cbr r2 obody oexit
+obody:
+    ldi r3 0
+    jmp ihead
+ihead:
+    cmp_lt r4 r3 r0
+    cbr r4 ibody iexit
+ibody:
+    lsd r5 16
+    addi r6 r5 4
+    add r9 r9 r6
+    addi r3 r3 1
+    jmp ihead
+iexit:
+    addi r1 r1 1
+    jmp ohead
+oexit:
+    out r9
+    ret
+"""
+        fn = parse_function(text)
+        expected = run_function(fn.clone(), args=[4]).output
+        stats = hoist_loop_invariants(fn)
+        assert stats.hoisted >= 2
+        assert run_function(fn, args=[4]).output == expected
+        loops = compute_loops(fn)
+        # the lsd must now live at depth 0
+        for blk in fn.blocks:
+            for inst in blk.instructions:
+                if inst.opcode is Opcode.LSD:
+                    assert loops.depth.get(blk.label, 0) == 0
+
+    def test_semantics_preserved_on_shapes(self):
+        for shape in ALL_SHAPES:
+            fn = shape()
+            expected = run_function(fn.clone(), args=[6]).output
+            hoist_loop_invariants(fn)
+            verify_function(fn)
+            assert run_function(fn, args=[6]).output == expected, shape
+
+
+class TestOptimizePipeline:
+    def test_pipeline_reaches_fixed_point(self):
+        fn = parse_function(LOOP_WITH_INVARIANT)
+        stats = optimize(fn)
+        assert stats.rounds <= 4
+        again = optimize(fn)
+        assert (again.lvn_replaced, again.licm_hoisted,
+                again.dce_removed) == (0, 0, 0)
+
+    def test_pipeline_on_all_kernels(self):
+        from repro.benchsuite import ALL_KERNELS
+        for kernel in ALL_KERNELS[:8]:
+            fn = kernel.compile()
+            expected = run_function(fn.clone(), args=list(kernel.args))
+            stats = optimize(fn)
+            verify_function(fn)
+            got = run_function(fn, args=list(kernel.args))
+            assert got.output == expected.output, kernel.name
+            assert got.steps <= expected.steps, kernel.name
+
+    def test_pipeline_shrinks_sgemm_inner_loop(self):
+        """LVN+LICM remove redundant address arithmetic from the matmul
+        inner loop."""
+        from repro.benchsuite import KERNELS_BY_NAME
+        kernel = KERNELS_BY_NAME["sgemm"]
+        fn = kernel.compile()
+        before = run_function(fn.clone(), args=list(kernel.args)).steps
+        optimize(fn)
+        after = run_function(fn, args=list(kernel.args)).steps
+        assert after < before * 0.9

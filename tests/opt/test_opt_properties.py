@@ -1,0 +1,52 @@
+"""Optimizer property tests: behavior preservation on random programs,
+composed with the allocator."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.benchsuite import GeneratorConfig, random_program
+from repro.interp import run_function
+from repro.ir import verify_function
+from repro.machine import machine_with
+from repro.opt import optimize
+from repro.regalloc import allocate
+from repro.remat import RenumberMode
+
+SHAPES = GeneratorConfig(n_vars=5, max_depth=3, max_stmts=5)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_optimize_preserves_output(seed):
+    fn = random_program(seed + 900, SHAPES)
+    expected = run_function(fn.clone(), max_steps=2_000_000)
+    stats = optimize(fn)
+    verify_function(fn)
+    got = run_function(fn, max_steps=2_000_000)
+    assert got.output == expected.output
+    assert got.steps <= expected.steps
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000), k=st.integers(4, 8))
+def test_optimize_then_allocate_preserves_output(seed, k):
+    fn = random_program(seed, SHAPES)
+    expected = run_function(fn.clone(), max_steps=2_000_000).output
+    optimize(fn)
+    result = allocate(fn, machine=machine_with(k, k),
+                      mode=RenumberMode.REMAT)
+    got = run_function(result.function, max_steps=2_000_000).output
+    assert got == expected
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_optimize_is_idempotent(seed):
+    fn = random_program(seed, SHAPES)
+    optimize(fn)
+    first = str(fn)
+    again = optimize(fn)
+    assert (again.lvn_replaced, again.licm_hoisted,
+            again.dce_removed) == (0, 0, 0)
+    assert str(fn) == first

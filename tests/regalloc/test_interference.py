@@ -1,0 +1,123 @@
+"""Tests for the interference graph."""
+
+from repro.ir import IRBuilder, Reg, RegClass
+from repro.regalloc import InterferenceGraph, build_interference_graph
+
+from ..helpers import single_loop
+
+
+class TestGraphStructure:
+    def test_edges_are_symmetric(self):
+        g = InterferenceGraph()
+        a, b = Reg.vint(0), Reg.vint(1)
+        g.add_edge(a, b)
+        assert g.interferes(a, b) and g.interferes(b, a)
+        assert b in g.neighbors(a) and a in g.neighbors(b)
+
+    def test_no_self_edges(self):
+        g = InterferenceGraph()
+        a = Reg.vint(0)
+        g.add_node(a)
+        g.add_edge(a, a)
+        assert g.degree(a) == 0
+
+    def test_cross_class_edges_rejected(self):
+        g = InterferenceGraph()
+        a, f = Reg.vint(0), Reg.vfloat(0)
+        g.add_edge(a, f)
+        assert not g.interferes(a, f)
+
+    def test_duplicate_edges_counted_once(self):
+        g = InterferenceGraph()
+        a, b = Reg.vint(0), Reg.vint(1)
+        g.add_edge(a, b)
+        g.add_edge(b, a)
+        assert g.n_edges() == 1
+        assert g.degree(a) == 1
+
+    def test_merge_unions_neighborhoods(self):
+        g = InterferenceGraph()
+        a, b, c, d = (Reg.vint(i) for i in range(4))
+        g.add_edge(a, c)
+        g.add_edge(b, d)
+        g.merge(a, b)
+        assert b not in g
+        assert g.interferes(a, c) and g.interferes(a, d)
+        assert g.degree(a) == 2
+        assert a in g.neighbors(d)
+
+    def test_merge_drops_edge_between_merged(self):
+        g = InterferenceGraph()
+        a, b = Reg.vint(0), Reg.vint(1)
+        g.add_edge(a, b)
+        g.merge(a, b)
+        assert not g.interferes(a, b)
+        assert g.degree(a) == 0
+
+    def test_remove_node(self):
+        g = InterferenceGraph()
+        a, b = Reg.vint(0), Reg.vint(1)
+        g.add_edge(a, b)
+        g.remove_node(a)
+        assert a not in g
+        assert g.degree(b) == 0
+
+
+class TestBuild:
+    def test_simultaneously_live_values_interfere(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        y = b.ldi(2)            # x live here -> x,y interfere
+        z = b.add(x, y)
+        b.out(z)
+        b.ret()
+        g = build_interference_graph(b.finish())
+        assert g.interferes(x, y)
+        assert not g.interferes(x, z)   # x dead once z is defined
+
+    def test_copy_dest_does_not_interfere_with_source(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        y = b.copy(x)
+        b.out(b.add(x, y))      # both live after the copy
+        b.ret()
+        g = build_interference_graph(b.finish())
+        assert not g.interferes(x, y)
+
+    def test_copy_dest_interferes_with_others(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        w = b.ldi(9)
+        y = b.copy(x)
+        b.out(b.add(w, y))
+        b.ret()
+        g = build_interference_graph(b.finish())
+        assert g.interferes(y, w)
+
+    def test_dead_def_interferes_with_live(self):
+        """A value defined but never used still clobbers its register."""
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        dead = b.ldi(5)          # never used, but x is live across it
+        b.out(x)
+        b.ret()
+        g = build_interference_graph(b.finish())
+        assert g.interferes(x, dead)
+
+    def test_loop_variable_interference(self):
+        fn = single_loop()
+        g = build_interference_graph(fn)
+        # the bound n and the induction variable are both live in the loop
+        param = fn.entry.instructions[0].dest
+        iv = fn.block("head").instructions[0].srcs[0]
+        assert g.interferes(param, iv)
+
+    def test_int_and_float_never_interfere(self):
+        b = IRBuilder("f")
+        x = b.ldi(1)
+        f = b.ldf(2.0)
+        b.out(b.add(x, x))
+        b.out(f)
+        b.ret()
+        g = build_interference_graph(b.finish())
+        assert not g.interferes(x, f)

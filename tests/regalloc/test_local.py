@@ -1,0 +1,121 @@
+"""Tests for the local (per-block, write-through) allocator baseline."""
+
+import pytest
+
+from repro.benchsuite import ALL_KERNELS, KERNELS_BY_NAME, random_program
+from repro.interp import run_function
+from repro.ir import CountClass, Opcode, parse_function, verify_function
+from repro.machine import machine_with, standard_machine
+from repro.regalloc import (LocalAllocationError, allocate, allocate_local)
+
+
+class TestBasics:
+    def test_straight_line(self):
+        text = """proc f 0
+entry:
+    ldi r0 6
+    ldi r1 7
+    mul r2 r0 r1
+    out r2
+    ret
+"""
+        fn = parse_function(text)
+        result = allocate_local(fn, machine=machine_with(4, 4))
+        assert run_function(result.function).output == [42]
+        verify_function(result.function, require_physical=True,
+                        max_int_reg=4, max_float_reg=4)
+
+    def test_every_def_is_written_through(self):
+        text = "proc f 0\nentry:\n    ldi r0 1\n    out r0\n    ret\n"
+        fn = parse_function(text)
+        result = allocate_local(fn)
+        ops = [i.opcode for i in result.function.entry.instructions]
+        assert Opcode.SPST in ops
+        assert result.n_stores == 1
+
+    def test_cross_block_values_go_through_memory(self):
+        text = """proc f 0
+entry:
+    ldi r0 9
+    jmp next
+next:
+    out r0
+    ret
+"""
+        fn = parse_function(text)
+        result = allocate_local(fn)
+        assert result.n_reloads >= 1
+        assert run_function(result.function).output == [9]
+
+    def test_dest_equals_src(self):
+        text = """proc f 0
+entry:
+    ldi r0 5
+    add r0 r0 r0
+    out r0
+    ret
+"""
+        fn = parse_function(text)
+        result = allocate_local(fn, machine=machine_with(3, 2))
+        assert run_function(result.function).output == [10]
+
+    def test_eviction_under_pressure(self):
+        """Five simultaneously-needed values on a 3-register file force
+        LRU evictions; write-through keeps everything correct."""
+        text = """proc f 0
+entry:
+    ldi r0 1
+    ldi r1 2
+    ldi r2 3
+    ldi r3 4
+    ldi r4 5
+    add r5 r0 r1
+    add r6 r2 r3
+    add r7 r5 r6
+    add r8 r7 r4
+    out r8
+    ret
+"""
+        fn = parse_function(text)
+        result = allocate_local(fn, machine=machine_with(3, 2))
+        assert run_function(result.function).output == [15]
+        assert result.n_reloads > 0
+
+    def test_too_small_file_rejected(self):
+        fn = parse_function("proc f 0\nentry:\n    ret\n")
+        with pytest.raises(LocalAllocationError):
+            allocate_local(fn, machine=machine_with(2, 2))
+
+
+class TestAgainstGlobal:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS[:10],
+                             ids=lambda k: k.name)
+    def test_kernels_preserved(self, kernel):
+        expected = run_function(kernel.compile(),
+                                args=list(kernel.args)).output
+        result = allocate_local(kernel.compile())
+        run = run_function(result.function, args=list(kernel.args),
+                           max_steps=5_000_000)
+        assert run.output == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_programs_preserved(self, seed):
+        fn = random_program(seed + 700)
+        expected = run_function(fn.clone()).output
+        result = allocate_local(fn, machine=machine_with(4, 4))
+        assert run_function(result.function,
+                            max_steps=5_000_000).output == expected
+
+    def test_local_code_is_slower_but_allocation_faster(self):
+        """The paper's Section 5.4 closing remark, quantified."""
+        kernel = KERNELS_BY_NAME["sgemm"]
+        machine = standard_machine()
+        local = allocate_local(kernel.compile(), machine=machine)
+        global_ = allocate(kernel.compile(), machine=machine)
+        run_l = run_function(local.function, args=list(kernel.args),
+                             max_steps=5_000_000)
+        run_g = run_function(global_.function, args=list(kernel.args))
+        assert machine.cycles(run_l.counts) > machine.cycles(run_g.counts)
+        # memory traffic dominates local code
+        assert (run_l.count(CountClass.LOAD)
+                > 3 * run_g.count(CountClass.LOAD))

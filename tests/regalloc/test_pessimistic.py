@@ -1,0 +1,82 @@
+"""Tests for the pessimistic (original Chaitin) simplify variant."""
+
+import pytest
+
+from repro.benchsuite import KERNELS_BY_NAME
+from repro.interp import run_function
+from repro.ir import Reg
+from repro.machine import machine_with
+from repro.regalloc import SpillCosts, allocate, simplify
+from repro.regalloc.interference import InterferenceGraph
+from repro.remat import RenumberMode
+
+
+def cycle_graph(n):
+    """C_n: every degree is 2, so simplify is immediately stuck at k=2 —
+    yet even cycles are 2-colorable, the case optimism rescues."""
+    g = InterferenceGraph([Reg.vint(i) for i in range(n)])
+    for i in range(n):
+        g.add_edge(Reg.vint(i), Reg.vint((i + 1) % n))
+    return g
+
+
+def costs_of(n):
+    c = SpillCosts()
+    for i in range(n):
+        c.cost[Reg.vint(i)] = float(i + 1)
+    return c
+
+
+class TestSimplifyVariants:
+    def test_optimistic_pushes_candidates(self):
+        g = cycle_graph(4)
+        result = simplify(g, machine_with(2), costs_of(4), optimistic=True)
+        assert len(result.stack) == 4
+        assert result.candidates
+        assert result.pessimistic_spills == []
+
+    def test_pessimistic_spills_candidates_outright(self):
+        g = cycle_graph(4)
+        result = simplify(g, machine_with(2), costs_of(4),
+                          optimistic=False)
+        assert len(result.pessimistic_spills) >= 1
+        assert (len(result.stack) + len(result.pessimistic_spills)) == 4
+        # candidates never reach the stack under pessimism
+        for reg in result.pessimistic_spills:
+            assert reg not in result.stack
+
+    def test_optimism_colors_the_even_cycle(self):
+        """C4 at k=2: Chaitin's pessimism spills a node, Briggs' optimism
+        2-colors it — the motivating example for optimistic coloring."""
+        from repro.regalloc import select
+        g = cycle_graph(4)
+        machine = machine_with(2)
+        opt = simplify(g, machine, costs_of(4), optimistic=True)
+        chosen = select(g, opt, machine)
+        assert not chosen.spilled
+        pes = simplify(g, machine, costs_of(4), optimistic=False)
+        assert pes.pessimistic_spills
+
+
+class TestPessimisticAllocation:
+    @pytest.mark.parametrize("name", ["fehl", "adapt", "bubble"])
+    def test_semantics_preserved(self, name):
+        kernel = KERNELS_BY_NAME[name]
+        expected = run_function(kernel.compile(),
+                                args=list(kernel.args)).output
+        result = allocate(kernel.compile(), machine=machine_with(6, 6),
+                          mode=RenumberMode.REMAT, optimistic=False)
+        run = run_function(result.function, args=list(kernel.args))
+        assert run.output == expected
+
+    def test_pessimism_never_spills_fewer_ranges(self):
+        """Optimism only ever helps (Briggs' result): on a kernel that
+        spills, the pessimistic variant spills at least as many ranges."""
+        kernel = KERNELS_BY_NAME["adapt"]
+        machine = machine_with(8, 8)
+        opt = allocate(kernel.compile(), machine=machine,
+                       mode=RenumberMode.REMAT, optimistic=True)
+        pes = allocate(kernel.compile(), machine=machine,
+                       mode=RenumberMode.REMAT, optimistic=False)
+        assert (pes.stats.n_spilled_ranges
+                >= opt.stats.n_spilled_ranges)

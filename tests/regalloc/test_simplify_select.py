@@ -1,0 +1,133 @@
+"""Tests for the optimistic simplify and biased select phases."""
+
+import math
+
+from repro.ir import Reg
+from repro.machine import machine_with
+from repro.regalloc import (InterferenceGraph, SpillCosts, select, simplify)
+from repro.regalloc.simplify import SimplifyResult
+
+
+def graph_of(edges, n_nodes):
+    g = InterferenceGraph([Reg.vint(i) for i in range(n_nodes)])
+    for a, b in edges:
+        g.add_edge(Reg.vint(a), Reg.vint(b))
+    return g
+
+
+def costs_of(values: dict[int, float]) -> SpillCosts:
+    c = SpillCosts()
+    for i, v in values.items():
+        c.cost[Reg.vint(i)] = v
+    return c
+
+
+class TestSimplify:
+    def test_all_nodes_end_on_stack(self):
+        g = graph_of([(0, 1), (1, 2), (2, 0)], 4)
+        result = simplify(g, machine_with(2), costs_of({i: 1.0
+                                                        for i in range(4)}))
+        assert sorted(r.index for r in result.stack) == [0, 1, 2, 3]
+
+    def test_trivial_graph_has_no_candidates(self):
+        g = graph_of([(0, 1)], 2)
+        result = simplify(g, machine_with(4), costs_of({0: 1.0, 1: 1.0}))
+        assert result.candidates == set()
+
+    def test_clique_forces_candidates(self):
+        # K4 with k=2: at least two nodes must be pushed as candidates
+        edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        g = graph_of(edges, 4)
+        result = simplify(g, machine_with(2),
+                          costs_of({i: float(i + 1) for i in range(4)}))
+        assert len(result.candidates) >= 2
+
+    def test_candidate_is_min_cost_over_degree(self):
+        # K3, k=2: first candidate should be the cheapest node (equal
+        # degrees)
+        edges = [(0, 1), (1, 2), (0, 2)]
+        g = graph_of(edges, 3)
+        result = simplify(g, machine_with(2),
+                          costs_of({0: 9.0, 1: 1.0, 2: 9.0}))
+        assert Reg.vint(1) in result.candidates
+
+    def test_infinite_cost_nodes_avoided(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        g = graph_of(edges, 3)
+        result = simplify(g, machine_with(2),
+                          costs_of({0: math.inf, 1: math.inf, 2: 5.0}))
+        assert Reg.vint(2) in result.candidates
+
+    def test_diamond_simplifies_without_candidates_at_k3(self):
+        # C4 (cycle): max degree 2 < 3
+        g = graph_of([(0, 1), (1, 2), (2, 3), (3, 0)], 4)
+        result = simplify(g, machine_with(3), costs_of({}))
+        assert result.candidates == set()
+
+
+class TestSelect:
+    def run_select(self, g, k, stack_nodes, partners=None):
+        order = SimplifyResult(stack=[Reg.vint(i) for i in stack_nodes],
+                               candidates=set())
+        return select(g, order, machine_with(k), partners=partners)
+
+    def test_neighbors_get_distinct_colors(self):
+        g = graph_of([(0, 1), (1, 2), (2, 0)], 3)
+        result = self.run_select(g, 3, [0, 1, 2])
+        colors = result.coloring
+        assert len(colors) == 3
+        assert colors[Reg.vint(0)] != colors[Reg.vint(1)]
+        assert colors[Reg.vint(1)] != colors[Reg.vint(2)]
+
+    def test_uncolorable_node_is_spilled(self):
+        edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        g = graph_of(edges, 4)
+        result = self.run_select(g, 3, [3, 2, 1, 0])
+        assert len(result.spilled) == 1
+        assert len(result.coloring) == 3
+
+    def test_optimism_colors_high_degree_nodes(self):
+        """A high-degree node whose neighbors share colors still gets one
+        (the optimistic win over Chaitin's pessimistic spilling)."""
+        # star: center 0 adjacent to 1..4, leaves independent
+        g = graph_of([(0, i) for i in range(1, 5)], 5)
+        # push center first (popped last): leaves colored first, but they
+        # can all share one color, leaving one for the center at k=2
+        result = self.run_select(g, 2, [0, 1, 2, 3, 4])
+        assert not result.spilled
+
+    def test_biased_coloring_matches_partners(self):
+        # 0 and 1 are partners and do not interfere; 2 forces 0 away from
+        # color 0 so an unbiased select would give 1 color 0
+        g = graph_of([(0, 2)], 3)
+        partners = {Reg.vint(0): {Reg.vint(1)}, Reg.vint(1): {Reg.vint(0)}}
+        result = self.run_select(g, 2, [1, 2, 0], partners=partners)
+        # pop order: 0 (gets color != color(2)), then 2, then 1 (biased to
+        # 0's color)
+        assert result.coloring[Reg.vint(1)] == result.coloring[Reg.vint(0)]
+
+    def test_lookahead_prefers_color_open_for_partner(self):
+        """Choosing for l_i first: lookahead avoids the color its partner
+        cannot take."""
+        # partner 1 interferes with 2 (already colored 0); node 0 is free
+        g = graph_of([(1, 2)], 3)
+        partners = {Reg.vint(0): {Reg.vint(1)}, Reg.vint(1): {Reg.vint(0)}}
+        order = SimplifyResult(
+            stack=[Reg.vint(1), Reg.vint(0), Reg.vint(2)], candidates=set())
+        result = select(g, order, machine_with(2), partners=partners)
+        # 2 pops first (color 0); then 0: both colors free, lookahead
+        # should pick color 1 because partner 1 cannot take color 0
+        assert result.coloring[Reg.vint(2)] == 0
+        assert result.coloring[Reg.vint(0)] == 1
+        assert result.coloring[Reg.vint(1)] == 1
+
+    def test_without_lookahead_first_fit(self):
+        g = graph_of([(1, 2)], 3)
+        partners = {Reg.vint(0): {Reg.vint(1)}, Reg.vint(1): {Reg.vint(0)}}
+        order = SimplifyResult(
+            stack=[Reg.vint(1), Reg.vint(0), Reg.vint(2)], candidates=set())
+        result = select(g, order, machine_with(2), partners=partners,
+                        lookahead=False)
+        # first-fit gives node 0 color 0; partner then cannot match
+        assert result.coloring[Reg.vint(0)] == 0
+        assert result.coloring[Reg.vint(1)] == 1

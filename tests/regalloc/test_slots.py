@@ -1,0 +1,135 @@
+"""Tests for spill-slot packing."""
+
+import pytest
+
+from repro.benchsuite import KERNELS_BY_NAME, random_program
+from repro.interp import run_function
+from repro.ir import Opcode, parse_function
+from repro.machine import machine_with
+from repro.regalloc import allocate, pack_spill_slots
+from repro.remat import RenumberMode
+
+
+class TestPacking:
+    def test_disjoint_slots_share_a_cell(self):
+        text = """proc f 0
+entry:
+    ldi r0 1
+    spst r0 0
+    spld r1 0
+    out r1
+    ldi r0 2
+    spst r0 1
+    spld r1 1
+    out r1
+    ret
+"""
+        fn = parse_function(text)
+        fn.n_spill_slots = 2
+        result = pack_spill_slots(fn)
+        assert result.slots_before == 2
+        assert result.slots_after == 1
+        assert run_function(fn).output == [1, 2]
+
+    def test_overlapping_slots_stay_apart(self):
+        text = """proc f 0
+entry:
+    ldi r0 1
+    spst r0 0
+    ldi r0 2
+    spst r0 1
+    spld r1 0
+    spld r2 1
+    out r1
+    out r2
+    ret
+"""
+        fn = parse_function(text)
+        fn.n_spill_slots = 2
+        result = pack_spill_slots(fn)
+        assert result.slots_after == 2
+        assert run_function(fn).output == [1, 2]
+
+    def test_liveness_across_blocks(self):
+        """A slot stored in one block and loaded in another stays live
+        across the region in between."""
+        text = """proc f 0
+entry:
+    ldi r0 7
+    spst r0 0
+    jmp mid
+mid:
+    ldi r0 8
+    spst r0 1
+    spld r1 1
+    out r1
+    jmp last
+last:
+    spld r1 0
+    out r1
+    ret
+"""
+        fn = parse_function(text)
+        fn.n_spill_slots = 2
+        result = pack_spill_slots(fn)
+        # slot 1's lifetime sits inside slot 0's: they interfere
+        assert result.slots_after == 2
+        assert run_function(fn).output == [8, 7]
+
+    def test_mixed_class_slots(self):
+        text = """proc f 0
+entry:
+    ldf f0 1.5
+    fspst f0 0
+    fspld f1 0
+    fout f1
+    ldi r0 3
+    spst r0 1
+    spld r1 1
+    out r1
+    ret
+"""
+        fn = parse_function(text)
+        fn.n_spill_slots = 2
+        result = pack_spill_slots(fn)
+        assert result.slots_after == 1   # disjoint lifetimes may share
+        assert run_function(fn).output == [1.5, 3]
+
+
+class TestPackedAllocations:
+    @pytest.mark.parametrize("name", ["adapt", "ptrsum", "basewalk"])
+    def test_packing_preserves_kernels(self, name):
+        kernel = KERNELS_BY_NAME[name]
+        expected = run_function(kernel.compile(),
+                                args=list(kernel.args)).output
+        result = allocate(kernel.compile(), machine=machine_with(8, 8),
+                          mode=RenumberMode.REMAT)
+        packing = pack_spill_slots(result.function)
+        assert packing.slots_after <= packing.slots_before
+        run = run_function(result.function, args=list(kernel.args))
+        assert run.output == expected
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_packing_preserves_random_programs(self, seed):
+        fn = random_program(seed)
+        expected = run_function(fn.clone()).output
+        result = allocate(fn, machine=machine_with(4, 4))
+        pack_spill_slots(result.function)
+        assert run_function(result.function).output == expected
+
+    def test_packing_shrinks_multi_round_frames(self):
+        """Kernels that spill over several rounds accumulate slots that
+        packing reclaims."""
+        kernel = KERNELS_BY_NAME["basewalk"]
+        result = allocate(kernel.compile(), machine=machine_with(6, 6),
+                          mode=RenumberMode.REMAT)
+        packing = pack_spill_slots(result.function)
+        assert packing.slots_before >= 2
+        assert packing.slots_after < packing.slots_before
+
+    def test_idempotent(self):
+        kernel = KERNELS_BY_NAME["adapt"]
+        result = allocate(kernel.compile(), machine=machine_with(8, 8))
+        first = pack_spill_slots(result.function)
+        second = pack_spill_slots(result.function)
+        assert second.slots_after == first.slots_after

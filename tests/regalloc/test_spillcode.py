@@ -1,0 +1,171 @@
+"""Tests for spill-code insertion."""
+
+from repro.analysis import compute_loops
+from repro.interp import run_function
+from repro.ir import CountClass, IRBuilder, Opcode, parse_function
+from repro.machine import standard_machine
+from repro.regalloc import compute_spill_costs, insert_spill_code
+
+from ..helpers import single_loop
+
+
+def spill(fn, regs):
+    costs = compute_spill_costs(fn, compute_loops(fn), standard_machine())
+    return insert_spill_code(fn, regs, costs)
+
+
+class TestMemorySpill:
+    def test_load_before_use_store_after_def(self):
+        text = """proc f 0
+entry:
+    ldi r0 5
+    add r1 r0 r0
+    add r2 r1 r1
+    out r2
+    ret
+"""
+        fn = parse_function(text)
+        target = fn.entry.instructions[1].dest        # r1: one def, one use
+        stats = spill(fn, [target])
+        assert stats.n_memory_ranges == 1
+        assert stats.n_stores == 1
+        assert stats.n_reloads == 1
+        ops = [i.opcode for i in fn.entry.instructions]
+        # store right after the def, reload right before the use
+        assert Opcode.SPST in ops and Opcode.SPLD in ops
+        assert ops.index(Opcode.SPST) < ops.index(Opcode.SPLD)
+        assert run_function(fn).output == [20]
+
+    def test_spilled_range_vanishes_from_code(self):
+        fn = single_loop()
+        iv = fn.block("head").instructions[0].srcs[0]
+        expected = run_function(fn.clone(), args=[5]).output
+        spill(fn, [iv])
+        for _blk, inst in fn.instructions():
+            assert iv not in inst.regs()
+        assert run_function(fn, args=[5]).output == expected
+
+    def test_each_spilled_range_gets_own_slot(self):
+        text = """proc f 0
+entry:
+    ldi r0 5
+    ldi r1 6
+    add r2 r0 r1
+    add r3 r0 r1
+    out r2
+    out r3
+    ret
+"""
+        fn = parse_function(text)
+        a = fn.entry.instructions[2].dest
+        c = fn.entry.instructions[3].dest
+        spill(fn, [a, c])
+        slots = {i.imms[0] for i in fn.entry.instructions
+                 if i.opcode in (Opcode.SPST, Opcode.SPLD)}
+        assert len(slots) == 2
+        assert fn.n_spill_slots == 2
+
+    def test_use_and_def_in_same_instruction(self):
+        text = """proc f 1
+entry:
+    param r0 0
+    ldi r1 0
+    jmp head
+head:
+    addi r1 r1 1
+    cmp_lt r2 r1 r0
+    cbr r2 head exit
+exit:
+    out r1
+    ret
+"""
+        fn = parse_function(text)
+        from repro.ir import Reg
+        r1 = Reg.vint(1)
+        expected = run_function(fn.clone(), args=[4]).output
+        spill(fn, [r1])
+        assert run_function(fn, args=[4]).output == expected
+
+    def test_repeated_use_reloaded_once(self):
+        text = """proc f 0
+entry:
+    ldi r0 5
+    ldi r9 1
+    mul r1 r0 r0
+    out r1
+    out r9
+    ret
+"""
+        fn = parse_function(text)
+        from repro.ir import Reg
+        stats = spill(fn, [Reg.vint(0)])
+        assert stats.n_reloads + stats.n_remats == 1   # one temp for both srcs
+
+
+class TestRematSpill:
+    def test_remat_emits_tag_instruction_not_load(self):
+        text = """proc f 0
+entry:
+    lsd r0 64
+    ldw r1 r0
+    ldw r2 r0
+    out r1
+    out r2
+    ret
+"""
+        fn = parse_function(text)
+        from repro.ir import Reg
+        stats = spill(fn, [Reg.vint(0)])
+        assert stats.n_remat_ranges == 1
+        assert stats.n_remats == 2          # one lsd per use instruction
+        assert stats.n_reloads == 0
+        assert stats.n_stores == 0
+        assert stats.n_deleted_defs == 1    # the original lsd disappears
+        lsds = [i for i in fn.entry.instructions if i.opcode is Opcode.LSD]
+        assert len(lsds) == 2
+        run_function(fn)                    # still executes
+
+    def test_remat_of_param(self):
+        text = """proc f 1
+entry:
+    param r0 0
+    add r1 r0 r0
+    out r1
+    out r0
+    ret
+"""
+        fn = parse_function(text)
+        from repro.ir import Reg
+        stats = spill(fn, [Reg.vint(0)])
+        assert stats.n_remat_ranges == 1
+        assert run_function(fn, args=[21]).output == [42, 21]
+
+    def test_mixed_defs_fall_back_to_memory(self):
+        text = """proc f 0
+entry:
+    ldi r9 1
+    cbr r9 a z
+a:
+    lsd r0 64
+    jmp join
+z:
+    lsd r0 128
+    jmp join
+join:
+    out r0
+    ret
+"""
+        fn = parse_function(text)
+        from repro.ir import Reg
+        stats = spill(fn, [Reg.vint(0)])
+        assert stats.n_memory_ranges == 1
+        assert stats.n_stores == 2          # one per def
+        assert run_function(fn).output[0] in (0x10000 + 64, 0x10000 + 128)
+
+    def test_new_temps_reported(self):
+        fn = single_loop()
+        iv = fn.block("head").instructions[0].srcs[0]
+        stats = spill(fn, [iv])
+        assert stats.new_temps
+        mentioned = {r for _b, i in fn.instructions() for r in i.regs()}
+        assert stats.new_temps <= mentioned

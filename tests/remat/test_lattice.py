@@ -1,0 +1,105 @@
+"""Property tests for the rematerialization lattice (Section 3.2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir import Opcode
+from repro.remat import BOTTOM, InstTag, TOP, is_remat, meet, meet_all
+
+inst_tags = st.sampled_from([
+    InstTag(Opcode.LDI, (0,)),
+    InstTag(Opcode.LDI, (1,)),
+    InstTag(Opcode.LDI, (42,)),
+    InstTag(Opcode.LSD, (0,)),
+    InstTag(Opcode.LSD, (64,)),
+    InstTag(Opcode.LFP, (8,)),
+    InstTag(Opcode.LDF, (2.5,)),
+    InstTag(Opcode.CLDW, (16,)),
+    InstTag(Opcode.PARAM, (0,)),
+])
+
+tags = st.one_of(st.just(TOP), st.just(BOTTOM), inst_tags)
+
+
+class TestMeetTable:
+    """The four rows of the paper's meet definition."""
+
+    def test_top_is_identity(self):
+        t = InstTag(Opcode.LDI, (7,))
+        assert meet(TOP, t) == t
+        assert meet(t, TOP) == t
+        assert meet(TOP, BOTTOM) is BOTTOM
+        assert meet(TOP, TOP) is TOP
+
+    def test_bottom_is_absorbing(self):
+        t = InstTag(Opcode.LDI, (7,))
+        assert meet(BOTTOM, t) is BOTTOM
+        assert meet(t, BOTTOM) is BOTTOM
+        assert meet(BOTTOM, BOTTOM) is BOTTOM
+
+    def test_equal_insts_meet_to_themselves(self):
+        a = InstTag(Opcode.LDI, (7,))
+        b = InstTag(Opcode.LDI, (7,))
+        assert meet(a, b) == a
+
+    def test_different_insts_meet_to_bottom(self):
+        a = InstTag(Opcode.LDI, (7,))
+        b = InstTag(Opcode.LDI, (8,))
+        c = InstTag(Opcode.LSD, (7,))
+        assert meet(a, b) is BOTTOM
+        assert meet(a, c) is BOTTOM
+
+    def test_operand_by_operand_comparison(self):
+        """Same opcode, same immediates -> equal; anything else differs."""
+        assert InstTag(Opcode.LDI, (7,)) == InstTag(Opcode.LDI, (7,))
+        assert InstTag(Opcode.LDI, (7,)) != InstTag(Opcode.LDI, (-7,))
+
+
+class TestMeetProperties:
+    @given(tags, tags)
+    def test_commutative(self, a, b):
+        assert meet(a, b) == meet(b, a)
+
+    @given(tags, tags, tags)
+    def test_associative(self, a, b, c):
+        assert meet(meet(a, b), c) == meet(a, meet(b, c))
+
+    @given(tags)
+    def test_idempotent(self, a):
+        assert meet(a, a) == a
+
+    @given(tags, tags)
+    def test_meet_is_a_lower_bound(self, a, b):
+        """meet(a,b) is <= both inputs in lattice order T > inst > B."""
+        def height(t):
+            if t is TOP:
+                return 2
+            if t is BOTTOM:
+                return 0
+            return 1
+        m = meet(a, b)
+        assert height(m) <= height(a)
+        assert height(m) <= height(b)
+
+    @given(st.lists(tags, max_size=6))
+    def test_meet_all_matches_fold(self, ts):
+        result = meet_all(ts)
+        folded = TOP
+        for t in ts:
+            folded = meet(folded, t)
+        assert result == folded
+
+
+class TestIsRemat:
+    def test_only_inst_tags_are_remat(self):
+        assert is_remat(InstTag(Opcode.LDI, (1,)))
+        assert not is_remat(TOP)
+        assert not is_remat(BOTTOM)
+
+    def test_make_instruction_roundtrip(self):
+        from repro.ir import Instruction, Reg
+        tag = InstTag(Opcode.LSD, (64,))
+        inst = tag.make_instruction(Reg.vint(9))
+        assert inst.opcode is Opcode.LSD
+        assert inst.imms == (64,)
+        assert inst.dest == Reg.vint(9)
+        assert InstTag.of(inst) == tag

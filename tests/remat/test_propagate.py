@@ -1,0 +1,141 @@
+"""Tests for tag initialization and sparse propagation."""
+
+from repro.ir import IRBuilder, Instruction, Opcode, Reg
+from repro.remat import (BOTTOM, InstTag, TOP, initial_tag, is_remat,
+                         propagate_tags)
+from repro.ssa import SSAGraph, construct_ssa
+
+from ..helpers import figure1_fragment, single_loop
+
+
+def tags_for(fn):
+    info = construct_ssa(fn)
+    graph = SSAGraph.build(fn, info)
+    return propagate_tags(graph), info, graph
+
+
+class TestInitialTags:
+    def test_never_killed_gets_inst_tag(self):
+        inst = Instruction(Opcode.LDI, dests=(Reg.vint(0),), imms=(5,))
+        assert initial_tag(inst) == InstTag(Opcode.LDI, (5,))
+
+    def test_copy_and_phi_get_top(self):
+        copy = Instruction(Opcode.COPY, dests=(Reg.vint(1),),
+                           srcs=(Reg.vint(0),))
+        phi = Instruction(Opcode.PHI, dests=(Reg.vint(2),),
+                          srcs=(Reg.vint(0), Reg.vint(1)))
+        assert initial_tag(copy) is TOP
+        assert initial_tag(phi) is TOP
+
+    def test_ordinary_instruction_gets_bottom(self):
+        add = Instruction(Opcode.ADD, dests=(Reg.vint(2),),
+                          srcs=(Reg.vint(0), Reg.vint(1)))
+        assert initial_tag(add) is BOTTOM
+
+    def test_split_gets_top(self):
+        split = Instruction(Opcode.SPLIT, dests=(Reg.vint(1),),
+                            srcs=(Reg.vint(0),))
+        assert initial_tag(split) is TOP
+
+
+class TestPropagation:
+    def test_no_tops_remain(self):
+        for shape in (single_loop, figure1_fragment):
+            tags, _info, _graph = tags_for(shape())
+            assert TOP not in tags.values()
+
+    def test_copy_of_constant_is_remat(self):
+        b = IRBuilder("f")
+        x = b.ldi(7)
+        y = b.copy(x)
+        b.out(y)
+        b.ret()
+        tags, _info, _graph = tags_for(b.finish())
+        remat = [t for t in tags.values() if is_remat(t)]
+        assert len(remat) == 2
+        assert all(t == InstTag(Opcode.LDI, (7,)) for t in remat)
+
+    def test_phi_of_identical_constants_is_remat(self):
+        """Both arms load the same address constant: the merge stays inst."""
+        b = IRBuilder("f")
+        c = b.ldi(1)
+        b.cbr(c, "a", "z")
+        b.label("a")
+        p_a = b.lsd(64)
+        r = b.function.new_reg(p_a.rclass)
+        b.copy_to(r, p_a)
+        b.jmp("join")
+        b.label("z")
+        p_z = b.lsd(64)
+        b.copy_to(r, p_z)
+        b.jmp("join")
+        b.label("join")
+        b.out(b.ldw(r))
+        b.ret()
+        tags, info, _g = tags_for(b.finish())
+        join_phi = b.function.block("join").phis()[0]
+        assert tags[join_phi.dest] == InstTag(Opcode.LSD, (64,))
+
+    def test_phi_of_different_constants_is_bottom(self):
+        b = IRBuilder("f")
+        c = b.ldi(1)
+        b.cbr(c, "a", "z")
+        b.label("a")
+        r = b.function.new_reg(c.rclass)
+        b.copy_to(r, b.lsd(64))
+        b.jmp("join")
+        b.label("z")
+        b.copy_to(r, b.lsd(128))      # a *different* constant
+        b.jmp("join")
+        b.label("join")
+        b.out(b.ldw(r))
+        b.ret()
+        tags, info, _g = tags_for(b.finish())
+        join_phi = b.function.block("join").phis()[0]
+        assert tags[join_phi.dest] is BOTTOM
+
+    def test_figure1_tags(self):
+        """The paper's running example: p0 (the address) is never-killed;
+        p's φ at the second loop header and the p+1 value are ⊥."""
+        fn = figure1_fragment()
+        tags, info, graph = tags_for(fn)
+        lsd_values = [v for v, inst in graph.def_inst.items()
+                      if inst.opcode is Opcode.LSD and inst.imms == (64,)]
+        # the lsd feeding p and any copies of it carry the inst tag
+        assert any(tags[v] == InstTag(Opcode.LSD, (64,))
+                   for v in lsd_values)
+        phi_p = fn.block("head2").phis()[0]
+        assert tags[phi_p.dest] is BOTTOM
+        # the addi p+1 value is bottom too
+        addi_values = [v for v, inst in graph.def_inst.items()
+                       if inst.opcode is Opcode.ADDI and inst.imms == (1,)
+                       and v.rclass.name == "INT"]
+        assert any(tags[v] is BOTTOM for v in addi_values)
+
+    def test_loop_carried_constant_through_phi_cycle(self):
+        """x = 5 outside; inside an if, x = 5 again: the φ web stays inst
+        even though it passes through a loop-header φ."""
+        b = IRBuilder("f", n_params=1)
+        n = b.param(0)
+        x = b.function.new_reg(n.rclass)
+        i = b.function.new_reg(n.rclass)
+        b.copy_to(x, b.ldi(5))
+        b.copy_to(i, b.ldi(0))
+        b.jmp("head")
+        b.label("head")
+        c = b.cmp_lt(i, n)
+        b.cbr(c, "body", "exit")
+        b.label("body")
+        b.copy_to(i, b.add(i, x))     # use x (keeps its φ live at head)
+        b.copy_to(x, b.ldi(5))        # same constant again
+        b.jmp("head")
+        b.label("exit")
+        b.out(i)
+        b.ret()
+        fn = b.finish()
+        tags, info, _g = tags_for(fn)
+        head_phis = fn.block("head").phis()
+        # one φ for i (bottom) and one for x (inst 5)
+        tag_set = {repr(tags[p.dest]) for p in head_phis}
+        assert "inst[ldi 5]" in tag_set
+        assert "⊥" in tag_set

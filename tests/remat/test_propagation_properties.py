@@ -1,0 +1,90 @@
+"""Property tests for tag propagation on random programs.
+
+The fixed examples in test_propagate.py pin specific answers; these
+properties must hold on arbitrary generated control flow:
+
+* propagation is monotone: every final tag is <= its initial tag in the
+  lattice order ⊤ > inst > ⊥,
+* φ results carry the meet of their operands' final tags,
+* copy destinations carry exactly their source's final tag,
+* never-killed definitions keep their inst tag (nothing can lower a
+  non-copy, non-φ value),
+* propagation is deterministic and idempotent.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.benchsuite import GeneratorConfig, random_program
+from repro.ir import Opcode
+from repro.remat import (BOTTOM, TOP, initial_tags, is_remat, meet_all,
+                         propagate_tags)
+from repro.ssa import SSAGraph, construct_ssa
+
+SHAPES = GeneratorConfig(n_vars=4, max_depth=3, max_stmts=4)
+
+common = settings(max_examples=25, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+def graph_and_tags(seed):
+    fn = random_program(seed, SHAPES)
+    fn.split_critical_edges()
+    info = construct_ssa(fn)
+    graph = SSAGraph.build(fn, info)
+    tags = propagate_tags(graph)
+    return fn, graph, tags
+
+
+def height(tag):
+    if tag is TOP:
+        return 2
+    if tag is BOTTOM:
+        return 0
+    return 1
+
+
+@common
+@given(seed=st.integers(0, 10_000))
+def test_monotone_lowering(seed):
+    fn, graph, tags = graph_and_tags(seed)
+    initial = initial_tags(graph)
+    for value, tag in tags.items():
+        assert height(tag) <= height(initial[value])
+
+
+@common
+@given(seed=st.integers(0, 10_000))
+def test_phi_results_are_meets(seed):
+    fn, graph, tags = graph_and_tags(seed)
+    for value, inst in graph.def_inst.items():
+        if inst.opcode is Opcode.PHI:
+            expected = meet_all(tags[s] for s in inst.srcs)
+            assert tags[value] == expected
+
+
+@common
+@given(seed=st.integers(0, 10_000))
+def test_copy_dests_match_sources(seed):
+    fn, graph, tags = graph_and_tags(seed)
+    for value, inst in graph.def_inst.items():
+        if inst.is_copy:
+            assert tags[value] == tags[inst.src]
+
+
+@common
+@given(seed=st.integers(0, 10_000))
+def test_never_killed_defs_keep_inst_tags(seed):
+    fn, graph, tags = graph_and_tags(seed)
+    from repro.remat import InstTag
+    for value, inst in graph.def_inst.items():
+        if inst.is_never_killed:
+            assert tags[value] == InstTag.of(inst)
+
+
+@common
+@given(seed=st.integers(0, 10_000))
+def test_idempotent_and_deterministic(seed):
+    fn, graph, _ = graph_and_tags(seed)
+    a = propagate_tags(graph)
+    b = propagate_tags(graph)
+    assert a == b

@@ -1,0 +1,164 @@
+"""Tests for live-range formation and tag-driven splitting (Figure 3)."""
+
+import pytest
+
+from repro.interp import run_function
+from repro.ir import Opcode, verify_function
+from repro.remat import (RenumberMode, apply_plan, is_remat, plan_unions,
+                         propagate_tags)
+from repro.ssa import SSAGraph, construct_ssa
+
+from ..helpers import (ALL_SHAPES, figure1_fragment, if_in_loop,
+                       nested_loops, single_loop)
+
+
+def renumber(fn, mode):
+    """Run the full renumber pipeline on *fn* in place."""
+    fn.split_critical_edges()
+    info = construct_ssa(fn)
+    if mode is RenumberMode.REMAT:
+        graph = SSAGraph.build(fn, info)
+        tags = propagate_tags(graph)
+    else:
+        tags = None
+    plan = plan_unions(fn, info, tags, mode)
+    return apply_plan(fn, info, plan, tags)
+
+
+def count_splits(fn):
+    return sum(1 for _b, i in fn.instructions() if i.is_split)
+
+
+class TestChaitinMode:
+    def test_no_splits_no_phis(self):
+        fn = single_loop()
+        result = renumber(fn, RenumberMode.CHAITIN)
+        assert count_splits(fn) == 0
+        assert result.n_splits_inserted == 0
+        verify_function(fn)  # no φs left
+
+    def test_webs_reconstruct_original_register_count(self):
+        """Chaitin renumber merges each φ web back into one live range."""
+        fn = single_loop()
+        result = renumber(fn, RenumberMode.CHAITIN)
+        # induction variable is a single live range again
+        assert len(result.live_ranges) <= 7
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_semantics_preserved(self, shape):
+        original = shape()
+        expected = run_function(original.clone(), args=[6]).output
+        fn = original
+        renumber(fn, RenumberMode.CHAITIN)
+        assert run_function(fn, args=[6]).output == expected
+
+
+class TestRematMode:
+    def test_figure3_minimal_single_split(self):
+        """The paper's Figure 3 'Minimal' column: exactly one split isolates
+        the never-killed p0 from the ⊥ web p12."""
+        fn = figure1_fragment()
+        result = renumber(fn, RenumberMode.REMAT)
+        assert result.n_splits_inserted == 1
+        assert count_splits(fn) == 1
+
+    def test_figure3_split_connects_inst_to_bottom(self):
+        fn = figure1_fragment()
+        result = renumber(fn, RenumberMode.REMAT)
+        split = next(i for _b, i in fn.instructions() if i.is_split)
+        assert is_remat(result.lr_tags[split.src])
+        assert not is_remat(result.lr_tags[split.dest])
+
+    def test_lr_tags_are_uniform(self):
+        """Every live range's members share one tag (union never mixes)."""
+        for shape in ALL_SHAPES:
+            fn = shape()
+            fn.split_critical_edges()
+            info = construct_ssa(fn)
+            graph = SSAGraph.build(fn, info)
+            tags = propagate_tags(graph)
+            plan = plan_unions(fn, info, tags, RenumberMode.REMAT)
+            for values in plan.ds.classes().values():
+                tag_set = {tags[v] for v in values}
+                assert len(tag_set) == 1, (fn.name, values)
+
+    def test_remat_copies_of_constants_deleted(self):
+        """Step 5: a copy between identically-tagged inst values dies."""
+        from repro.ir import IRBuilder
+        b = IRBuilder("f")
+        x = b.ldi(7)
+        y = b.copy(x)
+        b.out(y)
+        b.ret()
+        fn = b.finish()
+        result = renumber(fn, RenumberMode.REMAT)
+        assert result.n_copies_removed >= 1
+        assert not any(i.is_copy for _b, i in fn.instructions())
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_semantics_preserved(self, shape):
+        original = shape()
+        expected = run_function(original.clone(), args=[6]).output
+        fn = original
+        renumber(fn, RenumberMode.REMAT)
+        verify_function(fn)
+        assert run_function(fn, args=[6]).output == expected
+
+    def test_more_live_ranges_than_chaitin(self):
+        """Splitting isolates values: at least as many LRs as Chaitin."""
+        fn_old = figure1_fragment()
+        fn_new = figure1_fragment()
+        old = renumber(fn_old, RenumberMode.CHAITIN)
+        new = renumber(fn_new, RenumberMode.REMAT)
+        assert len(new.live_ranges) >= len(old.live_ranges)
+
+
+class TestSplitAllMode:
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_semantics_preserved(self, shape):
+        original = shape()
+        expected = run_function(original.clone(), args=[6]).output
+        fn = original
+        renumber(fn, RenumberMode.SPLIT_ALL)
+        verify_function(fn)
+        assert run_function(fn, args=[6]).output == expected
+
+    def test_splits_at_every_phi_operand(self):
+        fn = single_loop()
+        info_fn = single_loop()
+        info_fn.split_critical_edges()
+        info = construct_ssa(info_fn)
+        n_operands = sum(len(phi.srcs)
+                         for blk in info_fn.blocks for phi in blk.phis())
+        result = renumber(fn, RenumberMode.SPLIT_ALL)
+        assert result.n_splits_inserted == n_operands
+
+    def test_at_least_as_many_live_ranges_as_remat(self):
+        fn_a = if_in_loop()
+        fn_b = if_in_loop()
+        split_all = renumber(fn_a, RenumberMode.SPLIT_ALL)
+        remat = renumber(fn_b, RenumberMode.REMAT)
+        assert len(split_all.live_ranges) >= len(remat.live_ranges)
+
+
+class TestRenumberBookkeeping:
+    def test_value_to_lr_covers_all_values(self):
+        fn = nested_loops()
+        fn.split_critical_edges()
+        info = construct_ssa(fn)
+        graph = SSAGraph.build(fn, info)
+        tags = propagate_tags(graph)
+        plan = plan_unions(fn, info, tags, RenumberMode.REMAT)
+        result = apply_plan(fn, info, plan, tags)
+        assert set(result.value_to_lr) == set(info.def_site)
+        for lr, members in result.members.items():
+            for v in members:
+                assert result.value_to_lr[v] == lr
+
+    def test_code_mentions_only_live_ranges(self):
+        fn = nested_loops()
+        result = renumber(fn, RenumberMode.REMAT)
+        lrs = set(result.live_ranges)
+        for _blk, inst in fn.instructions():
+            for r in inst.regs():
+                assert r in lrs, f"{inst} mentions non-LR register {r}"

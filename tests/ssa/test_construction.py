@@ -1,0 +1,120 @@
+"""Tests for pruned SSA construction."""
+
+import pytest
+
+from repro.ir import Opcode, parse_function, verify_function
+from repro.ssa import SSAError, SSAGraph, construct_ssa
+
+from ..helpers import (diamond, figure1_fragment, if_in_loop, nested_loops,
+                       single_loop, straight_line)
+
+
+def count_phis(fn):
+    return sum(1 for _b, i in fn.instructions() if i.opcode is Opcode.PHI)
+
+
+class TestPhiPlacement:
+    def test_straight_line_has_no_phis(self):
+        fn = straight_line()
+        construct_ssa(fn)
+        assert count_phis(fn) == 0
+
+    def test_loop_variable_gets_header_phi(self):
+        fn = single_loop()
+        info = construct_ssa(fn)
+        head_phis = fn.block("head").phis()
+        assert len(head_phis) == 1          # only the induction variable
+        assert info.phi_preds["head"] == ["entry", "body"]
+
+    def test_pruning_no_phi_for_dead_values(self):
+        """cmp results die inside their block: no φ anywhere for them."""
+        fn = if_in_loop()
+        construct_ssa(fn)
+        # head has φs only for i and acc (live around the loop)
+        assert len(fn.block("head").phis()) == 2
+
+    def test_if_in_loop_join_phi(self):
+        fn = if_in_loop()
+        construct_ssa(fn)
+        # acc is redefined in both arms and live afterwards -> φ at latch
+        assert len(fn.block("latch").phis()) == 1
+
+    def test_figure1_phi_for_p_at_second_loop_only(self):
+        """Figure 3: p needs a φ at the second loop's header, and none at
+        the first loop's header (p is not modified in loop 1)."""
+        fn = figure1_fragment()
+        construct_ssa(fn)
+        phis_head2 = fn.block("head2").phis()
+        assert len(phis_head2) == 1
+        # head1 has a φ for y (modified in loop 1) but none for p
+        assert len(fn.block("head1").phis()) == 1
+
+    def test_ssa_is_verifiable(self):
+        for shape in (diamond, single_loop, nested_loops, if_in_loop):
+            fn = shape()
+            construct_ssa(fn)
+            verify_function(fn, allow_phis=True)
+
+
+class TestSingleAssignment:
+    @pytest.mark.parametrize("shape", [diamond, single_loop, nested_loops,
+                                       if_in_loop, figure1_fragment])
+    def test_every_value_defined_once(self, shape):
+        fn = shape()
+        info = construct_ssa(fn)
+        defs = {}
+        for blk in fn.blocks:
+            for inst in blk.instructions:
+                for d in inst.dests:
+                    assert d not in defs, f"{d} defined twice"
+                    defs[d] = inst
+        assert set(defs) == info.values()
+
+    @pytest.mark.parametrize("shape", [single_loop, nested_loops,
+                                       figure1_fragment])
+    def test_def_sites_match_code(self, shape):
+        fn = shape()
+        info = construct_ssa(fn)
+        for value, (label, inst) in info.def_site.items():
+            assert inst in fn.block(label).instructions
+            assert value in inst.dests
+
+    def test_orig_reg_tracks_renaming(self):
+        fn = single_loop()
+        regs_before = fn.all_regs()
+        info = construct_ssa(fn)
+        for value, orig in info.orig_reg.items():
+            assert orig in regs_before
+            assert value.rclass is orig.rclass
+
+    def test_phi_operands_match_pred_count(self):
+        fn = nested_loops()
+        info = construct_ssa(fn)
+        for label, preds in info.phi_preds.items():
+            for phi in fn.block(label).phis():
+                assert len(phi.srcs) == len(preds)
+
+
+class TestSSAGraph:
+    def test_users_are_recorded(self):
+        fn = single_loop()
+        info = construct_ssa(fn)
+        graph = SSAGraph.build(fn, info)
+        for value, users in graph.users.items():
+            for user in users:
+                assert value in user.srcs
+
+    def test_phi_values_flagged(self):
+        fn = single_loop()
+        info = construct_ssa(fn)
+        graph = SSAGraph.build(fn, info)
+        phi_values = [v for v in graph.values() if graph.is_phi(v)]
+        assert len(phi_values) == 1
+
+
+class TestErrors:
+    def test_use_before_def_raises(self):
+        text = "proc f 0\nentry:\n    out r5\n    ret\n"
+        fn = parse_function(text)
+        with pytest.raises(SSAError):
+            construct_ssa(fn)

@@ -1,0 +1,57 @@
+"""Tests for standalone SSA destruction."""
+
+import pytest
+
+from repro.interp import run_function
+from repro.ir import Opcode, verify_function
+from repro.ssa import construct_ssa, destroy_ssa
+
+from ..helpers import ALL_SHAPES, if_in_loop, single_loop
+
+
+def roundtrip(shape, insert_copies):
+    fn = shape()
+    expected = run_function(fn.clone(), args=[6]).output
+    fn.split_critical_edges()
+    info = construct_ssa(fn)
+    result = destroy_ssa(fn, info, insert_copies=insert_copies)
+    verify_function(fn)   # no φs allowed anymore
+    assert run_function(fn, args=[6]).output == expected
+    return fn, result
+
+
+class TestUnionDestruction:
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_semantics_preserved(self, shape):
+        fn, result = roundtrip(shape, insert_copies=False)
+        assert result.n_splits_inserted == 0
+
+    def test_no_copies_added(self):
+        fn = single_loop()
+        copies_before = sum(1 for _b, i in fn.instructions() if i.is_copy)
+        fn.split_critical_edges()
+        info = construct_ssa(fn)
+        destroy_ssa(fn, info, insert_copies=False)
+        copies_after = sum(1 for _b, i in fn.instructions() if i.is_copy)
+        assert copies_after <= copies_before
+
+
+class TestCopyDestruction:
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_semantics_preserved(self, shape):
+        fn, result = roundtrip(shape, insert_copies=True)
+        assert result.n_splits_inserted >= 0
+
+    def test_copy_per_phi_operand(self):
+        fn = if_in_loop()
+        fn.split_critical_edges()
+        info = construct_ssa(fn)
+        n_operands = sum(len(phi.srcs)
+                         for blk in fn.blocks for phi in blk.phis())
+        result = destroy_ssa(fn, info, insert_copies=True)
+        assert result.n_splits_inserted == n_operands
+
+    def test_no_phis_survive(self):
+        fn, _result = roundtrip(if_in_loop, insert_copies=True)
+        assert all(i.opcode is not Opcode.PHI
+                   for _b, i in fn.instructions())

@@ -1,0 +1,38 @@
+"""CLI experiment commands, run over tiny kernel subsets for speed."""
+
+import pytest
+
+import repro.experiments.table1 as table1_mod
+import repro.experiments.regsweep as regsweep_mod
+from repro.benchsuite import KERNELS_BY_NAME
+from repro.cli import main
+
+TINY_SUITE = [KERNELS_BY_NAME[n] for n in ("zeroin", "adapt")]
+
+
+@pytest.fixture
+def tiny_suite(monkeypatch):
+    monkeypatch.setattr(table1_mod, "ALL_KERNELS", TINY_SUITE)
+    monkeypatch.setattr(regsweep_mod, "ALL_KERNELS", TINY_SUITE)
+
+
+class TestExperimentCommands:
+    def test_table1(self, tiny_suite, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Effects of Rematerialization" in out
+        assert "adapt" in out
+
+    def test_table1_with_custom_k(self, tiny_suite, capsys):
+        assert main(["table1", "--k", "12"]) == 0
+        assert "k_int=12" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Allocation Times in Seconds" in out
+        assert "renum" in out
+
+    def test_sweep(self, tiny_suite, capsys):
+        assert main(["sweep"]) == 0
+        assert "Register-set sweep" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""Tests for machine descriptions and the cost model."""
+
+from repro.ir import CountClass, Opcode, RegClass
+from repro.machine import (MachineDescription, huge_machine, machine_with,
+                           standard_machine, tiny_machine)
+
+
+class TestPresets:
+    def test_standard_is_the_papers_machine(self):
+        m = standard_machine()
+        assert m.int_regs == 16 and m.float_regs == 16
+        assert m.load_cost == 2 and m.store_cost == 2 and m.other_cost == 1
+
+    def test_huge_is_the_baseline_machine(self):
+        m = huge_machine()
+        assert m.int_regs == 128 and m.float_regs == 128
+
+    def test_tiny_and_custom(self):
+        assert tiny_machine(3, 5).k(RegClass.INT) == 3
+        assert tiny_machine(3, 5).k(RegClass.FLOAT) == 5
+        assert machine_with(7).float_regs == 7
+        assert machine_with(7, 9).float_regs == 9
+
+    def test_names_reflect_configuration(self):
+        assert machine_with(8, 8).name == "k8x8"
+        assert tiny_machine(4, 2).name == "tiny4x2"
+
+
+class TestCostModel:
+    def test_cycle_cost_per_opcode(self):
+        m = standard_machine()
+        assert m.cycle_cost(Opcode.LDW) == 2
+        assert m.cycle_cost(Opcode.SPST) == 2
+        assert m.cycle_cost(Opcode.ADD) == 1
+        assert m.cycle_cost(Opcode.LDI) == 1
+
+    def test_cycles_of_count_vector(self):
+        m = standard_machine()
+        counts = {CountClass.LOAD: 3, CountClass.STORE: 2,
+                  CountClass.LDI: 5, CountClass.OTHER: 7}
+        assert m.cycles(counts) == 3 * 2 + 2 * 2 + 5 + 7
+
+    def test_custom_cost_model(self):
+        m = MachineDescription(name="slowmem", int_regs=8, float_regs=8,
+                               load_cost=10, store_cost=10)
+        assert m.cycles({CountClass.LOAD: 1, CountClass.ADDI: 1}) == 11
+        assert m.class_cost(CountClass.STORE) == 10
+        assert m.class_cost(CountClass.COPY) == 1
+
+    def test_descriptions_are_immutable(self):
+        import pytest
+        m = standard_machine()
+        with pytest.raises(Exception):
+            m.int_regs = 99
+
+
+class TestCostModelAffectsSpillChoices:
+    def test_costlier_memory_favors_remat_more(self):
+        """With 10-cycle memory the remat advantage grows (the paper:
+        'adjusting the relative costs ... will change the amount of
+        improvement')."""
+        from repro.benchsuite import KERNELS_BY_NAME
+        from repro.experiments import compare_kernel
+        kernel = KERNELS_BY_NAME["adapt"]
+        cheap = compare_kernel(kernel, machine_with(16, 16))
+        costly_machine = MachineDescription(
+            name="slowmem", int_regs=16, float_regs=16,
+            load_cost=10, store_cost=10)
+        costly = compare_kernel(kernel, costly_machine)
+        assert costly.total_percent >= cheap.total_percent

@@ -1,0 +1,60 @@
+"""Tests for the disjoint-set structure."""
+
+from hypothesis import given, strategies as st
+
+from repro.unionfind import DisjointSets
+
+
+class TestBasics:
+    def test_singletons(self):
+        ds = DisjointSets([1, 2, 3])
+        assert ds.find(1) == 1
+        assert not ds.same(1, 2)
+
+    def test_union_merges(self):
+        ds = DisjointSets()
+        ds.union(1, 2)
+        ds.union(2, 3)
+        assert ds.same(1, 3)
+        assert not ds.same(1, 4)
+
+    def test_lazy_add(self):
+        ds = DisjointSets()
+        assert ds.find("x") == "x"
+        assert "x" in ds and "y" not in ds
+
+    def test_classes(self):
+        ds = DisjointSets(range(5))
+        ds.union(0, 1)
+        ds.union(3, 4)
+        classes = ds.classes()
+        sizes = sorted(len(v) for v in classes.values())
+        assert sizes == [1, 2, 2]
+        for root, members in classes.items():
+            assert root in members
+
+    def test_union_returns_root(self):
+        ds = DisjointSets()
+        root = ds.union("a", "b")
+        assert ds.find("a") == root == ds.find("b")
+
+    def test_len_counts_items(self):
+        ds = DisjointSets([1, 2])
+        ds.union(1, 2)
+        assert len(ds) == 2
+
+
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)),
+                max_size=60))
+def test_matches_naive_partition(pairs):
+    """Union-find agrees with a naive transitive-closure partition."""
+    ds = DisjointSets(range(31))
+    naive = {i: {i} for i in range(31)}
+    for a, b in pairs:
+        ds.union(a, b)
+        merged = naive[a] | naive[b]
+        for member in merged:
+            naive[member] = merged
+    for i in range(31):
+        for j in range(31):
+            assert ds.same(i, j) == (j in naive[i])
