@@ -1,0 +1,114 @@
+"""Build/liveness scaling: bitset engine vs. the seed set-based oracle.
+
+Times ``compute_liveness`` + ``build_interference_graph`` (the
+allocator's *Build* phase inputs, the dominant per-round cost in the
+paper's Table 2) on generated functions of growing size, against the
+seed implementations preserved in ``tests/reference_impl.py``.
+
+Beyond the human-readable table in ``results/bench_build_scaling.txt``,
+the run writes machine-readable ``results/BENCH_build.json`` so future
+PRs can track the performance trajectory point by point.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.analysis import compute_liveness
+from repro.benchsuite import GeneratorConfig, KERNELS_BY_NAME, random_program
+from repro.regalloc import build_interference_graph, run_renumber
+from repro.remat import RenumberMode
+
+from tests.reference_impl import (ref_build_interference_graph,
+                                  ref_compute_liveness)
+
+from .conftest import save_result
+
+#: growing shapes: (label, generator config); sizes roughly double
+SCALES = [
+    ("gen-s", GeneratorConfig(n_vars=6, max_depth=2, max_stmts=5)),
+    ("gen-m", GeneratorConfig(n_vars=10, max_depth=3, max_stmts=8)),
+    ("gen-l", GeneratorConfig(n_vars=16, max_depth=4, max_stmts=10)),
+    ("gen-xl", GeneratorConfig(n_vars=24, max_depth=4, max_stmts=16)),
+]
+SEED = 7
+REPEATS = 5
+
+
+def _post_renumber(fn):
+    """The allocator builds on post-renumber code; match that shape."""
+    fn.remove_unreachable_blocks()
+    fn.split_critical_edges()
+    run_renumber(fn, RenumberMode.REMAT)
+    return fn
+
+
+def _specimens():
+    for label, config in SCALES:
+        yield label, _post_renumber(random_program(SEED, config))
+    yield "twldrv", _post_renumber(KERNELS_BY_NAME["twldrv"].compile())
+
+
+def _time(job, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        job()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bitset_build(fn):
+    liveness = compute_liveness(fn)
+    return build_interference_graph(fn, liveness)
+
+
+def _seed_build(fn):
+    ref_compute_liveness(fn)                 # seed build recomputed its own
+    return ref_build_interference_graph(fn)  # liveness internally, so both
+
+
+def test_build_scaling(results_dir):
+    rows = []
+    for label, fn in _specimens():
+        graph = _bitset_build(fn)
+        ref = ref_build_interference_graph(fn)
+        assert graph.n_edges() == ref.n_edges()   # same graph, honest race
+        t_new = _time(lambda: _bitset_build(fn))
+        t_old = _time(lambda: _seed_build(fn))
+        rows.append({
+            "name": label,
+            "n_insts": fn.size(),
+            "n_blocks": len(fn.blocks),
+            "n_regs": len(fn.all_regs()),
+            "n_edges": graph.n_edges(),
+            "seed_seconds": round(t_old, 6),
+            "bitset_seconds": round(t_new, 6),
+            "speedup": round(t_old / t_new, 2),
+        })
+
+    header = (f"{'function':>10} {'insts':>6} {'regs':>6} {'edges':>7} "
+              f"{'seed(s)':>9} {'bitset(s)':>10} {'speedup':>8}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(f"{r['name']:>10} {r['n_insts']:>6} {r['n_regs']:>6} "
+                     f"{r['n_edges']:>7} {r['seed_seconds']:>9.4f} "
+                     f"{r['bitset_seconds']:>10.4f} {r['speedup']:>7.1f}x")
+    save_result(results_dir, "bench_build_scaling", "\n".join(lines))
+
+    payload = {
+        "benchmark": "build_scaling",
+        "unit": "seconds (best of %d)" % REPEATS,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "rows": rows,
+        "largest": max(rows, key=lambda r: r["n_insts"])["name"],
+        "largest_speedup": max(rows, key=lambda r: r["n_insts"])["speedup"],
+    }
+    (results_dir / "BENCH_build.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    # acceptance: >= 2x on the largest generated function
+    largest_gen = max((r for r in rows if r["name"].startswith("gen")),
+                      key=lambda r: r["n_insts"])
+    assert largest_gen["speedup"] >= 2.0, largest_gen

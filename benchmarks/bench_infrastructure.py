@@ -58,3 +58,14 @@ def test_interference_build_throughput(benchmark):
     run_renumber(fn, RenumberMode.REMAT)
     graph = benchmark(lambda: build_interference_graph(fn))
     assert graph.n_edges() > 100
+
+
+def test_interference_rebuild_with_cached_liveness(benchmark):
+    """The coalesce-loop fast path: rebuilds reuse the round's liveness
+    fixed point instead of recomputing it."""
+    fn = BIG.compile()
+    fn.split_critical_edges()
+    run_renumber(fn, RenumberMode.REMAT)
+    liveness = compute_liveness(fn)
+    graph = benchmark(lambda: build_interference_graph(fn, liveness))
+    assert graph.n_edges() > 100

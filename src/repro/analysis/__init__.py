@@ -3,6 +3,7 @@
 from .defuse import DefUse, Site, compute_def_use
 from .dominance import (DominanceInfo, compute_dominance,
                         iterated_dominance_frontier)
+from .indexmap import RegIndex, iter_bits
 from .liveness import (BlockLiveness, LivenessInfo, block_use_def,
                        compute_liveness, live_at_instruction)
 from .loops import (Loop, LoopInfo, compute_loops, find_back_edges,
@@ -18,6 +19,7 @@ __all__ = [
     "LoopInfo",
     "LivenessInfo",
     "PostDominanceInfo",
+    "RegIndex",
     "Site",
     "VIRTUAL_EXIT",
     "block_use_def",
@@ -28,6 +30,7 @@ __all__ = [
     "compute_postdominance",
     "find_back_edges",
     "instruction_depths",
+    "iter_bits",
     "iterated_dominance_frontier",
     "live_at_instruction",
 ]

@@ -1,22 +1,34 @@
-"""Live-variable analysis.
+"""Live-variable analysis over dense register bitsets.
 
-Backward iterative data-flow over basic blocks.  The paper computes liveness
-with a sparse data-flow evaluation graph [Choi–Cytron–Ferrante]; we use the
-classic worklist formulation, which computes the same fixed point (the
-"sparse" aspect only affects compile time, and Python-level set operations
-make the dense version the faster one here).
+Backward iterative data-flow over basic blocks.  The paper computes
+liveness with a sparse data-flow evaluation graph [Choi–Cytron–Ferrante];
+we use the classic worklist formulation, which computes the same fixed
+point — but, like Chaitin's bit-matrix build, over *dense* bit vectors:
+every register gets a small id from a :class:`~repro.analysis.RegIndex`
+and each use/def/live-in/live-out set is one Python int, so a transfer
+``use | (out & ~defs)`` is three machine-word-wide big-int operations
+instead of thousands of hashed set inserts.
+
+The set-based API (:meth:`LivenessInfo.live_in` / :meth:`live_out`
+returning ``set[Reg]``) is kept as a thin, lazily-materialized view so
+existing consumers (spill costs, splitting, SSA construction) are
+unchanged; bitset consumers use ``live_in_bits`` / ``live_out_bits``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..ir import Function, Instruction, Reg
+from .indexmap import RegIndex
 
 
 @dataclass
 class BlockLiveness:
-    """use/def summaries and live-in/out sets for one block."""
+    """use/def summaries and live-in/out sets for one block (a
+    materialized view; the authoritative data are the bitsets held by
+    :class:`LivenessInfo`)."""
 
     use: set[Reg]
     defs: set[Reg]
@@ -24,17 +36,120 @@ class BlockLiveness:
     live_out: set[Reg]
 
 
-@dataclass
 class LivenessInfo:
-    """Liveness facts for one function, keyed by block label."""
+    """Liveness facts for one function, keyed by block label.
 
-    blocks: dict[str, BlockLiveness]
+    Internally everything is a bitset over :attr:`index`; the classic
+    set-of-``Reg`` views are built on demand and cached until the next
+    :meth:`rename`.
+    """
+
+    __slots__ = ("fn", "index", "_use", "_defs", "_in", "_out", "_views")
+
+    def __init__(self, fn: Function, index: RegIndex,
+                 use: dict[str, int], defs: dict[str, int],
+                 live_in: dict[str, int], live_out: dict[str, int]) -> None:
+        self.fn = fn
+        self.index = index
+        self._use = use
+        self._defs = defs
+        self._in = live_in
+        self._out = live_out
+        self._views: dict[str, BlockLiveness] = {}
+
+    # -- set views (the seed API) ----------------------------------------------
+
+    @property
+    def blocks(self) -> dict[str, BlockLiveness]:
+        """Materialized per-block set views, one per known block."""
+        return {label: self.block(label) for label in self._in}
+
+    def block(self, label: str) -> BlockLiveness:
+        view = self._views.get(label)
+        if view is None:
+            to_set = self.index.to_set
+            view = BlockLiveness(use=to_set(self._use[label]),
+                                 defs=to_set(self._defs[label]),
+                                 live_in=to_set(self._in[label]),
+                                 live_out=to_set(self._out[label]))
+            self._views[label] = view
+        return view
 
     def live_in(self, label: str) -> set[Reg]:
-        return self.blocks[label].live_in
+        return self.block(label).live_in
 
     def live_out(self, label: str) -> set[Reg]:
-        return self.blocks[label].live_out
+        return self.block(label).live_out
+
+    # -- bitset accessors (the fast path) ---------------------------------------
+
+    def live_in_bits(self, label: str) -> int:
+        return self._in[label]
+
+    def live_out_bits(self, label: str) -> int:
+        return self._out[label]
+
+    def use_bits(self, label: str) -> int:
+        return self._use[label]
+
+    def def_bits(self, label: str) -> int:
+        return self._defs[label]
+
+    # -- per-instruction scan ----------------------------------------------------
+
+    def scan_block(self, label: str):
+        """Yield ``(inst, live)`` for every instruction of block *label*
+        in layout order, where *live* is the ``set[Reg]`` live immediately
+        **before** the instruction.
+
+        One backward pass over the block — linear, unlike calling the old
+        ``live_at_instruction`` at every point (quadratic).
+        """
+        index = self.index
+        for inst, bits in self.scan_block_bits(label):
+            yield inst, index.to_set(bits)
+
+    def scan_block_bits(self, label: str):
+        """Like :meth:`scan_block` but yields ``(inst, bitset)``."""
+        blk = self.fn.block(label)
+        ensure = self.index.ensure
+        live = self._out[label]
+        before: list[int] = []
+        for inst in reversed(blk.instructions):
+            for d in inst.dests:
+                live &= ~(1 << ensure(d))
+            for s in inst.srcs:
+                live |= 1 << ensure(s)
+            before.append(live)
+        before.reverse()
+        return zip(blk.instructions, before)
+
+    # -- cache maintenance (coalescing) ------------------------------------------
+
+    def rename(self, mapping: dict[Reg, Reg]) -> None:
+        """Apply a register renaming (coalesce merges) to every cached
+        bitset: each *gone* bit moves onto its representative's bit.
+
+        Coalescing only merges names — the union live range is live
+        exactly where either constituent was — so renaming the cached
+        fixed point is equivalent to recomputing it on the rewritten
+        code (up to the same conservative union ``InterferenceGraph.merge``
+        applies), and costs one mask pass per block instead of a new
+        fixed-point iteration.
+        """
+        index = self.index
+        moves = [(1 << index.id(old), 1 << index.ensure(new))
+                 for old, new in mapping.items()
+                 if old in index and old != new]
+        if not moves:
+            return
+        for table in (self._use, self._defs, self._in, self._out):
+            for label, bits in table.items():
+                for old_bit, new_bit in moves:
+                    if bits & old_bit:
+                        bits = (bits & ~old_bit) | new_bit
+                table[label] = bits
+        self._views.clear()
 
 
 def block_use_def(instructions: list[Instruction]) -> tuple[set[Reg], set[Reg]]:
@@ -49,42 +164,66 @@ def block_use_def(instructions: list[Instruction]) -> tuple[set[Reg], set[Reg]]:
     return use, defs
 
 
-def compute_liveness(fn: Function) -> LivenessInfo:
+def _block_use_def_bits(instructions: list[Instruction],
+                        index: RegIndex) -> tuple[int, int]:
+    """Bitset variant of :func:`block_use_def` over *index*."""
+    ensure = index.ensure
+    use = 0
+    defs = 0
+    for inst in instructions:
+        for src in inst.srcs:
+            bit = 1 << ensure(src)
+            if not defs & bit:
+                use |= bit
+        for d in inst.dests:
+            defs |= 1 << ensure(d)
+    return use, defs
+
+
+def compute_liveness(fn: Function,
+                     index: RegIndex | None = None) -> LivenessInfo:
     """Compute per-block liveness of all registers in *fn*.
 
     φ pseudo-instructions must not be present (liveness for SSA form is
     handled inside renumber, where φs are given copy semantics on edges).
+    An existing *index* may be passed so the result shares dense ids with
+    other analyses of the same round; otherwise one is built.
     """
+    if index is None:
+        index = RegIndex.for_function(fn)
     labels = fn.reverse_postorder()
-    info: dict[str, BlockLiveness] = {}
+    use: dict[str, int] = {}
+    defs: dict[str, int] = {}
+    live_in: dict[str, int] = {}
+    live_out: dict[str, int] = {}
     for label in labels:
-        use, defs = block_use_def(fn.block(label).instructions)
-        info[label] = BlockLiveness(use=use, defs=defs, live_in=set(),
-                                    live_out=set())
+        u, d = _block_use_def_bits(fn.block(label).instructions, index)
+        use[label] = u
+        defs[label] = d
+        live_in[label] = 0
+        live_out[label] = 0
 
     preds = fn.predecessors_map()
     # Iterate to a fixed point, visiting blocks in postorder (reverse of
     # RPO) so information flows backward quickly.
-    order = list(reversed(labels))
-    worklist = list(order)
+    worklist = list(reversed(labels))
     in_list = set(worklist)
     while worklist:
         label = worklist.pop()
         in_list.discard(label)
-        bl = info[label]
-        live_out: set[Reg] = set()
+        out = 0
         for succ in fn.block(label).successors():
-            if succ in info:
-                live_out |= info[succ].live_in
-        live_in = bl.use | (live_out - bl.defs)
-        bl.live_out = live_out
-        if live_in != bl.live_in:
-            bl.live_in = live_in
+            if succ in live_in:
+                out |= live_in[succ]
+        new_in = use[label] | (out & ~defs[label])
+        live_out[label] = out
+        if new_in != live_in[label]:
+            live_in[label] = new_in
             for p in preds[label]:
-                if p in info and p not in in_list:
+                if p in live_in and p not in in_list:
                     worklist.append(p)
                     in_list.add(p)
-    return LivenessInfo(blocks=info)
+    return LivenessInfo(fn, index, use, defs, live_in, live_out)
 
 
 def live_at_instruction(fn: Function, liveness: LivenessInfo,
@@ -92,12 +231,17 @@ def live_at_instruction(fn: Function, liveness: LivenessInfo,
     """Registers live immediately *before* instruction *index* of block
     *label*.
 
-    A reference utility (quadratic if called for every point); passes that
-    need liveness at every point perform their own backward walk.
+    .. deprecated::
+        Quadratic when called for every point of a block; whole-block
+        consumers should iterate :meth:`LivenessInfo.scan_block` instead,
+        which computes every point in one linear pass.
     """
-    blk = fn.block(label)
-    live = set(liveness.live_out(label))
-    for inst in reversed(blk.instructions[index:]):
-        live -= set(inst.dests)
-        live |= set(inst.srcs)
-    return live
+    warnings.warn(
+        "live_at_instruction is deprecated (quadratic per block); use "
+        "LivenessInfo.scan_block for a linear whole-block scan",
+        DeprecationWarning, stacklevel=2)
+    for i, (_inst, live) in enumerate(liveness.scan_block(label)):
+        if i == index:
+            return live
+    # index == len(instructions): nothing after the block -> its live-out
+    return set(liveness.live_out(label))

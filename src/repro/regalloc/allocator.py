@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..analysis import compute_dominance, compute_loops
+from ..analysis import compute_dominance, compute_liveness, compute_loops
 from ..ir import Function, Reg, verify_function
 from ..machine import MachineDescription, standard_machine
 from ..remat import RenumberMode
@@ -65,6 +65,12 @@ class AllocationStats:
     n_identity_copies_removed: int = 0
     n_spill_slots: int = 0
     n_live_ranges_first_round: int = 0
+    #: liveness fixed points computed (one per round) vs. reused across
+    #: interference-graph rebuilds inside the build-coalesce loop
+    n_liveness_cache_hits: int = 0
+    n_liveness_cache_misses: int = 0
+    #: widest register universe (bitset width in bits) seen in any round
+    max_bitset_bits: int = 0
 
 
 @dataclass
@@ -148,13 +154,22 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
                 outcome.result.live_ranges)
         no_spill = outcome.no_spill
 
+        # one liveness fixed point per round, shared by every graph
+        # rebuild of the build-coalesce loop (coalescing renames the
+        # cached bitsets in place); spill-code insertion ends the round,
+        # so the cache is invalidated simply by recomputing here
         t0 = time.perf_counter()
+        liveness = compute_liveness(work)
         graph, cstats = build_coalesce_loop(
             work, machine, build_interference_graph, no_spill=no_spill,
-            coalesce_splits=coalesce_splits)
+            coalesce_splits=coalesce_splits, liveness=liveness)
         times.build = time.perf_counter() - t0
         stats.n_copies_coalesced += cstats.copies_removed
         stats.n_splits_coalesced += cstats.splits_removed
+        stats.n_liveness_cache_hits += cstats.liveness_cache_hits
+        stats.n_liveness_cache_misses += cstats.liveness_cache_misses
+        stats.max_bitset_bits = max(stats.max_bitset_bits,
+                                    len(liveness.index))
 
         t0 = time.perf_counter()
         costs = compute_spill_costs(work, loops, machine, no_spill=no_spill)

@@ -11,12 +11,17 @@ still simplifies and therefore can never spill.
 The driver follows the paper's schedule: first coalesce all ordinary
 copies to a fixed point (rebuilding the graph between rounds), then begin
 conservatively coalescing split instructions, again to a fixed point.
+Each rebuild reuses the round's liveness fixed point: coalescing only
+merges names, so the cached bitsets are *renamed* through the shared
+:class:`~repro.analysis.RegIndex` instead of re-running the data-flow
+iteration (see :meth:`~repro.analysis.LivenessInfo.rename`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..analysis import LivenessInfo, iter_bits
 from ..ir import Function, Reg
 from ..machine import MachineDescription
 from ..unionfind import DisjointSets
@@ -25,18 +30,23 @@ from .interference import InterferenceGraph
 
 @dataclass
 class CoalesceStats:
-    """How many copies each stage removed."""
+    """How many copies each stage removed, and how often the round's
+    liveness was reused across graph rebuilds."""
 
     copies_removed: int = 0
     splits_removed: int = 0
+    liveness_cache_hits: int = 0
+    liveness_cache_misses: int = 0
 
 
 def _conservative_ok(graph: InterferenceGraph, a: Reg, b: Reg,
                      k: int) -> bool:
     """Briggs' criterion: the merged node has < k significant neighbors."""
+    index = graph.index
+    combined = graph.neighbor_bits(a) | graph.neighbor_bits(b)
     significant = 0
-    for n in graph.neighbors(a) | graph.neighbors(b):
-        if graph.degree(n) >= k:
+    for i in iter_bits(combined):
+        if graph.degree(index.reg(i)) >= k:
             significant += 1
             if significant >= k:
                 return False
@@ -46,14 +56,17 @@ def _conservative_ok(graph: InterferenceGraph, a: Reg, b: Reg,
 def coalesce_pass(fn: Function, graph: InterferenceGraph,
                   machine: MachineDescription,
                   splits: bool,
-                  no_spill: set[Reg] | None = None) -> int:
+                  no_spill: set[Reg] | None = None,
+                  liveness: LivenessInfo | None = None) -> int:
     """One pass over the code, combining what the stage allows.
 
     With ``splits=False`` only ordinary copies are (aggressively)
     coalesced; with ``splits=True`` only split instructions are, under the
     conservative criterion.  The graph is updated in place by node merging
     and the code rewritten, so several combines can happen per pass.
-    Returns the number of instructions removed.
+    When a cached *liveness* is supplied its bitsets are renamed through
+    the same mapping applied to the code, keeping it valid for the next
+    graph rebuild.  Returns the number of instructions removed.
     """
     ds = DisjointSets()
     removed_ids: set[int] = set()
@@ -97,35 +110,51 @@ def coalesce_pass(fn: Function, graph: InterferenceGraph,
                     continue  # became an identity copy through renaming
                 new_instructions.append(inst)
             blk.instructions = new_instructions
+        if liveness is not None:
+            liveness.rename(rename)
     return merged
 
 
 def build_coalesce_loop(fn: Function, machine: MachineDescription,
                         build_graph, no_spill: set[Reg] | None = None,
                         coalesce_splits: bool = True,
+                        liveness: LivenessInfo | None = None,
                         ) -> tuple[InterferenceGraph, CoalesceStats]:
     """The paper's build–coalesce loop.
 
     *build_graph* is called to (re)construct the interference graph; the
     loop alternates building and coalescing until no combine fires, first
     for ordinary copies, then (if *coalesce_splits*) conservatively for
-    splits.  Returns the final graph and the statistics.
+    splits.  With a cached *liveness* every rebuild after the first is a
+    cache hit: the backward edge-insertion scan re-runs over the rewritten
+    code, but the block-level fixed point is only renamed, never
+    recomputed.  Returns the final graph and the statistics.
     """
     stats = CoalesceStats()
-    graph = build_graph(fn)
+
+    def rebuild(first: bool) -> InterferenceGraph:
+        if liveness is None:
+            return build_graph(fn)
+        if first:
+            stats.liveness_cache_misses += 1
+        else:
+            stats.liveness_cache_hits += 1
+        return build_graph(fn, liveness)
+
+    graph = rebuild(first=True)
     while True:
         n = coalesce_pass(fn, graph, machine, splits=False,
-                          no_spill=no_spill)
+                          no_spill=no_spill, liveness=liveness)
         stats.copies_removed += n
         if n == 0:
             break
-        graph = build_graph(fn)
+        graph = rebuild(first=False)
     if coalesce_splits:
         while True:
             n = coalesce_pass(fn, graph, machine, splits=True,
-                              no_spill=no_spill)
+                              no_spill=no_spill, liveness=liveness)
             stats.splits_removed += n
             if n == 0:
                 break
-            graph = build_graph(fn)
+            graph = rebuild(first=False)
     return graph, stats

@@ -1,73 +1,125 @@
 """The interference graph (Section 2, *Build*).
 
 Chaitin advocated a dual representation: a triangular bit matrix for O(1)
-membership tests plus adjacency vectors for fast neighbor iteration.  This
-class keeps both views (a set of index pairs and per-node adjacency sets)
-and additionally supports in-place *node merging* so that coalescing can
-perform several combines per build of the graph.
+membership tests plus adjacency vectors for fast neighbor iteration.  In
+Python the two collapse into one structure that serves both roles: an
+int-bitset adjacency *row* per node over a dense
+:class:`~repro.analysis.RegIndex`.  Membership is one shift-and-mask,
+degree is ``bit_count()``, and adding a whole live set as neighbors of a
+definition is a single big-int OR — which is what makes Build fast here
+(the seed implementation inserted every edge into a ``set`` of
+canonicalized ``Reg`` pairs, one hash and one ``sort_key`` call at a
+time).  A single representation also removes the seed's dual-bookkeeping
+hazard where the pair-set and the adjacency dict could drift apart under
+``merge``.
 
 Integer and float live ranges never interfere — they are colored from
-disjoint register files — so cross-class edges are rejected.
+disjoint register files — so cross-class edges are rejected (by masking
+with the per-class universe).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
+from ..analysis import LivenessInfo, RegIndex, compute_liveness, iter_bits
 from ..ir import Function, Reg
-from ..analysis import compute_liveness
 
 
 class InterferenceGraph:
-    """An undirected graph over live-range registers."""
+    """An undirected graph over live-range registers.
 
-    def __init__(self, nodes: list[Reg] | None = None) -> None:
-        self._adj: dict[Reg, set[Reg]] = {}
-        # the triangular "bit matrix": canonicalized index pairs
-        self._matrix: set[tuple[Reg, Reg]] = set()
+    Nodes are registers; adjacency is one bitset row per node, indexed by
+    a shared :class:`RegIndex`.  The row view *is* the bit matrix: the
+    edge (a, b) exists iff bit ``id(b)`` of ``row(a)`` is set, and rows
+    are kept symmetric by construction.
+    """
+
+    def __init__(self, nodes: list[Reg] | None = None,
+                 index: RegIndex | None = None) -> None:
+        self._index = index if index is not None else RegIndex()
+        #: dense id -> adjacency bitset; presence of the key = node exists
+        self._rows: dict[int, int] = {}
+        #: dense id -> Reg for present nodes, in insertion order (nodes()
+        #: must be deterministic and match the seed's ordering)
+        self._node_regs: dict[int, Reg] = {}
         for node in nodes or ():
             self.add_node(node)
 
     # -- construction ---------------------------------------------------------
 
-    def add_node(self, reg: Reg) -> None:
-        self._adj.setdefault(reg, set())
+    @property
+    def index(self) -> RegIndex:
+        return self._index
 
-    @staticmethod
-    def _key(a: Reg, b: Reg) -> tuple[Reg, Reg]:
-        return (a, b) if a.sort_key() <= b.sort_key() else (b, a)
+    def add_node(self, reg: Reg) -> None:
+        i = self._index.ensure(reg)
+        if i not in self._rows:
+            self._rows[i] = 0
+            self._node_regs[i] = reg
 
     def add_edge(self, a: Reg, b: Reg) -> None:
         """Record that *a* and *b* interfere.  Self and cross-class pairs
         are ignored."""
         if a == b or a.rclass is not b.rclass:
             return
-        key = self._key(a, b)
-        if key in self._matrix:
+        self.add_node(a)
+        self.add_node(b)
+        ia = self._index.id(a)
+        ib = self._index.id(b)
+        self._rows[ia] |= 1 << ib
+        self._rows[ib] |= 1 << ia
+
+    def add_def_edges(self, d: Reg, live_bits: int) -> None:
+        """Make *d* interfere with every node of *live_bits* at once.
+
+        *live_bits* may span both classes and include *d* itself; the
+        cross-class and self bits are masked away.  Reverse rows are
+        updated only for bits that are actually new — re-adding the edges
+        of a busy loop costs one OR, not one hash probe per neighbor.
+        """
+        rows = self._rows
+        i = self._index.ensure(d)
+        row = rows.get(i)
+        if row is None:
+            self.add_node(d)
+            row = 0
+        mask = (live_bits & self._index.class_mask(d.rclass)) & ~(1 << i)
+        new = mask & ~row
+        if not new:
             return
-        self._matrix.add(key)
-        self._adj.setdefault(a, set()).add(b)
-        self._adj.setdefault(b, set()).add(a)
+        rows[i] = row | mask
+        bit = 1 << i
+        for j in iter_bits(new):
+            rows[j] |= bit
 
     # -- queries ---------------------------------------------------------------
 
     def nodes(self) -> list[Reg]:
-        return list(self._adj)
+        return list(self._node_regs.values())
 
     def __contains__(self, reg: Reg) -> bool:
-        return reg in self._adj
+        i = self._index.get(reg)
+        return i is not None and i in self._rows
 
     def interferes(self, a: Reg, b: Reg) -> bool:
-        return self._key(a, b) in self._matrix
+        ia = self._index.get(a)
+        ib = self._index.get(b)
+        if ia is None or ib is None:
+            return False
+        row = self._rows.get(ia)
+        return row is not None and bool(row >> ib & 1)
 
     def neighbors(self, reg: Reg) -> set[Reg]:
-        return self._adj[reg]
+        return self._index.to_set(self._rows[self._index.id(reg)])
+
+    def neighbor_bits(self, reg: Reg) -> int:
+        """The adjacency row of *reg* as a bitset (the fast path)."""
+        return self._rows[self._index.id(reg)]
 
     def degree(self, reg: Reg) -> int:
-        return len(self._adj[reg])
+        return self._rows[self._index.id(reg)].bit_count()
 
     def n_edges(self) -> int:
-        return len(self._matrix)
+        return sum(row.bit_count() for row in self._rows.values()) // 2
 
     # -- mutation (coalescing support) -------------------------------------------
 
@@ -75,46 +127,68 @@ class InterferenceGraph:
         """Combine node *gone* into *keep*: N(keep) := N(keep) ∪ N(gone).
 
         Used by coalescing.  The result is the interference graph of the
-        rewritten code (up to the usual conservative union).
+        rewritten code (up to the usual conservative union).  With a
+        single bitset representation, ``interferes`` and ``neighbors``
+        cannot drift apart — both read the same rows.
         """
         if keep.rclass is not gone.rclass:
             raise ValueError(f"cannot merge {keep} with {gone}")
-        for n in list(self._adj[gone]):
-            self._matrix.discard(self._key(gone, n))
-            self._adj[n].discard(gone)
-            self.add_edge(keep, n)
-        del self._adj[gone]
-        self._matrix.discard(self._key(keep, gone))
+        rows = self._rows
+        ik = self._index.id(keep)
+        ig = self._index.id(gone)
+        keep_bit = 1 << ik
+        gone_bit = 1 << ig
+        gone_row = rows.pop(ig) & ~keep_bit
+        del self._node_regs[ig]
+        for j in iter_bits(gone_row):
+            rows[j] = (rows[j] & ~gone_bit) | keep_bit
+        rows[ik] = (rows[ik] | gone_row) & ~gone_bit
 
     def remove_node(self, reg: Reg) -> None:
-        for n in list(self._adj[reg]):
-            self._matrix.discard(self._key(reg, n))
-            self._adj[n].discard(reg)
-        del self._adj[reg]
+        i = self._index.id(reg)
+        bit = 1 << i
+        row = self._rows.pop(i)
+        del self._node_regs[i]
+        for j in iter_bits(row):
+            self._rows[j] &= ~bit
 
 
-def build_interference_graph(fn: Function) -> InterferenceGraph:
+def build_interference_graph(
+        fn: Function,
+        liveness: LivenessInfo | None = None) -> InterferenceGraph:
     """Construct the interference graph of *fn* (post-renumber code).
 
     Classic backward walk: at each definition point the destinations
     interfere with everything currently live, except that a copy's
     destination does not interfere with its source (Chaitin's refinement
     that makes coalescing possible).
+
+    A precomputed *liveness* (sharing its :class:`RegIndex`) may be
+    passed; the allocator's build–coalesce loop uses this to reuse one
+    liveness fixed point across graph rebuilds.
     """
-    liveness = compute_liveness(fn)
-    graph = InterferenceGraph()
+    if liveness is None:
+        liveness = compute_liveness(fn)
+    index = liveness.index
+    ensure = index.ensure
+    graph = InterferenceGraph(index=index)
     for _blk, inst in fn.instructions():
         for r in inst.regs():
             graph.add_node(r)
 
     for blk in fn.blocks:
-        live: set[Reg] = set(liveness.live_out(blk.label))
+        live = liveness.live_out_bits(blk.label)
         for inst in reversed(blk.instructions):
-            src_exempt = inst.src if inst.is_copy else None
+            dest_bits = 0
             for d in inst.dests:
-                for l in live:
-                    if l is not d and l != src_exempt:
-                        graph.add_edge(d, l)
-            live.difference_update(inst.dests)
-            live.update(inst.srcs)
+                dest_bits |= 1 << ensure(d)
+            exempt = live
+            if inst.is_copy:
+                exempt &= ~(1 << ensure(inst.src))
+            for d in inst.dests:
+                graph.add_def_edges(d, exempt)
+            src_bits = 0
+            for s in inst.srcs:
+                src_bits |= 1 << ensure(s)
+            live = (live & ~dest_bits) | src_bits
     return graph

@@ -57,9 +57,11 @@ def select(graph: InterferenceGraph, order: SimplifyResult,
     result = SelectResult()
     coloring = result.coloring
 
+    index = graph.index
     for node in reversed(order.stack):
         k = machine.k(node.rclass)
-        forbidden = {coloring[n] for n in graph.neighbors(node)
+        forbidden = {coloring[n]
+                     for n in index.iter_regs(graph.neighbor_bits(node))
                      if n in coloring}
         available = [c for c in range(k) if c not in forbidden]
         if not available:
@@ -88,11 +90,14 @@ def _choose_color(node: Reg, available: list[int],
         uncolored = [m for m in mates if m not in coloring and m in graph]
         best_color = None
         best_score = -1
+        index = graph.index
         for c in available:
             score = 0
             for mate in uncolored:
-                mate_forbidden = {coloring[n] for n in graph.neighbors(mate)
-                                  if n in coloring}
+                mate_forbidden = {
+                    coloring[n]
+                    for n in index.iter_regs(graph.neighbor_bits(mate))
+                    if n in coloring}
                 if c not in mate_forbidden:
                     score += 1
             if score > best_score:

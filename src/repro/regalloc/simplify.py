@@ -49,6 +49,7 @@ def simplify(graph: InterferenceGraph, machine: MachineDescription,
     stack: list[Reg] = []
     candidates: set[Reg] = set()
     pessimistic_spills: list[Reg] = []
+    index = graph.index
 
     def k_of(reg: Reg) -> int:
         return machine.k(reg.rclass)
@@ -62,7 +63,9 @@ def simplify(graph: InterferenceGraph, machine: MachineDescription,
         if push:
             stack.append(node)
         remaining -= 1
-        for n in graph.neighbors(node):
+        # neighbors in dense-index order: deterministic across runs,
+        # unlike hash-ordered set iteration
+        for n in index.iter_regs(graph.neighbor_bits(node)):
             if n in removed:
                 continue
             degree[n] -= 1

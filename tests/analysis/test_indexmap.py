@@ -1,0 +1,79 @@
+"""Tests for the dense register index underlying the bitset analyses."""
+
+import pytest
+
+from repro.analysis import RegIndex, iter_bits
+from repro.ir import Reg, RegClass
+
+from ..helpers import single_loop
+
+
+class TestIterBits:
+    def test_empty(self):
+        assert list(iter_bits(0)) == []
+
+    def test_positions_ascending(self):
+        bits = (1 << 0) | (1 << 3) | (1 << 17) | (1 << 200)
+        assert list(iter_bits(bits)) == [0, 3, 17, 200]
+
+    def test_popcount_agrees(self):
+        bits = 0b1011_0110_0001
+        assert len(list(iter_bits(bits))) == bits.bit_count()
+
+
+class TestRegIndex:
+    def test_ids_are_dense_and_stable(self):
+        idx = RegIndex()
+        a, b = Reg.vint(7), Reg.vfloat(2)
+        assert idx.ensure(a) == 0
+        assert idx.ensure(b) == 1
+        assert idx.ensure(a) == 0          # idempotent
+        assert idx.id(a) == 0 and idx.get(b) == 1
+        assert idx.get(Reg.vint(99)) is None
+        with pytest.raises(KeyError):
+            idx.id(Reg.vint(99))
+        assert idx.reg(1) == b
+        assert len(idx) == 2
+
+    def test_class_masks_partition_universe(self):
+        fn = single_loop()
+        idx = RegIndex.for_function(fn)
+        int_mask = idx.class_mask(RegClass.INT)
+        float_mask = idx.class_mask(RegClass.FLOAT)
+        assert int_mask & float_mask == 0
+        assert int_mask | float_mask == idx.universe_mask()
+
+    def test_for_function_classes_are_contiguous(self):
+        """Sorted construction gives each class a contiguous id range."""
+        fn = single_loop()
+        idx = RegIndex.for_function(fn)
+        classes = [idx.reg(i).rclass for i in range(len(idx))]
+        # once the class changes it never changes back
+        changes = sum(1 for a, b in zip(classes, classes[1:]) if a is not b)
+        assert changes <= 1
+
+    def test_set_bitset_roundtrip(self):
+        fn = single_loop()
+        idx = RegIndex.for_function(fn)
+        regs = set(list(fn.all_regs())[:3])
+        bits = idx.from_set(regs)
+        assert idx.to_set(bits) == regs
+        assert bits.bit_count() == len(regs)
+        assert set(idx.iter_regs(bits)) == regs
+
+    def test_from_regs_appends_unseen(self):
+        idx = RegIndex()
+        new = Reg.vint(5)
+        bits = idx.from_regs([new])
+        assert bits == 1 and new in idx
+
+    def test_from_set_requires_known_regs(self):
+        idx = RegIndex()
+        with pytest.raises(KeyError):
+            idx.from_set([Reg.vint(1)])
+
+    def test_dynamic_ensure_keeps_masks_exact(self):
+        idx = RegIndex([Reg.vint(0), Reg.vfloat(0)])
+        idx.ensure(Reg.vint(1))            # non-contiguous append
+        assert idx.class_mask(RegClass.INT) == 0b101
+        assert idx.class_mask(RegClass.FLOAT) == 0b010

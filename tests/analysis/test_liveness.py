@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.analysis import block_use_def, compute_liveness, live_at_instruction
+from repro.analysis import (RegIndex, block_use_def, compute_liveness,
+                            live_at_instruction)
 from repro.ir import IRBuilder, Reg
 
 from ..helpers import ALL_SHAPES, naive_live_in, single_loop
@@ -66,12 +67,14 @@ class TestLiveness:
         assert live.live_in(fn.entry.label) == set()
 
 
-class TestLiveAtInstruction:
+class TestScanBlock:
     def test_point_liveness_matches_block_boundaries(self):
         fn = single_loop()
         live = compute_liveness(fn)
         for blk in fn.blocks:
-            at_top = live_at_instruction(fn, live, blk.label, 0)
+            if not blk.instructions:
+                continue
+            _inst, at_top = next(iter(live.scan_block(blk.label)))
             assert at_top == live.live_in(blk.label)
 
     def test_point_liveness_after_def(self):
@@ -82,7 +85,63 @@ class TestLiveAtInstruction:
         b.ret()
         fn = b.finish()
         live = compute_liveness(fn)
+        points = [at for _inst, at in live.scan_block("entry")]
         # before the addi, x is live; after it (before out), only y
-        assert x in live_at_instruction(fn, live, "entry", 1)
-        at_out = live_at_instruction(fn, live, "entry", 2)
-        assert y in at_out and x not in at_out
+        assert x in points[1]
+        assert y in points[2] and x not in points[2]
+
+    def test_scan_yields_every_instruction_in_order(self):
+        fn = single_loop()
+        live = compute_liveness(fn)
+        for blk in fn.blocks:
+            insts = [inst for inst, _at in live.scan_block(blk.label)]
+            assert insts == blk.instructions
+
+    def test_bit_variant_agrees_with_set_variant(self):
+        fn = single_loop()
+        live = compute_liveness(fn)
+        for blk in fn.blocks:
+            for (i1, at), (i2, bits) in zip(live.scan_block(blk.label),
+                                            live.scan_block_bits(blk.label)):
+                assert i1 is i2
+                assert live.index.to_set(bits) == at
+
+
+class TestLiveAtInstructionDeprecated:
+    def test_warns_and_matches_scan_block(self):
+        fn = single_loop()
+        live = compute_liveness(fn)
+        scans = {blk.label: [at for _i, at in live.scan_block(blk.label)]
+                 for blk in fn.blocks}
+        for blk in fn.blocks:
+            for i in range(len(blk.instructions)):
+                with pytest.deprecated_call():
+                    at = live_at_instruction(fn, live, blk.label, i)
+                assert at == scans[blk.label][i]
+
+    def test_index_past_block_end_is_live_out(self):
+        fn = single_loop()
+        live = compute_liveness(fn)
+        blk = fn.blocks[0]
+        with pytest.deprecated_call():
+            at = live_at_instruction(fn, live, blk.label,
+                                     len(blk.instructions))
+        assert at == live.live_out(blk.label)
+
+
+class TestRegIndexViews:
+    def test_roundtrip_through_bitsets(self):
+        fn = single_loop()
+        index = RegIndex.for_function(fn)
+        regs = fn.all_regs()
+        assert index.to_set(index.from_set(regs)) == regs
+        assert len(index) == len(regs)
+
+    def test_liveness_bits_match_sets(self):
+        fn = single_loop()
+        live = compute_liveness(fn)
+        for blk in fn.blocks:
+            assert live.index.to_set(
+                live.live_in_bits(blk.label)) == live.live_in(blk.label)
+            assert live.index.to_set(
+                live.live_out_bits(blk.label)) == live.live_out(blk.label)

@@ -1,0 +1,164 @@
+"""The seed's set-based liveness and interference-graph implementations,
+kept verbatim as a reference oracle.
+
+The production code in :mod:`repro.analysis.liveness` and
+:mod:`repro.regalloc.interference` runs on dense int bitsets; the
+equivalence property tests (and ``benchmarks/bench_build_scaling.py``)
+check it against — and time it against — these originals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir import Function, Instruction, Reg
+
+
+@dataclass
+class RefBlockLiveness:
+    """use/def summaries and live-in/out sets for one block."""
+
+    use: set[Reg]
+    defs: set[Reg]
+    live_in: set[Reg]
+    live_out: set[Reg]
+
+
+@dataclass
+class RefLivenessInfo:
+    """Liveness facts for one function, keyed by block label."""
+
+    blocks: dict[str, RefBlockLiveness]
+
+    def live_in(self, label: str) -> set[Reg]:
+        return self.blocks[label].live_in
+
+    def live_out(self, label: str) -> set[Reg]:
+        return self.blocks[label].live_out
+
+
+def ref_block_use_def(
+        instructions: list[Instruction]) -> tuple[set[Reg], set[Reg]]:
+    use: set[Reg] = set()
+    defs: set[Reg] = set()
+    for inst in instructions:
+        for src in inst.srcs:
+            if src not in defs:
+                use.add(src)
+        defs.update(inst.dests)
+    return use, defs
+
+
+def ref_compute_liveness(fn: Function) -> RefLivenessInfo:
+    """The seed's set-based worklist liveness, unchanged."""
+    labels = fn.reverse_postorder()
+    info: dict[str, RefBlockLiveness] = {}
+    for label in labels:
+        use, defs = ref_block_use_def(fn.block(label).instructions)
+        info[label] = RefBlockLiveness(use=use, defs=defs, live_in=set(),
+                                       live_out=set())
+
+    preds = fn.predecessors_map()
+    order = list(reversed(labels))
+    worklist = list(order)
+    in_list = set(worklist)
+    while worklist:
+        label = worklist.pop()
+        in_list.discard(label)
+        bl = info[label]
+        live_out: set[Reg] = set()
+        for succ in fn.block(label).successors():
+            if succ in info:
+                live_out |= info[succ].live_in
+        live_in = bl.use | (live_out - bl.defs)
+        bl.live_out = live_out
+        if live_in != bl.live_in:
+            bl.live_in = live_in
+            for p in preds[label]:
+                if p in info and p not in in_list:
+                    worklist.append(p)
+                    in_list.add(p)
+    return RefLivenessInfo(blocks=info)
+
+
+class RefInterferenceGraph:
+    """The seed's dual-representation interference graph, unchanged:
+    a set of canonicalized register pairs plus per-node adjacency sets."""
+
+    def __init__(self, nodes: list[Reg] | None = None) -> None:
+        self._adj: dict[Reg, set[Reg]] = {}
+        self._matrix: set[tuple[Reg, Reg]] = set()
+        for node in nodes or ():
+            self.add_node(node)
+
+    def add_node(self, reg: Reg) -> None:
+        self._adj.setdefault(reg, set())
+
+    @staticmethod
+    def _key(a: Reg, b: Reg) -> tuple[Reg, Reg]:
+        return (a, b) if a.sort_key() <= b.sort_key() else (b, a)
+
+    def add_edge(self, a: Reg, b: Reg) -> None:
+        if a == b or a.rclass is not b.rclass:
+            return
+        key = self._key(a, b)
+        if key in self._matrix:
+            return
+        self._matrix.add(key)
+        self._adj.setdefault(a, set()).add(b)
+        self._adj.setdefault(b, set()).add(a)
+
+    def nodes(self) -> list[Reg]:
+        return list(self._adj)
+
+    def __contains__(self, reg: Reg) -> bool:
+        return reg in self._adj
+
+    def interferes(self, a: Reg, b: Reg) -> bool:
+        return self._key(a, b) in self._matrix
+
+    def neighbors(self, reg: Reg) -> set[Reg]:
+        return self._adj[reg]
+
+    def degree(self, reg: Reg) -> int:
+        return len(self._adj[reg])
+
+    def n_edges(self) -> int:
+        return len(self._matrix)
+
+    def merge(self, keep: Reg, gone: Reg) -> None:
+        if keep.rclass is not gone.rclass:
+            raise ValueError(f"cannot merge {keep} with {gone}")
+        for n in list(self._adj[gone]):
+            self._matrix.discard(self._key(gone, n))
+            self._adj[n].discard(gone)
+            self.add_edge(keep, n)
+        del self._adj[gone]
+        self._matrix.discard(self._key(keep, gone))
+
+    def remove_node(self, reg: Reg) -> None:
+        for n in list(self._adj[reg]):
+            self._matrix.discard(self._key(reg, n))
+            self._adj[n].discard(reg)
+        del self._adj[reg]
+
+
+def ref_build_interference_graph(fn: Function) -> RefInterferenceGraph:
+    """The seed's backward-scan build, unchanged (per-edge set inserts)."""
+    liveness = ref_compute_liveness(fn)
+    graph = RefInterferenceGraph()
+    for _blk, inst in fn.instructions():
+        for r in inst.regs():
+            graph.add_node(r)
+
+    for blk in fn.blocks:
+        live: set[Reg] = set(liveness.live_out(blk.label))
+        for inst in reversed(blk.instructions):
+            src_exempt = inst.src if inst.is_copy else None
+            for d in inst.dests:
+                for l in live:
+                    if l is not d and l != src_exempt:
+                        graph.add_edge(d, l)
+            live.difference_update(inst.dests)
+            live.update(inst.srcs)
+    return graph

@@ -63,6 +63,77 @@ class TestGraphStructure:
         assert g.degree(b) == 0
 
 
+def graph_is_consistent(g: InterferenceGraph) -> None:
+    """interferes() and neighbors() must answer from the same data.
+
+    Regression guard for the seed's dual-bookkeeping hazard: the pair
+    matrix and the adjacency sets were updated separately in ``merge``
+    and could drift.  The bitset rows are a single representation, but
+    this pins the contract: membership, neighbor sets, degrees and the
+    edge count must all agree, and edges must be symmetric.
+    """
+    nodes = g.nodes()
+    n_edges = 0
+    for a in nodes:
+        neigh = g.neighbors(a)
+        assert g.degree(a) == len(neigh)
+        assert a not in neigh
+        n_edges += len(neigh)
+        for b in nodes:
+            assert g.interferes(a, b) == (b in neigh), (a, b)
+            assert g.interferes(a, b) == g.interferes(b, a), (a, b)
+        for b in neigh:
+            assert b in g
+            assert a in g.neighbors(b)
+    assert g.n_edges() == n_edges // 2
+
+
+class TestMergeConsistency:
+    """merge must keep interferes() and neighbors() consistent."""
+
+    def _triangle_plus_pendant(self):
+        g = InterferenceGraph()
+        a, b, c, d = (Reg.vint(i) for i in range(4))
+        g.add_edge(a, b)
+        g.add_edge(b, c)
+        g.add_edge(a, c)
+        g.add_edge(c, d)
+        return g, (a, b, c, d)
+
+    def test_merge_keeps_views_consistent(self):
+        g, (a, b, c, d) = self._triangle_plus_pendant()
+        g.merge(a, d)           # non-adjacent pair
+        graph_is_consistent(g)
+        assert g.interferes(a, c) and c in g.neighbors(a)
+        assert not g.interferes(a, d) and d not in g
+        assert all(d not in g.neighbors(n) for n in g.nodes())
+
+    def test_merge_adjacent_pair_keeps_views_consistent(self):
+        g, (a, b, c, d) = self._triangle_plus_pendant()
+        g.merge(b, c)           # adjacent pair: their edge must vanish
+        graph_is_consistent(g)
+        assert not g.interferes(b, c)
+        assert g.interferes(b, a) and g.interferes(b, d)
+
+    def test_chained_merges_stay_consistent(self):
+        g = InterferenceGraph()
+        regs = [Reg.vint(i) for i in range(8)]
+        for i, a in enumerate(regs):
+            for b in regs[i + 1:i + 3]:
+                g.add_edge(a, b)
+        g.merge(regs[0], regs[3])
+        g.merge(regs[0], regs[5])
+        g.merge(regs[1], regs[6])
+        graph_is_consistent(g)
+
+    def test_merge_then_remove_stays_consistent(self):
+        g, (a, b, c, d) = self._triangle_plus_pendant()
+        g.merge(a, d)
+        g.remove_node(c)
+        graph_is_consistent(g)
+        assert not g.interferes(a, c)
+
+
 class TestBuild:
     def test_simultaneously_live_values_interfere(self):
         b = IRBuilder("f")
