@@ -23,9 +23,9 @@ ABLATION_KERNELS = [KERNELS_BY_NAME[n] for n in
 
 
 @pytest.fixture(scope="module")
-def scheme_results():
+def scheme_results(engine):
     return run_ablation(kernels=ABLATION_KERNELS,
-                        machine=machine_with(8, 8))
+                        machine=machine_with(8, 8), engine=engine)
 
 
 def test_splitting_schemes(benchmark, scheme_results, results_dir):
@@ -45,9 +45,10 @@ def test_splitting_schemes(benchmark, scheme_results, results_dir):
     benchmark(scheme_results.render)
 
 
-def test_heuristics(benchmark, results_dir):
+def test_heuristics(benchmark, engine, results_dir):
     result = run_heuristic_ablation(kernels=ABLATION_KERNELS,
-                                    machine=machine_with(8, 8))
+                                    machine=machine_with(8, 8),
+                                    engine=engine)
     save_result(results_dir, "ablation_heuristics", result.render())
 
     totals = {config: sum(per[config] for per in result.spill.values())

@@ -1,0 +1,107 @@
+"""Evidence for the allocation-experiment engine (serve-many shape).
+
+Regenerates the full Table 1 suite three ways — serial cold, parallel
+cold, warm cache — asserts the renderings are byte-identical, and
+writes the three wall-clock numbers to
+``benchmarks/results/BENCH_experiments.json``.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.engine import ExperimentEngine, ResultCache
+from repro.experiments import generate_table1
+
+
+@pytest.fixture(scope="module")
+def suite_runs(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("engine-cache")
+    jobs = os.cpu_count() or 1
+
+    t0 = time.perf_counter()
+    serial = generate_table1(
+        engine=ExperimentEngine(jobs=1, use_cache=False))
+    serial_s = time.perf_counter() - t0
+
+    parallel_engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    parallel = generate_table1(engine=parallel_engine)
+    parallel_s = time.perf_counter() - t0
+
+    # a fresh engine over the now-populated cache: pure disk hits
+    warm_engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    warm = generate_table1(engine=warm_engine)
+    warm_s = time.perf_counter() - t0
+
+    return {
+        "jobs": jobs,
+        "cache_dir": cache_dir,
+        "cache_entries": len(ResultCache(cache_dir)),
+        "serial": (serial, serial_s),
+        "parallel": (parallel, parallel_s),
+        "warm": (warm, warm_s),
+        "warm_stats": warm_engine.stats,
+    }
+
+
+def test_experiment_engine_suite(benchmark, suite_runs, results_dir):
+    serial, serial_s = suite_runs["serial"]
+    parallel, parallel_s = suite_runs["parallel"]
+    warm, warm_s = suite_runs["warm"]
+
+    # determinism: the three paths render the same bytes
+    assert serial.render() == parallel.render() == warm.render()
+
+    # the warm run answered everything from the persistent cache
+    stats = suite_runs["warm_stats"]
+    assert stats.executed == 0
+    assert stats.cache_hits > 0
+    assert suite_runs["cache_entries"] == stats.cache_hits \
+        + stats.memo_hits
+
+    # warm-cache regeneration must beat cold serial by 5x or more
+    assert warm_s * 5 <= serial_s, (warm_s, serial_s)
+
+    # parallel fan-out must beat serial whenever there are cores to
+    # fan out to (spawn startup dominates on a single core)
+    if suite_runs["jobs"] >= 2:
+        assert parallel_s < serial_s, (parallel_s, serial_s)
+
+    payload = {
+        "suite": "table1",
+        "kernels": len(serial.rows),
+        "requests": 3 * len(serial.rows),
+        "jobs": suite_runs["jobs"],
+        "serial_cold_s": round(serial_s, 4),
+        "parallel_cold_s": round(parallel_s, 4),
+        "warm_cache_s": round(warm_s, 4),
+        "speedup_warm_vs_serial": round(serial_s / warm_s, 2),
+        "speedup_parallel_vs_serial": round(serial_s / parallel_s, 2),
+        "byte_identical": True,
+    }
+    path = results_dir / "BENCH_experiments.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n{json.dumps(payload, indent=2)}\n[saved to {path}]")
+
+    # the benchmarked operation: a warm regeneration over a fresh
+    # engine (disk hits only)
+    benchmark(lambda: generate_table1(
+        engine=ExperimentEngine(jobs=1,
+                                cache_dir=suite_runs["cache_dir"])))
+
+
+def test_timing_requests_never_cached(tmp_path):
+    """Acceptance guard: Table 2's engine path cannot serve wall-clock
+    numbers from disk, because its requests are cacheable=False."""
+    from repro.experiments import generate_table2
+
+    engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    table = generate_table2(routines=("repvid",), repeats=1,
+                            engine=engine)
+    assert table.columns[0][0].total > 0
+    assert len(ResultCache(tmp_path)) == 0
+    assert engine.stats.cache_hits == 0

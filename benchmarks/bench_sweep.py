@@ -15,8 +15,8 @@ from .conftest import save_result
 
 
 @pytest.fixture(scope="module")
-def sweep():
-    return run_register_sweep()
+def sweep(engine):
+    return run_register_sweep(engine=engine)
 
 
 def test_register_sweep(benchmark, sweep, results_dir):

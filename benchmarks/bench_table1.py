@@ -23,8 +23,8 @@ TIMED_KERNELS = ("fehl", "sgemm", "adapt", "twldrv")
 
 
 @pytest.fixture(scope="module")
-def table1():
-    return generate_table1()
+def table1(engine):
+    return generate_table1(engine=engine)
 
 
 def test_generate_table1(benchmark, table1, results_dir):
@@ -54,10 +54,10 @@ def test_generate_table1(benchmark, table1, results_dir):
     assert imm_contrib < 0
 
 
-def test_generate_table1_optimized(benchmark, results_dir):
+def test_generate_table1_optimized(benchmark, engine, results_dir):
     """Table 1 over LVN/LICM/DCE-optimized code — closer to the paper's
     setting, where the allocator consumed an optimizer's output."""
-    table = generate_table1(optimize_first=True)
+    table = generate_table1(optimize_first=True, engine=engine)
     save_result(results_dir, "table1_optimized", table.render())
     benchmark(table.render)
 

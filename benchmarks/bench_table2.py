@@ -16,8 +16,8 @@ from .conftest import save_result
 
 
 @pytest.fixture(scope="module")
-def table2():
-    return generate_table2(repeats=5)
+def table2(engine):
+    return generate_table2(repeats=5, engine=engine)
 
 
 def test_generate_table2(benchmark, table2, results_dir):

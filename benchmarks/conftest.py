@@ -10,6 +10,8 @@ import pathlib
 
 import pytest
 
+from repro.engine import ExperimentEngine
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
@@ -17,6 +19,15 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def engine() -> ExperimentEngine:
+    """The shared experiment engine for the whole bench suite: persistent
+    content-hash cache under ``benchmarks/results/cache/``, fan-out
+    across all cores.  Timing requests (Table 2) declare themselves
+    non-cacheable, so sharing one engine is always safe."""
+    return ExperimentEngine(cache_dir=RESULTS_DIR / "cache")
 
 
 def save_result(results_dir: pathlib.Path, name: str, text: str) -> None:

@@ -6,7 +6,10 @@ Commands
 * ``allocate FILE`` — compile/parse, allocate, print the allocated ILOC
 * ``run FILE``      — compile/parse (optionally allocate) and interpret
 * ``cgen FILE``     — emit the instrumented C translation (Figure 4)
-* ``table1`` / ``table2`` / ``ablation`` / ``sweep`` — the experiments
+* ``table1`` / ``table2`` / ``ablation`` / ``sweep`` — the experiments,
+  executed through the allocation-experiment engine (``--jobs N`` for
+  parallel fan-out, ``--no-cache`` to bypass the persistent result
+  cache under ``benchmarks/results/cache/``)
 
 ``FILE`` may be MiniFort (``.mf``) or textual ILOC (``.il``); anything
 else is sniffed by content (ILOC starts with ``proc NAME NPARAMS``).
@@ -52,6 +55,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         default="remat", help="allocator variant")
     parser.add_argument("--opt", action="store_true",
                         help="run LVN/LICM/DCE before allocation")
+
+
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for cache misses "
+                             "(default: all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache under "
+                             "benchmarks/results/cache/")
+
+
+def _engine(args: argparse.Namespace):
+    from .engine import ExperimentEngine
+
+    return ExperimentEngine(jobs=args.jobs,
+                            use_cache=not args.no_cache)
 
 
 def _maybe_optimize(fn: Function, args: argparse.Namespace) -> None:
@@ -113,30 +132,36 @@ def cmd_cgen(args: argparse.Namespace) -> int:
 def cmd_table1(args: argparse.Namespace) -> int:
     from .experiments import generate_table1
 
-    print(generate_table1(machine=_machine(args)).render())
+    print(generate_table1(machine=_machine(args),
+                          optimize_first=args.opt,
+                          engine=_engine(args)).render())
     return 0
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
     from .experiments import generate_table2
 
-    print(generate_table2(repeats=args.repeats).render())
+    # timing requests are cacheable=False by construction, so the
+    # engine only contributes parallel fan-out here — never stale times
+    print(generate_table2(repeats=args.repeats,
+                          engine=_engine(args)).render())
     return 0
 
 
 def cmd_ablation(args: argparse.Namespace) -> int:
     from .experiments import run_ablation, run_heuristic_ablation
 
-    print(run_ablation().render())
+    engine = _engine(args)
+    print(run_ablation(engine=engine).render())
     print()
-    print(run_heuristic_ablation().render())
+    print(run_heuristic_ablation(engine=engine).render())
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import run_register_sweep
 
-    print(run_register_sweep().render())
+    print(run_register_sweep(engine=_engine(args)).render())
     return 0
 
 
@@ -173,16 +198,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     _add_common(p)
+    _add_engine(p)
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser("table2", help="regenerate Table 2")
     p.add_argument("--repeats", type=int, default=5)
+    _add_engine(p)
     p.set_defaults(func=cmd_table2)
 
     p = sub.add_parser("ablation", help="Section 6 + heuristic ablations")
+    _add_engine(p)
     p.set_defaults(func=cmd_ablation)
 
     p = sub.add_parser("sweep", help="register-set size sweep")
+    _add_engine(p)
     p.set_defaults(func=cmd_sweep)
 
     return parser

@@ -1,0 +1,29 @@
+"""The shared allocation-experiment engine (request → summary).
+
+The serve-many-compilations layer: experiment harnesses describe each
+allocation as a content-hashed :class:`ExperimentRequest`, and the
+:class:`ExperimentEngine` answers from an in-process memo, a persistent
+on-disk cache, or a parallel worker pool — see ``engine.py`` for the
+resolution order and ``request.py`` for the keying rules.
+"""
+
+from .cache import ResultCache, default_cache_dir
+from .engine import EngineStats, ExperimentEngine, default_engine
+from .executor import execute_request
+from .request import (AllocationSummary, CACHE_VERSION, ExperimentRequest,
+                      TimingReport, TimingSample, request_key)
+
+__all__ = [
+    "AllocationSummary",
+    "CACHE_VERSION",
+    "EngineStats",
+    "ExperimentEngine",
+    "ExperimentRequest",
+    "ResultCache",
+    "TimingReport",
+    "TimingSample",
+    "default_cache_dir",
+    "default_engine",
+    "execute_request",
+    "request_key",
+]

@@ -1,0 +1,95 @@
+"""The persistent request→summary store under ``benchmarks/results/cache/``.
+
+One pickle file per request key, written atomically (temp file in the
+same directory + ``os.replace``) so concurrent workers and concurrent
+engine processes can race on the same key without ever exposing a
+partial file — last writer wins, and determinism makes all writers
+equal.
+
+Invalidation is by construction: the key hashes the full request
+content plus :data:`~repro.engine.request.CACHE_VERSION`.  Changing an
+experiment changes its key; changing the *implementation* requires a
+version bump (or deleting the directory — it is disposable and
+git-ignored).  Unreadable or truncated entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import tempfile
+
+from .request import AllocationSummary
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` or ``<repo>/benchmarks/results/cache``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    # src/repro/engine/cache.py -> repo root is three levels above repro/
+    root = pathlib.Path(__file__).resolve().parents[3]
+    return root / "benchmarks" / "results" / "cache"
+
+
+class ResultCache:
+    """Disk-backed map from request key to :class:`AllocationSummary`."""
+
+    def __init__(self, directory: pathlib.Path | str | None = None):
+        self.directory = pathlib.Path(directory) if directory is not None \
+            else default_cache_dir()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> AllocationSummary | None:
+        """The cached summary for *key*, or ``None`` on a miss."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                summary = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if not isinstance(summary, AllocationSummary) or summary.key != key:
+            return None
+        return summary
+
+    def put(self, key: str, summary: AllocationSummary) -> None:
+        """Atomically persist *summary* (with timing stripped) at *key*."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(summary.without_timing(),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for p in self.directory.iterdir()
+                   if p.suffix == ".pkl")
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.iterdir():
+                if path.suffix in (".pkl", ".tmp"):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed

@@ -1,0 +1,145 @@
+"""The allocation-experiment engine: dedup → cache → parallel fan-out.
+
+Every experiment harness (Table 1, Table 2, the ablations, the register
+sweep, the benchmark suite, the CLI) submits
+:class:`~repro.engine.request.ExperimentRequest` batches here instead of
+calling ``allocate`` in its own loop.  ``run_many`` then
+
+1. **keys** each request by content hash and deduplicates the batch —
+   overlapping harnesses (the huge-machine baselines, the shared
+   standard-machine runs) collapse to one execution;
+2. serves **hits** from the in-process memo and, for cacheable
+   requests, the persistent on-disk :class:`~repro.engine.cache.
+   ResultCache`;
+3. executes the **misses** — serially in-process, or fanned out over a
+   ``spawn`` :mod:`multiprocessing` pool when ``jobs > 1`` — and writes
+   cacheable results back atomically.
+
+Results are returned in request order, and (PR 1's determinism) are
+bit-identical whichever path produced them; only the live
+``timing`` field differs, and it is never cached.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pathlib
+from dataclasses import dataclass, field
+
+from .cache import ResultCache
+from .executor import execute_request
+from .request import AllocationSummary, ExperimentRequest, request_key
+
+
+@dataclass
+class EngineStats:
+    """Where the answers of one engine's lifetime came from."""
+
+    requests: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    deduplicated: int = 0
+
+
+@dataclass
+class ExperimentEngine:
+    """A request executor with memoization, disk cache and a pool.
+
+    Args:
+        jobs: worker processes for cache misses (default:
+            ``os.cpu_count()``); ``1`` executes in-process.
+        cache_dir: where cacheable summaries persist (default:
+            ``benchmarks/results/cache/``, overridable with
+            ``$REPRO_CACHE_DIR``).
+        use_cache: disable to bypass the persistent cache entirely
+            (the in-process memo still deduplicates within a run).
+    """
+
+    jobs: int | None = None
+    cache_dir: pathlib.Path | str | None = None
+    use_cache: bool = True
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def __post_init__(self) -> None:
+        if self.jobs is None:
+            self.jobs = os.cpu_count() or 1
+        self.cache = ResultCache(self.cache_dir) if self.use_cache else None
+        self._memo: dict[str, AllocationSummary] = {}
+
+    def run(self, request: ExperimentRequest) -> AllocationSummary:
+        """Execute (or recall) one request."""
+        return self.run_many([request])[0]
+
+    def run_many(self, requests: list[ExperimentRequest]
+                 ) -> list[AllocationSummary]:
+        """Execute (or recall) a batch; results align with *requests*."""
+        keyed = [(request_key(r), r) for r in requests]
+        self.stats.requests += len(keyed)
+
+        resolved: dict[str, AllocationSummary] = {}
+        misses: dict[str, ExperimentRequest] = {}
+        for key, request in keyed:
+            if key in resolved or key in misses:
+                self.stats.deduplicated += 1
+                continue
+            # non-cacheable (timing) requests are deduplicated within
+            # this batch but never replayed from memo or disk — their
+            # wall-clock data must be measured live every call
+            if request.cacheable:
+                summary = self._memo.get(key)
+                if summary is not None:
+                    self.stats.memo_hits += 1
+                    resolved[key] = summary
+                    continue
+                if self.cache is not None:
+                    summary = self.cache.get(key)
+                    if summary is not None:
+                        self.stats.cache_hits += 1
+                        self._memo[key] = summary
+                        resolved[key] = summary
+                        continue
+            misses[key] = request
+
+        if misses:
+            for key, summary in zip(misses,
+                                    self._execute(list(misses.values()))):
+                self.stats.executed += 1
+                if misses[key].cacheable:
+                    if self.cache is not None:
+                        self.cache.put(key, summary)
+                    self._memo[key] = summary
+                resolved[key] = summary
+
+        return [resolved[key] for key, _ in keyed]
+
+    def _execute(self, requests: list[ExperimentRequest]
+                 ) -> list[AllocationSummary]:
+        """Run cache misses, fanning out to worker processes if asked."""
+        assert self.jobs is not None
+        workers = min(self.jobs, len(requests))
+        if workers <= 1:
+            return [execute_request(r) for r in requests]
+        # spawn, not fork: no inherited interpreter state, so results
+        # cannot depend on whatever the parent process computed before
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(execute_request, requests, chunksize=1)
+
+
+_DEFAULT_ENGINE: ExperimentEngine | None = None
+
+
+def default_engine() -> ExperimentEngine:
+    """The process-wide fallback engine of the experiment harnesses.
+
+    Serial and memo-only: library calls that do not pass an engine get
+    request deduplication within the process but no persistent state —
+    test runs stay hermetic.  The CLI and the benchmark evidence
+    construct explicit engines with the pool and the disk cache.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ExperimentEngine(jobs=1, use_cache=False)
+    return _DEFAULT_ENGINE

@@ -1,0 +1,73 @@
+"""The worker side of the engine: execute one request, return a summary.
+
+:func:`execute_request` is a module-level function so it pickles by
+reference under the ``spawn`` start method — worker processes import
+this module and receive only the (picklable) request.
+"""
+
+from __future__ import annotations
+
+from ..interp import run_function
+from ..ir import parse_function
+from ..regalloc import allocate
+from ..regalloc.splitting import SCHEMES
+from .request import (AllocationSummary, ExperimentRequest, TimingReport,
+                      TimingSample, request_key)
+
+
+def execute_request(request: ExperimentRequest) -> AllocationSummary:
+    """Run one allocation experiment from scratch.
+
+    Deterministic in everything except the :class:`TimingSample`
+    wall-clock numbers (which the cache never stores).
+    """
+    fn = parse_function(request.ir_text)
+    if request.optimize_first:
+        from ..opt import optimize
+
+        optimize(fn)
+    mode = request.mode
+    pre_split = None
+    if request.scheme is not None:
+        scheme = SCHEMES[request.scheme]
+        mode = scheme.mode
+        pre_split = scheme.pre_split
+
+    samples: list[TimingSample] = []
+    result = None
+    for _ in range(max(1, request.repeats)):
+        result = allocate(fn, machine=request.machine, mode=mode,
+                          biased=request.biased,
+                          lookahead=request.lookahead,
+                          coalesce_splits=request.coalesce_splits,
+                          optimistic=request.optimistic,
+                          pre_split=pre_split)
+        samples.append(TimingSample(
+            cfa=result.cfa_time, total=result.total_time,
+            rounds=[{"renum": t.renumber, "build": t.build,
+                     "costs": t.costs, "color": t.color,
+                     "spill": t.spill} for t in result.round_times]))
+    assert result is not None
+
+    counts = steps = output = None
+    if request.run:
+        run = run_function(result.function, args=list(request.args))
+        counts = dict(run.counts)
+        steps = run.steps
+        output = tuple(run.output)
+
+    return AllocationSummary(
+        key=request_key(request),
+        function_name=result.function.name,
+        machine_name=request.machine.name,
+        int_regs=request.machine.int_regs,
+        float_regs=request.machine.float_regs,
+        mode=mode,
+        stats=result.stats,
+        rounds=result.rounds,
+        code_size=fn.size(),
+        allocated_size=result.function.size(),
+        counts=counts,
+        steps=steps,
+        output=output,
+        timing=TimingReport(samples=samples))

@@ -1,17 +1,21 @@
 """Experiment harnesses regenerating the paper's tables and figures."""
 
-from .ablation import (AblationResult, HeuristicAblation, run_ablation,
-                       run_heuristic_ablation)
+from .ablation import (AblationResult, HEURISTIC_CONFIGS,
+                       HeuristicAblation, run_ablation,
+                       run_heuristic_ablation, scheme_request)
 from .regsweep import RegisterSweep, SweepPoint, run_register_sweep
 from .reporting import paper_percent, render_table
 from .spill_metrics import (KernelComparison, SpillMeasurement,
-                            TABLE1_CLASSES, compare_kernel, measure,
+                            TABLE1_CLASSES, baseline_request,
+                            compare_kernel, comparison_from_summaries,
+                            comparison_requests, kernel_request, measure,
                             measure_baseline)
 from .table1 import Table1, generate_table1
 from .table2 import Table2, TimingColumn, generate_table2
 
 __all__ = [
     "AblationResult",
+    "HEURISTIC_CONFIGS",
     "HeuristicAblation",
     "KernelComparison",
     "RegisterSweep",
@@ -19,12 +23,17 @@ __all__ = [
     "run_ablation",
     "run_heuristic_ablation",
     "run_register_sweep",
+    "scheme_request",
     "SpillMeasurement",
     "TABLE1_CLASSES",
     "Table1",
     "Table2",
     "TimingColumn",
+    "baseline_request",
     "compare_kernel",
+    "comparison_from_summaries",
+    "comparison_requests",
+    "kernel_request",
     "generate_table1",
     "generate_table2",
     "measure",

@@ -6,6 +6,11 @@ The paper reports that every loop-splitting scheme "had several major
 successes [and] several equally dramatic failures"; the harness measures
 each scheme's spill cycles against the tag-driven default and reports the
 spread.
+
+Both harnesses batch their whole measurement grid through the
+allocation-experiment engine; the scheme entries without a pre-split
+hook (chaitin, remat, at-phis) are submitted as plain mode requests so
+their cache entries are shared with Table 1 and the register sweep.
 """
 
 from __future__ import annotations
@@ -13,13 +18,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..benchsuite import ALL_KERNELS, Kernel
+from ..engine import ExperimentEngine, ExperimentRequest, default_engine
 from ..interp import run_function
 from ..machine import MachineDescription, machine_with
-from ..regalloc import allocate
 from ..regalloc.splitting import SCHEMES, SplittingScheme
 from ..remat import RenumberMode
 from .reporting import render_table
-from .spill_metrics import measure_baseline
+from .spill_metrics import baseline_request, kernel_request
+
+
+def scheme_request(kernel: Kernel, machine: MachineDescription,
+                   scheme: SplittingScheme) -> ExperimentRequest:
+    """The engine request measuring one (kernel, scheme) cell."""
+    if scheme.pre_split is None:
+        # plain renumber mode: identical content hash to the Table 1 /
+        # sweep requests for the same configuration
+        return kernel_request(kernel, machine, scheme.mode)
+    return kernel_request(kernel, machine, scheme.mode, scheme=scheme.name)
 
 
 @dataclass
@@ -56,26 +71,35 @@ class AblationResult:
 def run_ablation(kernels: list[Kernel] | None = None,
                  machine: MachineDescription | None = None,
                  schemes: dict[str, SplittingScheme] | None = None,
+                 engine: ExperimentEngine | None = None,
                  ) -> AblationResult:
     """Measure spill cycles for each kernel under each splitting scheme."""
     machine = machine or machine_with(8, 8)
     kernels = kernels if kernels is not None else ALL_KERNELS
     schemes = schemes or SCHEMES
-    result = AblationResult(machine=machine)
+    engine = engine or default_engine()
+
+    requests = []
     for kernel in kernels:
-        baseline = measure_baseline(kernel, cost_machine=machine)
+        requests.append(baseline_request(kernel))
+        for scheme in schemes.values():
+            requests.append(scheme_request(kernel, machine, scheme))
+    summaries = engine.run_many(requests)
+
+    result = AblationResult(machine=machine)
+    stride = 1 + len(schemes)
+    for i, kernel in enumerate(kernels):
+        baseline = summaries[stride * i]
         expected = run_function(kernel.compile(),
                                 args=list(kernel.args)).output
         per_scheme: dict[str, int] = {}
-        for name, scheme in schemes.items():
-            res = allocate(kernel.compile(), machine=machine,
-                           mode=scheme.mode, pre_split=scheme.pre_split)
-            run = run_function(res.function, args=list(kernel.args))
-            if run.output != expected:
+        for j, name in enumerate(schemes):
+            summary = summaries[stride * i + 1 + j]
+            if list(summary.output or ()) != expected:
                 raise AssertionError(
                     f"{kernel.name}/{name}: output diverged")
-            per_scheme[name] = (machine.cycles(run.counts)
-                                - baseline.total_cycles)
+            per_scheme[name] = (summary.cycles(machine)
+                                - baseline.cycles(machine))
         result.spill[kernel.name] = per_scheme
     return result
 
@@ -103,29 +127,42 @@ class HeuristicAblation:
                    f"with each mechanism disabled ({self.machine.name})"))
 
 
+#: flag overrides per heuristic-ablation configuration
+HEURISTIC_CONFIGS: dict[str, dict[str, bool]] = {
+    "full": {},
+    "no-biasing": {"biased": False},
+    "no-lookahead": {"lookahead": False},
+    "no-conservative": {"coalesce_splits": False},
+    # Chaitin's original pessimistic simplification instead of
+    # Briggs' optimistic push-and-try
+    "pessimistic": {"optimistic": False},
+}
+
+
 def run_heuristic_ablation(kernels: list[Kernel] | None = None,
                            machine: MachineDescription | None = None,
+                           engine: ExperimentEngine | None = None,
                            ) -> HeuristicAblation:
     """Toggle biased coloring, lookahead and conservative coalescing."""
     machine = machine or machine_with(8, 8)
     kernels = kernels if kernels is not None else ALL_KERNELS
-    result = HeuristicAblation(machine=machine)
-    configs = {
-        "full": {},
-        "no-biasing": {"biased": False},
-        "no-lookahead": {"lookahead": False},
-        "no-conservative": {"coalesce_splits": False},
-        # Chaitin's original pessimistic simplification instead of
-        # Briggs' optimistic push-and-try
-        "pessimistic": {"optimistic": False},
-    }
+    engine = engine or default_engine()
+
+    requests = []
     for kernel in kernels:
-        baseline = measure_baseline(kernel, cost_machine=machine)
+        requests.append(baseline_request(kernel))
+        for kwargs in HEURISTIC_CONFIGS.values():
+            requests.append(kernel_request(kernel, machine,
+                                           RenumberMode.REMAT, **kwargs))
+    summaries = engine.run_many(requests)
+
+    result = HeuristicAblation(machine=machine)
+    stride = 1 + len(HEURISTIC_CONFIGS)
+    for i, kernel in enumerate(kernels):
+        baseline = summaries[stride * i]
         per: dict[str, int] = {}
-        for name, kwargs in configs.items():
-            res = allocate(kernel.compile(), machine=machine,
-                           mode=RenumberMode.REMAT, **kwargs)
-            run = run_function(res.function, args=list(kernel.args))
-            per[name] = machine.cycles(run.counts) - baseline.total_cycles
+        for j, name in enumerate(HEURISTIC_CONFIGS):
+            summary = summaries[stride * i + 1 + j]
+            per[name] = summary.cycles(machine) - baseline.cycles(machine)
         result.spill[kernel.name] = per
     return result

@@ -14,10 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..benchsuite import ALL_KERNELS, Kernel
+from ..engine import ExperimentEngine, default_engine
 from ..machine import machine_with
 from ..remat import RenumberMode
 from .reporting import render_table
-from .spill_metrics import measure, measure_baseline
+from .spill_metrics import baseline_request, kernel_request
 
 
 @dataclass
@@ -57,23 +58,38 @@ class RegisterSweep:
 
 def run_register_sweep(ks: tuple[int, ...] = (6, 8, 10, 12, 16, 24),
                        kernels: list[Kernel] | None = None,
+                       engine: ExperimentEngine | None = None,
                        ) -> RegisterSweep:
-    """Measure the suite at several register-file sizes."""
+    """Measure the suite at several register-file sizes.
+
+    The whole (k × kernel × allocator) grid plus one huge-machine
+    baseline per kernel is submitted as a single engine batch; the
+    baselines' content hashes are shared across every *k* (and with
+    Table 1 and the ablations), so they execute once.
+    """
     kernels = kernels if kernels is not None else ALL_KERNELS
+    engine = engine or default_engine()
+
+    baseline_reqs = [baseline_request(kernel) for kernel in kernels]
+    machines = {k: machine_with(k, k) for k in ks}
+    grid_reqs = [kernel_request(kernel, machines[k], mode)
+                 for k in ks for kernel in kernels
+                 for mode in (RenumberMode.CHAITIN, RenumberMode.REMAT)]
+    summaries = engine.run_many(baseline_reqs + grid_reqs)
+    baselines = dict(zip((kernel.name for kernel in kernels),
+                         summaries[:len(kernels)]))
+    grid = summaries[len(kernels):]
+
     sweep = RegisterSweep()
-    baselines = {}
+    pos = 0
     for k in ks:
-        machine = machine_with(k, k)
+        machine = machines[k]
         old_total = new_total = differing = 0
         for kernel in kernels:
-            if kernel.name not in baselines:
-                baselines[kernel.name] = measure_baseline(
-                    kernel, cost_machine=machine)
-            baseline = baselines[kernel.name]
-            old = measure(kernel, machine, RenumberMode.CHAITIN)
-            new = measure(kernel, machine, RenumberMode.REMAT)
-            old_spill = old.total_cycles - baseline.total_cycles
-            new_spill = new.total_cycles - baseline.total_cycles
+            baseline = baselines[kernel.name].cycles(machine)
+            old_spill = grid[pos].cycles(machine) - baseline
+            new_spill = grid[pos + 1].cycles(machine) - baseline
+            pos += 2
             old_total += old_spill
             new_total += new_spill
             if old_spill != new_spill:

@@ -8,6 +8,14 @@ registers."
 
 Costs are decomposed by instrumentation class (load / store / copy / ldi /
 addi) so Table 1's percentage-contribution columns can be reproduced.
+
+Measurements are *requests* to the shared allocation-experiment engine
+(:mod:`repro.engine`): each (kernel, machine, mode, flags) configuration
+is content-hashed, deduplicated, optionally served from the persistent
+cache, and executable in parallel.  Summaries store raw dynamic counts;
+cycle pricing happens here, at the caller's cost model — which is why a
+single huge-machine baseline run serves Table 1, the ablations and every
+point of the register sweep.
 """
 
 from __future__ import annotations
@@ -15,15 +23,37 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..benchsuite import Kernel
-from ..interp import run_function
-from ..ir import CountClass
+from ..engine import (AllocationSummary, ExperimentEngine,
+                      ExperimentRequest, default_engine)
+from ..ir import CountClass, function_to_text
 from ..machine import MachineDescription, huge_machine
-from ..regalloc import AllocationResult, allocate
 from ..remat import RenumberMode
 
 #: the classes reported in Table 1, in column order
 TABLE1_CLASSES = (CountClass.LOAD, CountClass.STORE, CountClass.COPY,
                   CountClass.LDI, CountClass.ADDI)
+
+
+def kernel_request(kernel: Kernel, machine: MachineDescription,
+                   mode: RenumberMode,
+                   optimize_first: bool = False,
+                   **overrides) -> ExperimentRequest:
+    """The engine request measuring *kernel* on *machine* under *mode*.
+
+    ``overrides`` forward to :class:`ExperimentRequest` (heuristic
+    flags, ``scheme``, ``run``, ``repeats``, ``cacheable``).
+    """
+    return ExperimentRequest(
+        ir_text=function_to_text(kernel.compile()),
+        machine=machine, mode=mode, optimize_first=optimize_first,
+        args=tuple(kernel.args), **overrides)
+
+
+def baseline_request(kernel: Kernel,
+                     optimize_first: bool = False) -> ExperimentRequest:
+    """The huge-machine (128-register) zero-spill request of Section 5.2."""
+    return kernel_request(kernel, huge_machine(), RenumberMode.CHAITIN,
+                          optimize_first=optimize_first)
 
 
 @dataclass
@@ -37,7 +67,7 @@ class SpillMeasurement:
     class_cycles: dict[CountClass, int]
     total_cycles: int
     steps: int
-    allocation: AllocationResult
+    summary: AllocationSummary
 
     def spill_cycles_vs(self, baseline: "SpillMeasurement") -> int:
         """Spill overhead relative to the huge-machine baseline."""
@@ -48,45 +78,51 @@ class SpillMeasurement:
         return (self.class_cycles.get(cls, 0)
                 - baseline.class_cycles.get(cls, 0))
 
+    @staticmethod
+    def from_summary(summary: AllocationSummary, kernel: str,
+                     cost_machine: MachineDescription
+                     ) -> "SpillMeasurement":
+        """Price *summary*'s raw counts with *cost_machine*'s model."""
+        class_cycles = summary.class_cycles(cost_machine)
+        assert summary.steps is not None
+        return SpillMeasurement(
+            kernel=kernel, machine=summary.machine_name,
+            mode=summary.mode, class_cycles=class_cycles,
+            total_cycles=sum(class_cycles.values()),
+            steps=summary.steps, summary=summary)
+
 
 def measure(kernel: Kernel, machine: MachineDescription,
             mode: RenumberMode,
             cost_machine: MachineDescription | None = None,
-            optimize_first: bool = False) -> SpillMeasurement:
+            optimize_first: bool = False,
+            engine: ExperimentEngine | None = None) -> SpillMeasurement:
     """Allocate *kernel* for *machine* under *mode*, run it, count cycles.
 
     *cost_machine* supplies the cycle-cost model (defaults to *machine*);
     the paper prices the huge-machine baseline run with the same cost
     table as the standard runs.  With *optimize_first* the LVN/LICM/DCE
     pipeline runs before allocation — approximating the optimized ILOC
-    the paper's allocator consumed.
+    the paper's allocator consumed.  The work is submitted through
+    *engine* (default: the process-wide memoizing engine), so repeated
+    measurements of one configuration execute once.
     """
     cost_machine = cost_machine or machine
-    fn = kernel.compile()
-    if optimize_first:
-        from ..opt import optimize
-
-        optimize(fn)
-    result = allocate(fn, machine=machine, mode=mode)
-    run = run_function(result.function, args=list(kernel.args))
-    class_cycles = {
-        cls: count * cost_machine.class_cost(cls)
-        for cls, count in run.counts.items()
-    }
-    return SpillMeasurement(
-        kernel=kernel.name, machine=machine.name, mode=mode,
-        class_cycles=class_cycles,
-        total_cycles=sum(class_cycles.values()),
-        steps=run.steps, allocation=result)
+    engine = engine or default_engine()
+    summary = engine.run(kernel_request(kernel, machine, mode,
+                                        optimize_first=optimize_first))
+    return SpillMeasurement.from_summary(summary, kernel.name, cost_machine)
 
 
 def measure_baseline(kernel: Kernel,
                      cost_machine: MachineDescription,
-                     optimize_first: bool = False) -> SpillMeasurement:
+                     optimize_first: bool = False,
+                     engine: ExperimentEngine | None = None
+                     ) -> SpillMeasurement:
     """The huge-machine (128-register) zero-spill baseline of Section 5.2."""
     return measure(kernel, huge_machine(), RenumberMode.CHAITIN,
                    cost_machine=cost_machine,
-                   optimize_first=optimize_first)
+                   optimize_first=optimize_first, engine=engine)
 
 
 @dataclass
@@ -112,23 +148,52 @@ class KernelComparison:
         return self.old_spill != self.new_spill
 
 
-def compare_kernel(kernel: Kernel, machine: MachineDescription,
-                   old_mode: RenumberMode = RenumberMode.CHAITIN,
-                   new_mode: RenumberMode = RenumberMode.REMAT,
-                   optimize_first: bool = False) -> KernelComparison:
-    """Produce one Table 1 row for *kernel* on *machine*."""
-    baseline = measure_baseline(kernel, cost_machine=machine,
-                                optimize_first=optimize_first)
-    old = measure(kernel, machine, old_mode, optimize_first=optimize_first)
-    new = measure(kernel, machine, new_mode, optimize_first=optimize_first)
-    old_spill = old.spill_cycles_vs(baseline)
-    new_spill = new.spill_cycles_vs(baseline)
+def comparison_requests(kernel: Kernel, machine: MachineDescription,
+                        old_mode: RenumberMode = RenumberMode.CHAITIN,
+                        new_mode: RenumberMode = RenumberMode.REMAT,
+                        optimize_first: bool = False
+                        ) -> list[ExperimentRequest]:
+    """The three requests behind one Table 1 row: baseline, old, new."""
+    return [
+        baseline_request(kernel, optimize_first=optimize_first),
+        kernel_request(kernel, machine, old_mode,
+                       optimize_first=optimize_first),
+        kernel_request(kernel, machine, new_mode,
+                       optimize_first=optimize_first),
+    ]
+
+
+def comparison_from_summaries(kernel: Kernel,
+                              machine: MachineDescription,
+                              baseline: AllocationSummary,
+                              old: AllocationSummary,
+                              new: AllocationSummary) -> KernelComparison:
+    """Assemble one Table 1 row from the three measured summaries."""
+    base = SpillMeasurement.from_summary(baseline, kernel.name, machine)
+    old_m = SpillMeasurement.from_summary(old, kernel.name, machine)
+    new_m = SpillMeasurement.from_summary(new, kernel.name, machine)
+    old_spill = old_m.spill_cycles_vs(base)
+    new_spill = new_m.spill_cycles_vs(base)
     contributions: dict[CountClass, float] = {}
     if old_spill != 0:
         for cls in TABLE1_CLASSES:
-            delta = (old.class_spill_cycles_vs(baseline, cls)
-                     - new.class_spill_cycles_vs(baseline, cls))
+            delta = (old_m.class_spill_cycles_vs(base, cls)
+                     - new_m.class_spill_cycles_vs(base, cls))
             contributions[cls] = 100.0 * delta / old_spill
     return KernelComparison(kernel=kernel, old_spill=old_spill,
                             new_spill=new_spill,
                             contributions=contributions)
+
+
+def compare_kernel(kernel: Kernel, machine: MachineDescription,
+                   old_mode: RenumberMode = RenumberMode.CHAITIN,
+                   new_mode: RenumberMode = RenumberMode.REMAT,
+                   optimize_first: bool = False,
+                   engine: ExperimentEngine | None = None
+                   ) -> KernelComparison:
+    """Produce one Table 1 row for *kernel* on *machine*."""
+    engine = engine or default_engine()
+    baseline, old, new = engine.run_many(
+        comparison_requests(kernel, machine, old_mode, new_mode,
+                            optimize_first=optimize_first))
+    return comparison_from_summaries(kernel, machine, baseline, old, new)

@@ -13,9 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..benchsuite import ALL_KERNELS, Kernel
+from ..engine import ExperimentEngine, default_engine
 from ..machine import MachineDescription, standard_machine
 from .reporting import paper_percent, render_table
-from .spill_metrics import (KernelComparison, TABLE1_CLASSES, compare_kernel)
+from .spill_metrics import (KernelComparison, TABLE1_CLASSES,
+                            comparison_from_summaries, comparison_requests)
 
 
 @dataclass
@@ -64,16 +66,26 @@ class Table1:
 
 def generate_table1(machine: MachineDescription | None = None,
                     kernels: list[Kernel] | None = None,
-                    optimize_first: bool = False) -> Table1:
+                    optimize_first: bool = False,
+                    engine: ExperimentEngine | None = None) -> Table1:
     """Measure every kernel and assemble Table 1.
 
     With *optimize_first* the LVN/LICM/DCE pipeline runs before
     allocation, approximating the optimized ILOC of the paper's setup.
+    The whole suite — baseline, Optimistic and Remat per kernel — is
+    submitted to *engine* as one batch, so cache misses fan out across
+    its worker pool.
     """
     machine = machine or standard_machine()
     kernels = kernels if kernels is not None else ALL_KERNELS
+    engine = engine or default_engine()
+    requests = [request for kernel in kernels
+                for request in comparison_requests(
+                    kernel, machine, optimize_first=optimize_first)]
+    summaries = engine.run_many(requests)
     table = Table1(machine=machine)
-    for kernel in kernels:
-        table.rows.append(compare_kernel(kernel, machine,
-                                         optimize_first=optimize_first))
+    for i, kernel in enumerate(kernels):
+        baseline, old, new = summaries[3 * i:3 * i + 3]
+        table.rows.append(comparison_from_summaries(kernel, machine,
+                                                    baseline, old, new))
     return table

@@ -18,10 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..benchsuite import Kernel, KERNELS_BY_NAME
+from ..engine import (AllocationSummary, ExperimentEngine,
+                      ExperimentRequest, default_engine)
 from ..machine import MachineDescription, machine_with
-from ..regalloc import AllocationResult, allocate
 from ..remat import RenumberMode
 from .reporting import render_table
+from .spill_metrics import kernel_request
 
 #: the default specimens, mirroring the paper's small/medium/large choice
 DEFAULT_ROUTINES = ("repvid", "tomcatv", "twldrv")
@@ -43,31 +45,49 @@ class TimingColumn:
     code_size: int = 0
 
     @staticmethod
-    def collect(kernel: Kernel, mode: RenumberMode,
-                machine: MachineDescription, repeats: int) -> "TimingColumn":
-        runs: list[AllocationResult] = []
-        for _ in range(repeats):
-            runs.append(allocate(kernel.compile(), machine=machine,
-                                 mode=mode))
-        n_rounds = max(r.rounds for r in runs)
+    def timing_request(kernel: Kernel, mode: RenumberMode,
+                       machine: MachineDescription,
+                       repeats: int) -> ExperimentRequest:
+        """The live-measured engine request behind one column.
+
+        ``cacheable=False`` by construction: wall-clock numbers must
+        never be replayed from the persistent cache.
+        """
+        return kernel_request(kernel, machine, mode, run=False,
+                              repeats=repeats, cacheable=False)
+
+    @staticmethod
+    def from_summary(routine: str, mode: RenumberMode,
+                     summary: AllocationSummary) -> "TimingColumn":
+        """Average the summary's live timing samples, Table 2 style."""
+        assert summary.timing is not None, \
+            "timing requests bypass the cache, so timing is always live"
+        runs = summary.timing.samples
+        repeats = len(runs)
+        n_rounds = max(len(r.rounds) for r in runs)
         rounds: list[dict[str, float]] = []
         for i in range(n_rounds):
             avg = {phase: 0.0 for phase in PHASES}
             for run in runs:
-                if i < run.rounds:
-                    times = run.round_times[i]
-                    avg["renum"] += times.renumber
-                    avg["build"] += times.build
-                    avg["costs"] += times.costs
-                    avg["color"] += times.color
-                    avg["spill"] += times.spill
+                if i < len(run.rounds):
+                    for phase in PHASES:
+                        avg[phase] += run.rounds[i][phase]
             rounds.append({k: v / repeats for k, v in avg.items()})
         return TimingColumn(
-            routine=kernel.name, mode=mode,
-            cfa=sum(r.cfa_time for r in runs) / repeats,
+            routine=routine, mode=mode,
+            cfa=sum(r.cfa for r in runs) / repeats,
             rounds=rounds,
-            total=sum(r.total_time for r in runs) / repeats,
-            code_size=runs[0].function.size())
+            total=sum(r.total for r in runs) / repeats,
+            code_size=summary.allocated_size)
+
+    @staticmethod
+    def collect(kernel: Kernel, mode: RenumberMode,
+                machine: MachineDescription, repeats: int,
+                engine: ExperimentEngine | None = None) -> "TimingColumn":
+        engine = engine or default_engine()
+        summary = engine.run(TimingColumn.timing_request(
+            kernel, mode, machine, repeats))
+        return TimingColumn.from_summary(kernel.name, mode, summary)
 
 
 @dataclass
@@ -126,21 +146,30 @@ class Table2:
 
 def generate_table2(routines: tuple[str, ...] = DEFAULT_ROUTINES,
                     machine: MachineDescription | None = None,
-                    repeats: int = 5) -> Table2:
+                    repeats: int = 5,
+                    engine: ExperimentEngine | None = None) -> Table2:
     """Time the Old and New allocators on the chosen routines.
 
     The default machine is an 8+8 register file: our kernels are smaller
     than the paper's FORTRAN routines, and at that size the medium
     specimen (tomcatv) needs additional rounds of spilling — matching the
     paper's note that "tomcatv required an additional round of spilling".
+
+    Every column is a ``cacheable=False`` engine request: wall-clock
+    numbers are measured live on every regeneration, never replayed.
     """
     machine = machine or machine_with(8, 8)
+    engine = engine or default_engine()
+    kernels = [KERNELS_BY_NAME[name] for name in routines]
+    modes = (RenumberMode.CHAITIN, RenumberMode.REMAT)
+    requests = [TimingColumn.timing_request(kernel, mode, machine, repeats)
+                for kernel in kernels for mode in modes]
+    summaries = engine.run_many(requests)
     table = Table2(machine=machine)
-    for name in routines:
-        kernel = KERNELS_BY_NAME[name]
-        old = TimingColumn.collect(kernel, RenumberMode.CHAITIN, machine,
-                                   repeats)
-        new = TimingColumn.collect(kernel, RenumberMode.REMAT, machine,
-                                   repeats)
+    for i, kernel in enumerate(kernels):
+        old = TimingColumn.from_summary(kernel.name, modes[0],
+                                        summaries[2 * i])
+        new = TimingColumn.from_summary(kernel.name, modes[1],
+                                        summaries[2 * i + 1])
         table.columns.append((old, new))
     return table

@@ -10,7 +10,7 @@ anyway ("optimism"): select may still find it a color.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..ir import Reg
 from ..machine import MachineDescription
@@ -28,11 +28,7 @@ class SimplifyResult:
     candidates: set[Reg]
     #: nodes spilled outright by the pessimistic (original Chaitin)
     #: variant; empty under the optimistic default
-    pessimistic_spills: list[Reg] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.pessimistic_spills is None:
-            self.pessimistic_spills = []
+    pessimistic_spills: list[Reg] = field(default_factory=list)
 
 
 def simplify(graph: InterferenceGraph, machine: MachineDescription,
@@ -45,7 +41,11 @@ def simplify(graph: InterferenceGraph, machine: MachineDescription,
     coloring removed (and the paper's base allocator assumes removed).
     """
     degree: dict[Reg, int] = {n: graph.degree(n) for n in graph.nodes()}
-    removed: set[Reg] = set()
+    # the not-yet-removed nodes, maintained incrementally as an
+    # insertion-ordered dict so spill-candidate scans touch only live
+    # nodes (the old full-degree rescan was O(n^2) under pressure) while
+    # keeping the exact deterministic iteration order of the original
+    alive: dict[Reg, None] = dict.fromkeys(degree)
     stack: list[Reg] = []
     candidates: set[Reg] = set()
     pessimistic_spills: list[Reg] = []
@@ -55,31 +55,28 @@ def simplify(graph: InterferenceGraph, machine: MachineDescription,
         return machine.k(reg.rclass)
 
     worklist = [n for n in degree if degree[n] < k_of(n)]
-    remaining = len(degree)
 
     def remove(node: Reg, push: bool = True) -> None:
-        nonlocal remaining
-        removed.add(node)
+        del alive[node]
         if push:
             stack.append(node)
-        remaining -= 1
         # neighbors in dense-index order: deterministic across runs,
         # unlike hash-ordered set iteration
         for n in index.iter_regs(graph.neighbor_bits(node)):
-            if n in removed:
+            if n not in alive:
                 continue
             degree[n] -= 1
             if degree[n] == k_of(n) - 1:
                 worklist.append(n)
 
-    while remaining:
+    while alive:
         while worklist:
             node = worklist.pop()
-            if node not in removed and degree[node] < k_of(node):
+            if node in alive and degree[node] < k_of(node):
                 remove(node)
-        if not remaining:
+        if not alive:
             break
-        candidate = _pick_spill_candidate(degree, removed, costs)
+        candidate = _pick_spill_candidate(degree, alive, costs)
         if candidate is None:
             break  # only isolated leftovers; cannot happen in practice
         candidates.add(candidate)
@@ -92,7 +89,7 @@ def simplify(graph: InterferenceGraph, machine: MachineDescription,
                           pessimistic_spills=pessimistic_spills)
 
 
-def _pick_spill_candidate(degree: dict[Reg, int], removed: set[Reg],
+def _pick_spill_candidate(degree: dict[Reg, int], alive: dict[Reg, None],
                           costs: SpillCosts) -> Reg | None:
     """Chaitin's choice: minimize cost / current degree.
 
@@ -102,9 +99,8 @@ def _pick_spill_candidate(degree: dict[Reg, int], removed: set[Reg],
     best: Reg | None = None
     best_ratio = math.inf
     fallback: Reg | None = None
-    for node, deg in degree.items():
-        if node in removed:
-            continue
+    for node in alive:
+        deg = degree[node]
         cost = costs.cost.get(node, math.inf)
         if math.isinf(cost):
             if fallback is None:

@@ -1,0 +1,122 @@
+"""Regression guard for the incremental spill-candidate scan.
+
+``_pick_spill_candidate`` used to rescan the whole degree dict per
+candidate (O(n²) under high pressure); it now iterates an incrementally
+maintained not-yet-removed dict.  These tests pin the output of
+``simplify`` — push order, candidate set, pessimistic spills — to a
+straightforward reimplementation of the original full-rescan algorithm,
+across the kernel suite at pressure-inducing register files.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import compute_liveness
+from repro.benchsuite import ALL_KERNELS
+from repro.machine import machine_with
+from repro.regalloc import run_renumber
+from repro.regalloc.interference import build_interference_graph
+from repro.regalloc.simplify import SimplifyResult, simplify
+from repro.regalloc.spillcost import compute_spill_costs
+from repro.analysis import compute_dominance, compute_loops
+from repro.remat import RenumberMode
+
+
+def reference_simplify(graph, machine, costs, optimistic=True):
+    """The seed algorithm: full-degree-dict rescan per spill candidate."""
+    degree = {n: graph.degree(n) for n in graph.nodes()}
+    removed = set()
+    stack, candidates, pessimistic = [], set(), []
+    index = graph.index
+
+    def k_of(reg):
+        return machine.k(reg.rclass)
+
+    worklist = [n for n in degree if degree[n] < k_of(n)]
+    remaining = len(degree)
+
+    def remove(node, push=True):
+        nonlocal remaining
+        removed.add(node)
+        if push:
+            stack.append(node)
+        remaining -= 1
+        for n in index.iter_regs(graph.neighbor_bits(node)):
+            if n in removed:
+                continue
+            degree[n] -= 1
+            if degree[n] == k_of(n) - 1:
+                worklist.append(n)
+
+    def pick():
+        best, best_ratio, fallback = None, math.inf, None
+        for node, deg in degree.items():
+            if node in removed:
+                continue
+            cost = costs.cost.get(node, math.inf)
+            if math.isinf(cost):
+                if fallback is None:
+                    fallback = node
+                continue
+            ratio = cost / max(deg, 1)
+            if ratio < best_ratio or (ratio == best_ratio
+                                      and best is not None
+                                      and node.sort_key() < best.sort_key()):
+                best, best_ratio = node, ratio
+        return best if best is not None else fallback
+
+    while remaining:
+        while worklist:
+            node = worklist.pop()
+            if node not in removed and degree[node] < k_of(node):
+                remove(node)
+        if not remaining:
+            break
+        candidate = pick()
+        if candidate is None:
+            break
+        candidates.add(candidate)
+        if optimistic:
+            remove(candidate)
+        else:
+            pessimistic.append(candidate)
+            remove(candidate, push=False)
+    return SimplifyResult(stack=stack, candidates=candidates,
+                          pessimistic_spills=pessimistic)
+
+
+def first_round_graph(kernel, machine, mode):
+    """The graph and costs simplify sees in the allocator's first round."""
+    fn = kernel.compile()
+    fn.remove_unreachable_blocks()
+    fn.split_critical_edges()
+    dom = compute_dominance(fn)
+    loops = compute_loops(fn, dom)
+    run_renumber(fn, mode, dom=dom)
+    liveness = compute_liveness(fn)
+    graph = build_interference_graph(fn, liveness=liveness)
+    costs = compute_spill_costs(fn, loops, machine)
+    return graph, costs
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+@pytest.mark.parametrize("k", [4, 8])
+def test_simplify_unchanged_on_kernel_suite(kernel, k):
+    machine = machine_with(k, k)
+    graph, costs = first_round_graph(kernel, machine, RenumberMode.REMAT)
+    for optimistic in (True, False):
+        got = simplify(graph, machine, costs, optimistic=optimistic)
+        want = reference_simplify(graph, machine, costs,
+                                  optimistic=optimistic)
+        assert got.stack == want.stack
+        assert got.candidates == want.candidates
+        assert got.pessimistic_spills == want.pessimistic_spills
+
+
+def test_simplify_result_default_is_fresh_per_instance():
+    """The dataclass default is a factory, not a shared mutable."""
+    a = SimplifyResult(stack=[], candidates=set())
+    b = SimplifyResult(stack=[], candidates=set())
+    a.pessimistic_spills.append(None)
+    assert b.pessimistic_spills == []

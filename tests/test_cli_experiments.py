@@ -2,10 +2,12 @@
 
 import pytest
 
+import repro.experiments.ablation as ablation_mod
 import repro.experiments.table1 as table1_mod
 import repro.experiments.regsweep as regsweep_mod
 from repro.benchsuite import KERNELS_BY_NAME
 from repro.cli import main
+from repro.engine import ResultCache
 
 TINY_SUITE = [KERNELS_BY_NAME[n] for n in ("zeroin", "adapt")]
 
@@ -14,25 +16,80 @@ TINY_SUITE = [KERNELS_BY_NAME[n] for n in ("zeroin", "adapt")]
 def tiny_suite(monkeypatch):
     monkeypatch.setattr(table1_mod, "ALL_KERNELS", TINY_SUITE)
     monkeypatch.setattr(regsweep_mod, "ALL_KERNELS", TINY_SUITE)
+    monkeypatch.setattr(ablation_mod, "ALL_KERNELS", TINY_SUITE)
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Point the engine's persistent cache at a throwaway directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
 
 
 class TestExperimentCommands:
-    def test_table1(self, tiny_suite, capsys):
+    def test_table1(self, tiny_suite, cache_dir, capsys):
         assert main(["table1"]) == 0
         out = capsys.readouterr().out
         assert "Effects of Rematerialization" in out
         assert "adapt" in out
 
-    def test_table1_with_custom_k(self, tiny_suite, capsys):
+    def test_table1_with_custom_k(self, tiny_suite, cache_dir, capsys):
         assert main(["table1", "--k", "12"]) == 0
         assert "k_int=12" in capsys.readouterr().out
 
-    def test_table2(self, capsys):
+    def test_table1_no_cache(self, tiny_suite, cache_dir, capsys):
+        assert main(["table1", "--no-cache"]) == 0
+        assert "Effects of Rematerialization" in capsys.readouterr().out
+        assert len(ResultCache(cache_dir)) == 0
+
+    def test_table2(self, cache_dir, capsys):
         assert main(["table2", "--repeats", "1"]) == 0
         out = capsys.readouterr().out
         assert "Allocation Times in Seconds" in out
         assert "renum" in out
+        # timing requests are cacheable=False: nothing may persist
+        assert len(ResultCache(cache_dir)) == 0
 
-    def test_sweep(self, tiny_suite, capsys):
+    def test_ablation(self, tiny_suite, cache_dir, capsys):
+        assert main(["ablation"]) == 0
+        out = capsys.readouterr().out
+        assert "splitting scheme" in out
+        assert "Heuristic ablation" in out
+        assert "wins vs remat" in out
+
+    def test_sweep(self, tiny_suite, cache_dir, capsys):
         assert main(["sweep"]) == 0
         assert "Register-set sweep" in capsys.readouterr().out
+
+
+class TestEngineFlags:
+    def test_cache_hit_equals_miss(self, tiny_suite, cache_dir, capsys):
+        """Cold (miss) and warm (hit) renderings are byte-identical."""
+        assert main(["table1"]) == 0
+        cold = capsys.readouterr().out
+        assert len(ResultCache(cache_dir)) > 0
+        assert main(["table1"]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_cache_hit_equals_miss_with_jobs2(self, tiny_suite, cache_dir,
+                                              capsys):
+        """--jobs 2 parallel cold run, serial cold run, and warm cache
+        hits all render the same bytes (the engine's correctness
+        contract; exercised by CI on two cores)."""
+        assert main(["table1", "--jobs", "2"]) == 0
+        parallel_cold = capsys.readouterr().out
+        assert len(ResultCache(cache_dir)) > 0
+        assert main(["table1", "--jobs", "2"]) == 0
+        warm = capsys.readouterr().out
+        assert main(["table1", "--no-cache", "--jobs", "1"]) == 0
+        serial_cold = capsys.readouterr().out
+        assert parallel_cold == warm == serial_cold
+
+    def test_sweep_jobs_flag(self, tiny_suite, cache_dir, capsys):
+        assert main(["sweep", "--jobs", "1"]) == 0
+        assert "Register-set sweep" in capsys.readouterr().out
+
+    def test_table2_jobs_flag(self, cache_dir, capsys):
+        assert main(["table2", "--repeats", "1", "--jobs", "1"]) == 0
+        assert "Allocation Times" in capsys.readouterr().out
