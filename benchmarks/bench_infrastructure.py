@@ -5,13 +5,16 @@ These are not paper experiments but keep the reproduction's moving parts
 honest — a slow substrate would distort Table 2's phase proportions.
 """
 
+import time
+
 import pytest
 
 from repro.analysis import compute_dominance, compute_liveness, compute_loops
 from repro.benchsuite import KERNELS_BY_NAME
 from repro.frontend import compile_source
 from repro.interp import run_function
-from repro.regalloc import build_interference_graph, run_renumber
+from repro.obs import Tracer
+from repro.regalloc import allocate, build_interference_graph, run_renumber
 from repro.remat import RenumberMode
 from repro.ssa import construct_ssa
 
@@ -58,6 +61,66 @@ def test_interference_build_throughput(benchmark):
     run_renumber(fn, RenumberMode.REMAT)
     graph = benchmark(lambda: build_interference_graph(fn))
     assert graph.n_edges() > 100
+
+
+def test_span_machinery_throughput(benchmark):
+    """Raw cost of the span open/close path (two clock calls plus list
+    bookkeeping) — the whole per-phase price of tracing."""
+    def job():
+        tracer = Tracer()
+        with tracer.span("allocate"):
+            for i in range(100):
+                with tracer.span("round", index=i):
+                    pass
+        return tracer
+
+    tracer = benchmark(job)
+    assert len(tracer.root.children) == 100
+
+
+def test_disabled_tracer_overhead_under_three_percent():
+    """ISSUE acceptance: the disabled tracing path costs < 3% of a
+    kernel-suite allocation.
+
+    Measured structurally rather than by differencing two noisy
+    end-to-end timings: count the spans and event-guard checks one real
+    ``twldrv`` allocation performs, time that much span machinery in
+    isolation, and compare against the allocation's own wall clock.
+    """
+    fn = BIG.compile()
+    allocate(fn)  # warm every lru_cache / import before timing
+    alloc_time = min(_timed_allocation(fn) for _ in range(3))
+
+    # a captured run tells us how many spans and events a traced
+    # allocation of this kernel produces; each emitted event sits
+    # behind one ``events_enabled`` guard on the disabled path
+    tracer = Tracer(capture_events=True)
+    traced = allocate(BIG.compile(), tracer=tracer)
+    n_spans = sum(1 for _ in traced.trace.walk())
+    n_guards = traced.trace.n_events()
+
+    reps = 100
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        probe = Tracer()
+        with probe.span("allocate"):
+            for _ in range(n_spans - 1):
+                with probe.span("phase"):
+                    pass
+            for _ in range(n_guards):
+                if probe.events_enabled:
+                    pass  # pragma: no cover - guard is always False
+    tracing_cost = (time.perf_counter() - t0) / reps
+
+    assert tracing_cost < 0.03 * alloc_time, (
+        f"span/guard machinery {tracing_cost * 1e3:.3f}ms vs allocation "
+        f"{alloc_time * 1e3:.3f}ms ({tracing_cost / alloc_time:.1%})")
+
+
+def _timed_allocation(fn) -> float:
+    t0 = time.perf_counter()
+    allocate(fn.clone())
+    return time.perf_counter() - t0
 
 
 def test_interference_rebuild_with_cached_liveness(benchmark):

@@ -1,0 +1,62 @@
+"""Record JSONL allocation traces for the FMM kernel suite.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_traced_suite.py [--k N] [--out DIR]
+
+Allocates every FMM kernel with both the Old (Chaitin-scheme) and New
+(rematerializing) allocator under a full event-capturing tracer and
+writes one trace per (kernel, mode) to ``benchmarks/results/traces/``.
+CI uploads the directory as an artifact, so any run's spill and
+coalesce decisions can be inspected or diffed after the fact with
+``repro trace <file.jsonl>`` (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from repro.benchsuite import FMM_KERNELS
+from repro.machine import machine_with
+from repro.obs import Tracer, metrics_from_allocation, write_trace
+from repro.regalloc import allocate
+from repro.remat import RenumberMode
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "traces"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--k", type=int, default=8,
+                        help="register count per class (default 8)")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help=f"output directory (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    machine = machine_with(args.k, args.k)
+
+    for kernel in FMM_KERNELS:
+        for mode in (RenumberMode.CHAITIN, RenumberMode.REMAT):
+            tracer = Tracer(capture_events=True)
+            result = allocate(kernel.compile(), machine=machine,
+                              mode=mode, tracer=tracer)
+            meta = {"function": result.function.name,
+                    "mode": mode.value, "machine": machine.name,
+                    "int_regs": machine.int_regs,
+                    "float_regs": machine.float_regs,
+                    "source": kernel.name}
+            path = out / f"{kernel.name}_{mode.value}_k{args.k}.jsonl"
+            write_trace(str(path), result.trace, meta,
+                        metrics_from_allocation(result))
+            print(f"{path.name}: rounds={result.rounds} "
+                  f"spilled={result.stats.n_spilled_ranges} "
+                  f"remat={result.stats.n_remat_spills} "
+                  f"events={result.trace.n_events()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,8 +4,14 @@ Commands
 
 * ``compile FILE``  — MiniFort source → ILOC text on stdout
 * ``allocate FILE`` — compile/parse, allocate, print the allocated ILOC
+  (``--trace FILE.jsonl`` also records a full allocation trace)
 * ``run FILE``      — compile/parse (optionally allocate) and interpret
 * ``cgen FILE``     — emit the instrumented C translation (Figure 4)
+* ``trace TARGET``  — record or inspect an allocation trace: ``TARGET``
+  is a ``.jsonl`` trace to re-render, a source file to allocate, or a
+  benchmark kernel name; ``--format jsonl|tree|summary`` picks the
+  view and ``--diff OTHER.jsonl`` compares two traces round by round
+  (see ``docs/observability.md``)
 * ``table1`` / ``table2`` / ``ablation`` / ``sweep`` — the experiments,
   executed through the allocation-experiment engine (``--jobs N`` for
   parallel fan-out, ``--no-cache`` to bypass the persistent result
@@ -18,12 +24,16 @@ else is sniffed by content (ILOC starts with ``proc NAME NPARAMS``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .frontend import compile_source
 from .interp import run_function
 from .ir import Function, function_to_text, parse_function
 from .machine import machine_with
+from .obs import (ALLOCATE_LINE_KEYS, Tracer, load_trace,
+                  metrics_from_allocation, parse_trace, render_diff,
+                  render_summary, render_tree, trace_to_text, write_trace)
 from .regalloc import allocate
 from .remat import RenumberMode
 
@@ -86,16 +96,27 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_meta(result, source: str) -> dict:
+    """The identity block of a trace's ``meta`` line."""
+    machine = result.machine
+    return {"function": result.function.name, "mode": result.mode.value,
+            "machine": machine.name, "int_regs": machine.int_regs,
+            "float_regs": machine.float_regs, "source": source}
+
+
 def cmd_allocate(args: argparse.Namespace) -> int:
     fn = _load(args.file)
     _maybe_optimize(fn, args)
+    tracer = Tracer(capture_events=True) if args.trace else None
     result = allocate(fn, machine=_machine(args),
-                      mode=RenumberMode(args.mode))
+                      mode=RenumberMode(args.mode), tracer=tracer)
     print(function_to_text(result.function), end="")
-    print(f"# rounds={result.rounds} "
-          f"spilled={result.stats.n_spilled_ranges} "
-          f"rematerialized={result.stats.n_remat_spills} "
-          f"splits={result.stats.n_splits_inserted}", file=sys.stderr)
+    registry = metrics_from_allocation(result)
+    print("# " + registry.render_line(ALLOCATE_LINE_KEYS), file=sys.stderr)
+    if args.trace:
+        write_trace(args.trace, result.trace,
+                    _trace_meta(result, args.file), registry)
+        print(f"# trace written to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -126,6 +147,56 @@ def cmd_cgen(args: argparse.Namespace) -> int:
         fn = allocate(fn, machine=_machine(args),
                       mode=RenumberMode(args.mode)).function
     print(emit_function(fn), end="")
+    return 0
+
+
+def _trace_function(target: str) -> tuple[Function, str]:
+    """Resolve a ``repro trace`` TARGET that is not a ``.jsonl`` trace:
+    a source file on disk, or a kernel/program name from the benchmark
+    suite (a program name picks its first kernel)."""
+    if os.path.exists(target):
+        return _load(target), target
+    from .benchsuite import ALL_KERNELS, KERNELS_BY_NAME
+
+    kernel = KERNELS_BY_NAME.get(target)
+    if kernel is None:
+        kernel = next((k for k in ALL_KERNELS if k.program == target), None)
+    if kernel is None:
+        raise SystemExit(
+            f"repro trace: {target!r} is neither a file, a kernel name, "
+            f"nor a program name (try one of: "
+            f"{', '.join(sorted(KERNELS_BY_NAME))})")
+    return kernel.compile(), kernel.name
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.target.endswith(".jsonl") and os.path.exists(args.target):
+        with open(args.target) as handle:
+            text = handle.read()
+    else:
+        fn, source = _trace_function(args.target)
+        _maybe_optimize(fn, args)
+        tracer = Tracer(capture_events=True)
+        result = allocate(fn, machine=_machine(args),
+                          mode=RenumberMode(args.mode), tracer=tracer)
+        text = trace_to_text(result.trace, _trace_meta(result, source),
+                             metrics_from_allocation(result))
+    doc = parse_trace(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"# trace written to {args.out}", file=sys.stderr)
+    if args.diff:
+        other = load_trace(args.diff)
+        print(render_diff(other, doc,
+                          a_name=args.diff, b_name=args.target))
+        return 0
+    if args.format == "jsonl":
+        print(text, end="")
+    elif args.format == "tree":
+        print(render_tree(doc))
+    else:
+        print(render_summary(doc))
     return 0
 
 
@@ -179,6 +250,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("allocate", help="allocate registers")
     p.add_argument("file")
+    p.add_argument("--trace", metavar="FILE.jsonl", default=None,
+                   help="record a full allocation trace to FILE.jsonl")
     _add_common(p)
     p.set_defaults(func=cmd_allocate)
 
@@ -195,6 +268,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--allocated", action="store_true")
     _add_common(p)
     p.set_defaults(func=cmd_cgen)
+
+    p = sub.add_parser("trace", help="record or inspect an allocation "
+                                     "trace")
+    p.add_argument("target",
+                   help="a .jsonl trace to inspect, a source FILE to "
+                        "allocate, or a benchmark kernel/program name")
+    p.add_argument("--format", choices=["jsonl", "tree", "summary"],
+                   default="summary", help="how to render the trace "
+                                           "(default: summary)")
+    p.add_argument("--out", metavar="FILE.jsonl", default=None,
+                   help="also write the trace JSONL to FILE.jsonl")
+    p.add_argument("--diff", metavar="OTHER.jsonl", default=None,
+                   help="compare against another trace round by round "
+                        "instead of rendering")
+    _add_common(p)
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     _add_common(p)

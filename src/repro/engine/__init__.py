@@ -8,13 +8,15 @@ resolution order and ``request.py`` for the keying rules.
 """
 
 from .cache import ResultCache, default_cache_dir
-from .engine import EngineStats, ExperimentEngine, default_engine
+from .engine import (BatchStats, EngineStats, ExperimentEngine,
+                     default_engine)
 from .executor import execute_request
 from .request import (AllocationSummary, CACHE_VERSION, ExperimentRequest,
                       TimingReport, TimingSample, request_key)
 
 __all__ = [
     "AllocationSummary",
+    "BatchStats",
     "CACHE_VERSION",
     "EngineStats",
     "ExperimentEngine",

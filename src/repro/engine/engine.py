@@ -44,6 +44,20 @@ class EngineStats:
 
 
 @dataclass
+class BatchStats:
+    """One ``run_many`` call: where its answers came from and how wide
+    the miss execution fanned out (0 workers = nothing executed)."""
+
+    requests: int = 0
+    deduplicated: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    #: pool processes used for the misses (1 = in-process serial)
+    workers: int = 0
+
+
+@dataclass
 class ExperimentEngine:
     """A request executor with memoization, disk cache and a pool.
 
@@ -67,6 +81,10 @@ class ExperimentEngine:
             self.jobs = os.cpu_count() or 1
         self.cache = ResultCache(self.cache_dir) if self.use_cache else None
         self._memo: dict[str, AllocationSummary] = {}
+        #: per-``run_many`` provenance, in call order (the bench
+        #: harnesses used to infer hit rates from wall-clock deltas;
+        #: now the engine records them)
+        self.batches: list[BatchStats] = []
 
     def run(self, request: ExperimentRequest) -> AllocationSummary:
         """Execute (or recall) one request."""
@@ -74,8 +92,15 @@ class ExperimentEngine:
 
     def run_many(self, requests: list[ExperimentRequest]
                  ) -> list[AllocationSummary]:
-        """Execute (or recall) a batch; results align with *requests*."""
+        """Execute (or recall) a batch; results align with *requests*.
+
+        Each call appends a :class:`BatchStats` entry to
+        :attr:`batches` recording the batch's hit/miss provenance and
+        pool fan-out.
+        """
         keyed = [(request_key(r), r) for r in requests]
+        batch = BatchStats(requests=len(keyed))
+        self.batches.append(batch)
         self.stats.requests += len(keyed)
 
         resolved: dict[str, AllocationSummary] = {}
@@ -83,6 +108,7 @@ class ExperimentEngine:
         for key, request in keyed:
             if key in resolved or key in misses:
                 self.stats.deduplicated += 1
+                batch.deduplicated += 1
                 continue
             # non-cacheable (timing) requests are deduplicated within
             # this batch but never replayed from memo or disk — their
@@ -91,21 +117,24 @@ class ExperimentEngine:
                 summary = self._memo.get(key)
                 if summary is not None:
                     self.stats.memo_hits += 1
+                    batch.memo_hits += 1
                     resolved[key] = summary
                     continue
                 if self.cache is not None:
                     summary = self.cache.get(key)
                     if summary is not None:
                         self.stats.cache_hits += 1
+                        batch.cache_hits += 1
                         self._memo[key] = summary
                         resolved[key] = summary
                         continue
             misses[key] = request
 
         if misses:
-            for key, summary in zip(misses,
-                                    self._execute(list(misses.values()))):
+            results, batch.workers = self._execute(list(misses.values()))
+            for key, summary in zip(misses, results):
                 self.stats.executed += 1
+                batch.executed += 1
                 if misses[key].cacheable:
                     if self.cache is not None:
                         self.cache.put(key, summary)
@@ -115,17 +144,36 @@ class ExperimentEngine:
         return [resolved[key] for key, _ in keyed]
 
     def _execute(self, requests: list[ExperimentRequest]
-                 ) -> list[AllocationSummary]:
-        """Run cache misses, fanning out to worker processes if asked."""
+                 ) -> tuple[list[AllocationSummary], int]:
+        """Run cache misses (fanning out to worker processes if asked);
+        returns the summaries plus the fan-out width used."""
         assert self.jobs is not None
         workers = min(self.jobs, len(requests))
         if workers <= 1:
-            return [execute_request(r) for r in requests]
+            return [execute_request(r) for r in requests], 1
         # spawn, not fork: no inherited interpreter state, so results
         # cannot depend on whatever the parent process computed before
         ctx = multiprocessing.get_context("spawn")
         with ctx.Pool(processes=workers) as pool:
-            return pool.map(execute_request, requests, chunksize=1)
+            return pool.map(execute_request, requests, chunksize=1), workers
+
+    def metrics(self) -> "MetricsRegistry":
+        """The engine's lifetime stats as a metrics registry.
+
+        Counters under ``engine.*`` absorb :class:`EngineStats`;
+        ``engine.batch_size`` and ``engine.fanout`` histograms cover
+        the per-:meth:`run_many` batch shapes.
+        """
+        from ..obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.absorb_dataclass(self.stats, "engine")
+        registry.counter("engine.batches").inc(len(self.batches))
+        for batch in self.batches:
+            registry.histogram("engine.batch_size").observe(batch.requests)
+            if batch.workers:
+                registry.histogram("engine.fanout").observe(batch.workers)
+        return registry
 
 
 _DEFAULT_ENGINE: ExperimentEngine | None = None

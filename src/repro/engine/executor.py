@@ -46,7 +46,8 @@ def execute_request(request: ExperimentRequest) -> AllocationSummary:
             cfa=result.cfa_time, total=result.total_time,
             rounds=[{"renum": t.renumber, "build": t.build,
                      "costs": t.costs, "color": t.color,
-                     "spill": t.spill} for t in result.round_times]))
+                     "spill": t.spill} for t in result.round_times],
+            clone=result.clone_time))
     assert result is not None
 
     counts = steps = output = None

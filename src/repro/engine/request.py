@@ -110,6 +110,9 @@ class TimingSample:
     total: float
     #: per-round ``{renum, build, costs, color, spill}`` seconds
     rounds: list[dict[str, float]] = field(default_factory=list)
+    #: ``clone=True`` deep-copy seconds, reported apart from the phases
+    #: so timing comparisons against in-place runs stay clean
+    clone: float = 0.0
 
 
 @dataclass

@@ -42,6 +42,9 @@ class TimingColumn:
     #: per-round {phase: seconds}
     rounds: list[dict[str, float]] = field(default_factory=list)
     total: float = 0.0
+    #: ``clone=True`` deep-copy seconds — reported as its own row so the
+    #: phase comparison stays clean of copy overhead
+    clone: float = 0.0
     code_size: int = 0
 
     @staticmethod
@@ -78,6 +81,7 @@ class TimingColumn:
             cfa=sum(r.cfa for r in runs) / repeats,
             rounds=rounds,
             total=sum(r.total for r in runs) / repeats,
+            clone=sum(r.clone for r in runs) / repeats,
             code_size=summary.allocated_size)
 
     @staticmethod
@@ -109,6 +113,11 @@ class Table2:
         for old, new in self.columns:
             cfa_row += [fmt(old.cfa), fmt(new.cfa)]
         rows.append(cfa_row)
+
+        clone_row = ["clone"]
+        for old, new in self.columns:
+            clone_row += [fmt(old.clone), fmt(new.clone)]
+        rows.append(clone_row)
 
         max_rounds = max(max(len(old.rounds), len(new.rounds))
                          for old, new in self.columns)

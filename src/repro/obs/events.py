@@ -1,0 +1,136 @@
+"""Typed decision events with provenance (the *why* of the allocator).
+
+Each event records one heuristic decision at the moment it is taken —
+which live range became the spill candidate and at what cost/degree
+ratio, whether a split survived conservative coalescing and at what
+Briggs degree, which color select chose and because of which bias —
+exactly the Section 4.2–4.3 choices the paper's evaluation turns on.
+
+Events are plain frozen dataclasses.  Registers and rematerialization
+tags are stored as their stable string forms (``r5``, ``inst[ldi 4]``)
+so events serialize to JSON without custom encoders and compare across
+traces by value.  :func:`event_fields` flattens an event for export;
+:data:`EVENT_KINDS` maps the wire ``kind`` back to the class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SpillCandidateChosen:
+    """Simplify ran out of low-degree nodes and picked this candidate."""
+
+    kind = "spill_candidate"
+    range: str
+    cost: float
+    degree: int
+    #: Chaitin's metric at choice time (``cost / max(degree, 1)``)
+    ratio: float
+    #: ``min-ratio`` | ``infinite-cost-fallback``
+    chosen_because: str
+    #: pushed optimistically (Briggs) or spilled outright (Chaitin)
+    optimistic: bool
+
+
+@dataclass(frozen=True)
+class SpillDecision:
+    """A live range definitively spilled this round.
+
+    Emitted once per entry of the round's spill list, so the count of
+    these events reconciles exactly with
+    ``AllocationStats.n_spilled_ranges``.
+    """
+
+    kind = "spill_decision"
+    range: str
+    cost: float
+    degree: int
+    #: the tag when the range rematerializes instead of going to memory
+    remat_tag: str | None
+    #: ``select-found-no-color`` | ``pessimistic-simplify``
+    chosen_because: str
+
+
+@dataclass(frozen=True)
+class CoalesceDecision:
+    """One copy/split pair considered by a coalescing pass."""
+
+    kind = "coalesce_decision"
+    dest: str
+    src: str
+    #: ``copy`` (aggressive stage) or ``split`` (conservative stage)
+    copy_kind: str
+    accepted: bool
+    #: significant-degree neighbor count of the would-be merged node,
+    #: counted up to k (split stage only; ``None`` for plain copies)
+    briggs_degree: int | None
+    #: ``merged`` | ``already-unioned`` | ``interferes`` |
+    #: ``conservative-failed`` | ``not-in-graph``
+    reason: str
+
+
+@dataclass(frozen=True)
+class SplitInserted:
+    """Renumber placed a split copy at the end of a predecessor block."""
+
+    kind = "split_inserted"
+    block: str
+    dest: str
+    src: str
+
+
+@dataclass(frozen=True)
+class ColorAssigned:
+    """Select gave a live range a color (and why that color)."""
+
+    kind = "color_assigned"
+    range: str
+    color: int
+    #: colors already taken by interfering neighbors
+    n_forbidden: int
+    #: the color matched an already-colored split/copy partner
+    biased_hit: bool
+    #: the color was chosen by the limited lookahead for an uncolored
+    #: partner (Section 4.3)
+    lookahead_used: bool
+    #: the range had been pushed as a spill candidate ("optimism paid")
+    was_candidate: bool
+
+
+@dataclass(frozen=True)
+class RematCost:
+    """Spill-cost estimation tagged a range as rematerializable."""
+
+    kind = "remat_cost"
+    range: str
+    cost: float
+    remat_tag: str
+
+
+#: every event class, keyed by its wire ``kind``
+EVENT_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (SpillCandidateChosen, SpillDecision, CoalesceDecision,
+                SplitInserted, ColorAssigned, RematCost)
+}
+
+
+def event_fields(event: Any) -> dict[str, Any]:
+    """Flatten *event* into JSON-ready fields (without the kind)."""
+    return asdict(event)
+
+
+def event_from_fields(kind: str, data: dict[str, Any]) -> Any:
+    """Rebuild a typed event from exported fields.
+
+    Unknown kinds and extra fields survive as a plain dict so newer
+    traces still load under older readers.
+    """
+    cls = EVENT_KINDS.get(kind)
+    if cls is None:
+        return dict(data, kind=kind)
+    names = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in data.items() if k in names})

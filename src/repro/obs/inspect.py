@@ -1,0 +1,190 @@
+"""Trace rendering and trace diffing (the ``repro trace`` backend).
+
+Three renderers over a :class:`~repro.obs.export.TraceDocument`:
+
+* :func:`render_tree` — the span hierarchy with durations and event
+  counts, for eyeballing where a round's time went;
+* :func:`render_summary` — phase totals, decision counts and the
+  per-round spill log, all derived from the document (deterministic
+  for a given trace file — the golden-file tests rely on this);
+* :func:`render_diff` — a round-by-round comparison of two traces that
+  pinpoints divergent spill and coalesce decisions: the tool for
+  answering "why did the Old allocator spill here and the New one
+  rematerialize?".
+"""
+
+from __future__ import annotations
+
+from .export import TraceDocument, TraceEvent
+from .span import Span
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}ms"
+
+
+def describe(doc: TraceDocument) -> str:
+    """One-line identity of a trace."""
+    meta = doc.meta
+    regs = ""
+    if "int_regs" in meta:
+        regs = f", {meta['int_regs']}+{meta.get('float_regs', '?')} regs"
+    return (f"{meta.get('function', '?')} "
+            f"(mode={meta.get('mode', '?')}, "
+            f"machine={meta.get('machine', '?')}{regs})")
+
+
+# -- tree ---------------------------------------------------------------------
+
+def render_tree(doc: TraceDocument) -> str:
+    """The span tree, indented, with durations and event counts."""
+    lines: list[str] = [f"trace: {describe(doc)}"]
+
+    def walk(span: Span, depth: int) -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+        label = span.name + (f" [{attrs}]" if attrs else "")
+        suffix = f"  ({len(span.events)} events)" if span.events else ""
+        lines.append(f"{'  ' * depth}{label:<{max(40 - 2 * depth, 8)}} "
+                     f"{_ms(span.duration):>10}{suffix}")
+        for child in span.children:
+            walk(child, depth + 1)
+
+    if doc.root is not None:
+        walk(doc.root, 0)
+    return "\n".join(lines)
+
+
+# -- summary ------------------------------------------------------------------
+
+PHASES = ("renumber", "build", "costs", "color", "spill")
+
+
+def _spill_line(event: TraceEvent) -> str:
+    tag = event.get("remat_tag")
+    how = f"remat {tag}" if tag else "memory"
+    return (f"{event.get('range')} {how} cost={event.get('cost'):g} "
+            f"degree={event.get('degree')} "
+            f"({event.get('chosen_because')})")
+
+
+def render_summary(doc: TraceDocument) -> str:
+    root = doc.root
+    assert root is not None
+    lines = [f"trace summary: {describe(doc)}"]
+    cfa = root.child("cfa")
+    clone = root.child("clone")
+    lines.append(
+        f"rounds: {doc.n_rounds}, total {root.duration:.6f}s"
+        f" (clone {clone.duration:.6f}s, cfa {cfa.duration:.6f}s)"
+        if cfa is not None and clone is not None
+        else f"rounds: {doc.n_rounds}, total {root.duration:.6f}s")
+
+    lines.append("phase totals (s):")
+    for phase in PHASES:
+        total = sum(r.total(phase) for r in doc.rounds)
+        lines.append(f"  {phase:<8} {total:.6f}")
+
+    lines.append("decisions:")
+    spills = doc.events_of("spill_decision")
+    n_remat = sum(1 for e in spills if e.get("remat_tag"))
+    coalesces = doc.events_of("coalesce_decision")
+    accepted = [e for e in coalesces if e.get("accepted")]
+    acc_copies = sum(1 for e in accepted if e.get("copy_kind") == "copy")
+    acc_splits = sum(1 for e in accepted if e.get("copy_kind") == "split")
+    colors = doc.events_of("color_assigned")
+    biased = sum(1 for e in colors if e.get("biased_hit"))
+    lookahead = sum(1 for e in colors if e.get("lookahead_used"))
+    lines += [
+        f"  spill_candidate   {len(doc.events_of('spill_candidate'))}",
+        f"  spill_decision    {len(spills)} "
+        f"({n_remat} rematerialized, {len(spills) - n_remat} memory)",
+        f"  coalesce_decision {len(coalesces)} ({len(accepted)} accepted: "
+        f"{acc_copies} copy, {acc_splits} split)",
+        f"  split_inserted    {len(doc.events_of('split_inserted'))}",
+        f"  color_assigned    {len(colors)} "
+        f"(biased hits {biased}, lookahead {lookahead})",
+    ]
+
+    if spills:
+        lines.append("spills:")
+        for event in spills:
+            lines.append(f"  round {event.round}: {_spill_line(event)}")
+
+    counters = doc.metrics.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+    return "\n".join(lines)
+
+
+# -- diff ---------------------------------------------------------------------
+
+def _spills_by_round(doc: TraceDocument) -> dict[int, dict[str, TraceEvent]]:
+    by_round: dict[int, dict[str, TraceEvent]] = {}
+    for event in doc.events_of("spill_decision"):
+        by_round.setdefault(event.round or 0, {})[event.get("range")] = event
+    return by_round
+
+
+def render_diff(a: TraceDocument, b: TraceDocument,
+                a_name: str = "A", b_name: str = "B") -> str:
+    """Round-by-round divergence report between two traces.
+
+    Registers are compared by name within the same round index; that is
+    meaningful because live-range numbering is deterministic for one
+    input function (PR 1), so a same-named range in the same round of
+    two runs denotes the same renumber output — and any naming drift
+    after the first divergent spill is itself part of the divergence
+    being reported.
+    """
+    lines = [f"trace diff: {a_name} = {describe(a)}",
+             f"            {b_name} = {describe(b)}"]
+    if a.meta.get("function") != b.meta.get("function"):
+        lines.append("WARNING: traces come from different functions; "
+                     "round-by-round comparison is structural only")
+    lines.append(f"rounds: {a_name}={a.n_rounds} {b_name}={b.n_rounds}")
+
+    spills_a, spills_b = _spills_by_round(a), _spills_by_round(b)
+    divergent = 0
+    for i in range(max(a.n_rounds, b.n_rounds)):
+        ra, rb = spills_a.get(i, {}), spills_b.get(i, {})
+        only_a = sorted(set(ra) - set(rb))
+        only_b = sorted(set(rb) - set(ra))
+        both = sorted(set(ra) & set(rb))
+        changed = [r for r in both
+                   if (ra[r].get("remat_tag") is None)
+                   != (rb[r].get("remat_tag") is None)]
+        ca = a.events_of("coalesce_decision", i)
+        cb = b.events_of("coalesce_decision", i)
+        acc_a = sum(1 for e in ca if e.get("accepted"))
+        acc_b = sum(1 for e in cb if e.get("accepted"))
+        if not (only_a or only_b or changed or ca or cb):
+            continue
+        lines.append(f"round {i}:")
+        for reg in only_a:
+            divergent += 1
+            lines.append(f"  spilled only in {a_name}: {_spill_line(ra[reg])}")
+        for reg in only_b:
+            divergent += 1
+            lines.append(f"  spilled only in {b_name}: {_spill_line(rb[reg])}")
+        for reg in changed:
+            divergent += 1
+            lines.append(f"  {reg}: {a_name} {_spill_line(ra[reg])} | "
+                         f"{b_name} {_spill_line(rb[reg])}")
+        if both and not changed:
+            lines.append(f"  spilled in both: {', '.join(both)}")
+        if ca or cb:
+            lines.append(f"  coalesce accepted: {a_name} {acc_a}/{len(ca)}, "
+                         f"{b_name} {acc_b}/{len(cb)}")
+
+    def totals(doc: TraceDocument, name: str) -> str:
+        spills = doc.events_of("spill_decision")
+        n_remat = sum(1 for e in spills if e.get("remat_tag"))
+        return (f"{name} spilled {len(spills)} ({n_remat} remat) "
+                f"in {doc.n_rounds} rounds")
+
+    lines.append(f"totals: {totals(a, a_name)}; {totals(b, b_name)}")
+    lines.append(f"divergent spill decisions: {divergent}")
+    return "\n".join(lines)

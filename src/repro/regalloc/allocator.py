@@ -8,6 +8,18 @@ inserting spill code and retrying whenever select leaves nodes uncolored.
 Per-phase wall-clock times are recorded in the same shape as the paper's
 Table 2 (cfa, renum, build, costs, color, spill — per round).
 
+Timing is span-based: every phase opens a span on a
+:class:`~repro.obs.Tracer` and the allocation's span tree
+(``allocate → round[i] → renumber/build/costs/color/spill``) is the
+single source of truth — :class:`RoundTimes`, ``cfa_time``,
+``clone_time`` and ``total_time`` are views over it, so Table 2 and
+every existing caller see exactly what a JSONL trace export sees.
+Pass a ``Tracer(capture_events=True)`` to additionally record the
+typed spill/coalesce/split/color decision events
+(:mod:`repro.obs.events`); the default tracer records spans only, and
+the pass-level hot paths guard event emission behind a single
+``events_enabled`` attribute check.
+
 Three allocator variants share the driver, differing only in renumber's
 splitting policy (:class:`~repro.remat.RenumberMode`):
 
@@ -20,12 +32,12 @@ splitting policy (:class:`~repro.remat.RenumberMode`):
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..analysis import compute_dominance, compute_liveness, compute_loops
 from ..ir import Function, Reg, verify_function
 from ..machine import MachineDescription, standard_machine
+from ..obs import SpillDecision, Span, Tracer
 from ..remat import RenumberMode
 from .coalesce import build_coalesce_loop
 from .interference import build_interference_graph
@@ -42,13 +54,31 @@ class AllocationError(RuntimeError):
 
 @dataclass
 class RoundTimes:
-    """Per-iteration phase timings, Table 2 style (seconds)."""
+    """Per-iteration phase timings, Table 2 style (seconds).
+
+    A view over one ``round`` span: the floats are exactly the summed
+    durations of the round's like-named child spans (so the span tree
+    and Table 2 can never disagree).  Constructing one directly with
+    float values remains supported for tests and synthetic data.
+    """
 
     renumber: float = 0.0
     build: float = 0.0
     costs: float = 0.0
     color: float = 0.0
     spill: float = 0.0
+    #: the round span these numbers are a view of (``None`` when
+    #: constructed synthetically)
+    span: Span | None = field(default=None, repr=False, compare=False)
+
+    @classmethod
+    def from_span(cls, span: Span) -> "RoundTimes":
+        return cls(renumber=span.total("renumber"),
+                   build=span.total("build"),
+                   costs=span.total("costs"),
+                   color=span.total("color"),
+                   spill=span.total("spill"),
+                   span=span)
 
 
 @dataclass
@@ -84,6 +114,11 @@ class AllocationResult:
     cfa_time: float
     round_times: list[RoundTimes]
     total_time: float
+    #: deep-copy time under ``clone=True`` — kept out of the phase rows
+    #: so Table 2 comparisons against in-place runs are apples to apples
+    clone_time: float = 0.0
+    #: the allocation's root span (``allocate``), for trace export
+    trace: Span | None = None
 
     @property
     def rounds(self) -> int:
@@ -95,7 +130,8 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
              max_rounds: int = 50, clone: bool = True,
              biased: bool = True, lookahead: bool = True,
              coalesce_splits: bool = True, optimistic: bool = True,
-             pre_split=None) -> AllocationResult:
+             pre_split=None, tracer: Tracer | None = None
+             ) -> AllocationResult:
     """Allocate registers for *fn*.
 
     Args:
@@ -113,6 +149,9 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
         pre_split: optional hook ``f(fn, dom, loops) -> None`` run once
             before the first renumber — used by the Section 6 loop-based
             splitting schemes.
+        tracer: observability sink; pass
+            ``Tracer(capture_events=True)`` to record decision events
+            alongside the (always recorded) span tree.
 
     Returns:
         an :class:`AllocationResult` whose ``function`` references only
@@ -120,94 +159,120 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
     """
     if machine is None:
         machine = standard_machine()
-    t_start = time.perf_counter()
-    work = fn.clone() if clone else fn
-    work.remove_unreachable_blocks()
-    work.split_critical_edges()
+    if tracer is None:
+        tracer = Tracer()
 
-    # control-flow analysis: the CFG shape never changes after edge
-    # splitting, so dominance and loop nesting are computed once
-    t0 = time.perf_counter()
-    dom = compute_dominance(work)
-    loops = compute_loops(work, dom)
-    cfa_time = time.perf_counter() - t0
+    with tracer.span("allocate", fn=fn.name, mode=mode.value,
+                     machine=machine.name) as root:
+        with tracer.span("clone"):
+            work = fn.clone() if clone else fn
+        work.remove_unreachable_blocks()
+        work.split_critical_edges()
 
-    if pre_split is not None:
-        pre_split(work, dom, loops)
+        # control-flow analysis: the CFG shape never changes after edge
+        # splitting, so dominance and loop nesting are computed once
+        with tracer.span("cfa"):
+            dom = compute_dominance(work)
+            loops = compute_loops(work, dom)
 
-    stats = AllocationStats()
-    round_times: list[RoundTimes] = []
-    no_spill_regs: set[Reg] = set()
+        if pre_split is not None:
+            pre_split(work, dom, loops)
 
-    for round_index in range(max_rounds):
-        times = RoundTimes()
-        round_times.append(times)
-        stats.n_rounds += 1
+        stats = AllocationStats()
+        no_spill_regs: set[Reg] = set()
 
-        t0 = time.perf_counter()
-        outcome = run_renumber(work, mode, dom=dom,
-                               no_spill_regs=no_spill_regs)
-        times.renumber = time.perf_counter() - t0
-        stats.n_splits_inserted += outcome.result.n_splits_inserted
-        if round_index == 0:
-            stats.n_live_ranges_first_round = len(
-                outcome.result.live_ranges)
-        no_spill = outcome.no_spill
+        for round_index in range(max_rounds):
+            stats.n_rounds += 1
+            with tracer.span("round", index=round_index):
+                with tracer.span("renumber"):
+                    outcome = run_renumber(work, mode, dom=dom,
+                                           no_spill_regs=no_spill_regs,
+                                           tracer=tracer)
+                stats.n_splits_inserted += outcome.result.n_splits_inserted
+                if round_index == 0:
+                    stats.n_live_ranges_first_round = len(
+                        outcome.result.live_ranges)
+                no_spill = outcome.no_spill
 
-        # one liveness fixed point per round, shared by every graph
-        # rebuild of the build-coalesce loop (coalescing renames the
-        # cached bitsets in place); spill-code insertion ends the round,
-        # so the cache is invalidated simply by recomputing here
-        t0 = time.perf_counter()
-        liveness = compute_liveness(work)
-        graph, cstats = build_coalesce_loop(
-            work, machine, build_interference_graph, no_spill=no_spill,
-            coalesce_splits=coalesce_splits, liveness=liveness)
-        times.build = time.perf_counter() - t0
-        stats.n_copies_coalesced += cstats.copies_removed
-        stats.n_splits_coalesced += cstats.splits_removed
-        stats.n_liveness_cache_hits += cstats.liveness_cache_hits
-        stats.n_liveness_cache_misses += cstats.liveness_cache_misses
-        stats.max_bitset_bits = max(stats.max_bitset_bits,
-                                    len(liveness.index))
+                # one liveness fixed point per round, shared by every
+                # graph rebuild of the build-coalesce loop (coalescing
+                # renames the cached bitsets in place); spill-code
+                # insertion ends the round, so the cache is invalidated
+                # simply by recomputing here
+                with tracer.span("build"):
+                    liveness = compute_liveness(work)
+                    graph, cstats = build_coalesce_loop(
+                        work, machine, build_interference_graph,
+                        no_spill=no_spill,
+                        coalesce_splits=coalesce_splits,
+                        liveness=liveness, tracer=tracer)
+                stats.n_copies_coalesced += cstats.copies_removed
+                stats.n_splits_coalesced += cstats.splits_removed
+                stats.n_liveness_cache_hits += cstats.liveness_cache_hits
+                stats.n_liveness_cache_misses += \
+                    cstats.liveness_cache_misses
+                stats.max_bitset_bits = max(stats.max_bitset_bits,
+                                            len(liveness.index))
 
-        t0 = time.perf_counter()
-        costs = compute_spill_costs(work, loops, machine, no_spill=no_spill)
-        times.costs = time.perf_counter() - t0
+                with tracer.span("costs"):
+                    costs = compute_spill_costs(work, loops, machine,
+                                                no_spill=no_spill,
+                                                tracer=tracer)
 
-        t0 = time.perf_counter()
-        order = simplify(graph, machine, costs, optimistic=optimistic)
-        partners = find_partners(work) if biased else None
-        chosen = select(graph, order, machine, partners=partners,
-                        lookahead=lookahead)
-        chosen.spilled.extend(order.pessimistic_spills)
-        times.color = time.perf_counter() - t0
+                with tracer.span("color"):
+                    order = simplify(graph, machine, costs,
+                                     optimistic=optimistic, tracer=tracer)
+                    partners = find_partners(work) if biased else None
+                    chosen = select(graph, order, machine,
+                                    partners=partners,
+                                    lookahead=lookahead, tracer=tracer)
+                    chosen.spilled.extend(order.pessimistic_spills)
 
-        if not chosen.spilled:
-            _assign_physical(work, chosen.coloring, stats)
-            break
+                if not chosen.spilled:
+                    _assign_physical(work, chosen.coloring, stats)
+                    break
 
-        t0 = time.perf_counter()
-        spill_stats = insert_spill_code(work, chosen.spilled, costs)
-        times.spill = time.perf_counter() - t0
-        stats.n_spilled_ranges += len(chosen.spilled)
-        stats.n_remat_spills += spill_stats.n_remat_ranges
-        stats.n_memory_spills += spill_stats.n_memory_ranges
-        no_spill_regs = no_spill | spill_stats.new_temps
-    else:
-        raise AllocationError(
-            f"{fn.name}: no coloring after {max_rounds} rounds on "
-            f"{machine.name} (k_int={machine.int_regs}, "
-            f"k_float={machine.float_regs})")
+                if tracer.events_enabled:
+                    pessimistic = set(order.pessimistic_spills)
+                    for reg in chosen.spilled:
+                        tracer.event(SpillDecision(
+                            range=str(reg),
+                            cost=costs.cost.get(reg, 0.0),
+                            degree=graph.degree(reg),
+                            remat_tag=(str(costs.remat[reg])
+                                       if reg in costs.remat else None),
+                            chosen_because=("pessimistic-simplify"
+                                            if reg in pessimistic
+                                            else "select-found-no-color")))
 
-    stats.n_spill_slots = work.n_spill_slots
-    verify_function(work, require_physical=True,
-                    max_int_reg=machine.int_regs,
-                    max_float_reg=machine.float_regs)
-    return AllocationResult(function=work, mode=mode, machine=machine,
-                            stats=stats, cfa_time=cfa_time,
-                            round_times=round_times,
-                            total_time=time.perf_counter() - t_start)
+                with tracer.span("spill"):
+                    spill_stats = insert_spill_code(work, chosen.spilled,
+                                                    costs)
+                stats.n_spilled_ranges += len(chosen.spilled)
+                stats.n_remat_spills += spill_stats.n_remat_ranges
+                stats.n_memory_spills += spill_stats.n_memory_ranges
+                no_spill_regs = no_spill | spill_stats.new_temps
+        else:
+            raise AllocationError(
+                f"{fn.name}: no coloring after {max_rounds} rounds on "
+                f"{machine.name} (k_int={machine.int_regs}, "
+                f"k_float={machine.float_regs})")
+
+        stats.n_spill_slots = work.n_spill_slots
+        verify_function(work, require_physical=True,
+                        max_int_reg=machine.int_regs,
+                        max_float_reg=machine.float_regs)
+
+    cfa_span = root.child("cfa")
+    clone_span = root.child("clone")
+    return AllocationResult(
+        function=work, mode=mode, machine=machine, stats=stats,
+        cfa_time=cfa_span.duration if cfa_span else 0.0,
+        round_times=[RoundTimes.from_span(span)
+                     for span in root.children_named("round")],
+        total_time=root.duration,
+        clone_time=clone_span.duration if clone_span else 0.0,
+        trace=root)
 
 
 def _assign_physical(fn: Function, coloring: dict[Reg, int],

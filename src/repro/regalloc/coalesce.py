@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from ..analysis import LivenessInfo, iter_bits
 from ..ir import Function, Reg
 from ..machine import MachineDescription
+from ..obs import CoalesceDecision, NULL_TRACER
 from ..unionfind import DisjointSets
 from .interference import InterferenceGraph
 
@@ -39,9 +40,13 @@ class CoalesceStats:
     liveness_cache_misses: int = 0
 
 
-def _conservative_ok(graph: InterferenceGraph, a: Reg, b: Reg,
-                     k: int) -> bool:
-    """Briggs' criterion: the merged node has < k significant neighbors."""
+def _significant_neighbors(graph: InterferenceGraph, a: Reg, b: Reg,
+                           k: int) -> int:
+    """Significant-degree neighbors of the would-be merged node.
+
+    Briggs' conservative criterion holds when the result is < k; the
+    count stops early at k (so a returned k means "at least k").
+    """
     index = graph.index
     combined = graph.neighbor_bits(a) | graph.neighbor_bits(b)
     significant = 0
@@ -49,15 +54,16 @@ def _conservative_ok(graph: InterferenceGraph, a: Reg, b: Reg,
         if graph.degree(index.reg(i)) >= k:
             significant += 1
             if significant >= k:
-                return False
-    return True
+                break
+    return significant
 
 
 def coalesce_pass(fn: Function, graph: InterferenceGraph,
                   machine: MachineDescription,
                   splits: bool,
                   no_spill: set[Reg] | None = None,
-                  liveness: LivenessInfo | None = None) -> int:
+                  liveness: LivenessInfo | None = None,
+                  tracer=NULL_TRACER) -> int:
     """One pass over the code, combining what the stage allows.
 
     With ``splits=False`` only ordinary copies are (aggressively)
@@ -67,10 +73,23 @@ def coalesce_pass(fn: Function, graph: InterferenceGraph,
     When a cached *liveness* is supplied its bitsets are renamed through
     the same mapping applied to the code, keeping it valid for the next
     graph rebuild.  Returns the number of instructions removed.
+
+    When the tracer captures events every considered pair emits a
+    :class:`~repro.obs.CoalesceDecision` recording acceptance, the
+    rejection reason, and (for splits) the Briggs significant-neighbor
+    degree the conservative test saw.
     """
     ds = DisjointSets()
     removed_ids: set[int] = set()
     merged = 0
+    events = tracer.events_enabled
+    kind = "split" if splits else "copy"
+
+    def decide(dest: Reg, src: Reg, accepted: bool, reason: str,
+               briggs: int | None = None) -> None:
+        tracer.event(CoalesceDecision(
+            dest=str(dest), src=str(src), copy_kind=kind,
+            accepted=accepted, briggs_degree=briggs, reason=reason))
 
     for blk in fn.blocks:
         for inst in blk.instructions:
@@ -81,14 +100,29 @@ def coalesce_pass(fn: Function, graph: InterferenceGraph,
             if dest == src:
                 removed_ids.add(id(inst))
                 merged += 1
+                if events:
+                    decide(inst.dest, inst.src, True, "already-unioned")
                 continue
             if dest not in graph or src not in graph:
+                if events:
+                    decide(dest, src, False, "not-in-graph")
                 continue
             if graph.interferes(dest, src):
+                if events:
+                    decide(dest, src, False, "interferes")
                 continue
-            if splits and not _conservative_ok(graph, dest, src,
-                                               machine.k(dest.rclass)):
-                continue
+            if splits:
+                briggs = _significant_neighbors(graph, dest, src,
+                                                machine.k(dest.rclass))
+                if briggs >= machine.k(dest.rclass):
+                    if events:
+                        decide(dest, src, False, "conservative-failed",
+                               briggs)
+                    continue
+            else:
+                briggs = None
+            if events:
+                decide(dest, src, True, "merged", briggs)
             keep = ds.union(dest, src)
             gone = src if keep == dest else dest
             graph.merge(keep, gone)
@@ -119,6 +153,7 @@ def build_coalesce_loop(fn: Function, machine: MachineDescription,
                         build_graph, no_spill: set[Reg] | None = None,
                         coalesce_splits: bool = True,
                         liveness: LivenessInfo | None = None,
+                        tracer=NULL_TRACER,
                         ) -> tuple[InterferenceGraph, CoalesceStats]:
     """The paper's build–coalesce loop.
 
@@ -144,7 +179,8 @@ def build_coalesce_loop(fn: Function, machine: MachineDescription,
     graph = rebuild(first=True)
     while True:
         n = coalesce_pass(fn, graph, machine, splits=False,
-                          no_spill=no_spill, liveness=liveness)
+                          no_spill=no_spill, liveness=liveness,
+                          tracer=tracer)
         stats.copies_removed += n
         if n == 0:
             break
@@ -152,7 +188,8 @@ def build_coalesce_loop(fn: Function, machine: MachineDescription,
     if coalesce_splits:
         while True:
             n = coalesce_pass(fn, graph, machine, splits=True,
-                              no_spill=no_spill, liveness=liveness)
+                              no_spill=no_spill, liveness=liveness,
+                              tracer=tracer)
             stats.splits_removed += n
             if n == 0:
                 break

@@ -16,12 +16,12 @@ paper's point.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..ir import (Function, Instruction, Opcode, Reg, RegClass,
                   verify_function)
 from ..machine import MachineDescription, standard_machine
+from ..obs import Span, Tracer
 
 
 class LocalAllocationError(RuntimeError):
@@ -37,7 +37,12 @@ class LocalAllocationResult:
     n_reloads: int = 0
     n_stores: int = 0
     n_slots: int = 0
+    #: duration of the ``local_allocate`` span (a view over :attr:`trace`)
     total_time: float = 0.0
+    #: deep-copy time under ``clone=True``, as its own span/field
+    clone_time: float = 0.0
+    #: the allocation's root span, for trace export
+    trace: Span | None = field(default=None, repr=False, compare=False)
 
 
 class _BlockState:
@@ -89,17 +94,36 @@ class _BlockState:
 
 def allocate_local(fn: Function,
                    machine: MachineDescription | None = None,
-                   clone: bool = True) -> LocalAllocationResult:
+                   clone: bool = True,
+                   tracer: Tracer | None = None) -> LocalAllocationResult:
     """Allocate *fn* with the local write-through strategy."""
     if machine is None:
         machine = standard_machine()
     if machine.int_regs < 3 or machine.float_regs < 2:
         raise LocalAllocationError(
             "the local allocator needs at least 3 int / 2 float registers")
-    t0 = time.perf_counter()
-    work = fn.clone() if clone else fn
-    result = LocalAllocationResult(function=work, machine=machine)
+    if tracer is None:
+        tracer = Tracer()
+    with tracer.span("local_allocate", fn=fn.name,
+                     machine=machine.name) as root:
+        with tracer.span("clone"):
+            work = fn.clone() if clone else fn
+        result = LocalAllocationResult(function=work, machine=machine)
+        _rewrite_blocks(work, machine, result)
+        result.n_slots = work.n_spill_slots
+        verify_function(work, require_physical=True,
+                        max_int_reg=machine.int_regs,
+                        max_float_reg=machine.float_regs)
+    result.total_time = root.duration
+    clone_span = root.child("clone")
+    result.clone_time = clone_span.duration if clone_span else 0.0
+    result.trace = root
+    return result
 
+
+def _rewrite_blocks(work: Function, machine: MachineDescription,
+                    result: LocalAllocationResult) -> None:
+    """The single linear pass: reload-before-use, write-through-on-def."""
     homes: dict[Reg, int] = {}
 
     def home_of(virt: Reg) -> int:
@@ -155,10 +179,3 @@ def allocate_local(fn: Function,
             new_instructions.append(inst)
             new_instructions.extend(stores)
         blk.instructions = new_instructions
-
-    result.n_slots = work.n_spill_slots
-    verify_function(work, require_physical=True,
-                    max_int_reg=machine.int_regs,
-                    max_float_reg=machine.float_regs)
-    result.total_time = time.perf_counter() - t0
-    return result

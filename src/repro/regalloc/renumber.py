@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from ..analysis import DominanceInfo, compute_dominance
 from ..ir import Function, Reg
+from ..obs import NULL_TRACER
 from ..remat import (RenumberMode, RenumberResult, apply_plan, plan_unions,
                      propagate_tags)
 from ..ssa import SSAGraph, construct_ssa
@@ -37,12 +38,15 @@ class RenumberOutcome:
 
 def run_renumber(fn: Function, mode: RenumberMode,
                  dom: DominanceInfo | None = None,
-                 no_spill_regs: set[Reg] | None = None) -> RenumberOutcome:
+                 no_spill_regs: set[Reg] | None = None,
+                 tracer=NULL_TRACER) -> RenumberOutcome:
     """Renumber *fn* in place under *mode*.
 
     *no_spill_regs* names (pre-renumber) registers that are spill
     temporaries; the returned outcome translates them into the new
-    live-range namespace.
+    live-range namespace.  Split insertions are emitted as
+    :class:`~repro.obs.SplitInserted` events on an event-capturing
+    *tracer*.
     """
     if dom is None:
         dom = compute_dominance(fn)
@@ -52,7 +56,7 @@ def run_renumber(fn: Function, mode: RenumberMode,
         graph = SSAGraph.build(fn, info)
         tags = propagate_tags(graph)
     plan = plan_unions(fn, info, tags, mode)
-    result = apply_plan(fn, info, plan, tags)
+    result = apply_plan(fn, info, plan, tags, tracer=tracer)
 
     no_spill: set[Reg] = set()
     if no_spill_regs:

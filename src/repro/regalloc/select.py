@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from ..ir import Function, Reg
 from ..machine import MachineDescription
+from ..obs import ColorAssigned, NULL_TRACER
 from .interference import InterferenceGraph
 from .simplify import SimplifyResult
 
@@ -51,8 +52,13 @@ def find_partners(fn: Function,
 def select(graph: InterferenceGraph, order: SimplifyResult,
            machine: MachineDescription,
            partners: dict[Reg, set[Reg]] | None = None,
-           lookahead: bool = True) -> SelectResult:
-    """Assign colors in the order determined by simplify."""
+           lookahead: bool = True, tracer=NULL_TRACER) -> SelectResult:
+    """Assign colors in the order determined by simplify.
+
+    When the tracer captures events, every successful assignment emits a
+    :class:`~repro.obs.ColorAssigned` event recording whether the color
+    came from a biased-partner hit or the limited lookahead.
+    """
     partners = partners or {}
     result = SelectResult()
     coloring = result.coloring
@@ -67,23 +73,32 @@ def select(graph: InterferenceGraph, order: SimplifyResult,
         if not available:
             result.spilled.append(node)
             continue
-        coloring[node] = _choose_color(node, available, graph, coloring,
+        color, because = _choose_color(node, available, graph, coloring,
                                        partners, lookahead)
+        coloring[node] = color
+        if tracer.events_enabled:
+            tracer.event(ColorAssigned(
+                range=str(node), color=color,
+                n_forbidden=len(forbidden),
+                biased_hit=because == "biased-partner",
+                lookahead_used=because == "lookahead",
+                was_candidate=node in order.candidates))
     return result
 
 
 def _choose_color(node: Reg, available: list[int],
                   graph: InterferenceGraph, coloring: dict[Reg, int],
                   partners: dict[Reg, set[Reg]],
-                  lookahead: bool) -> int:
-    """Biased choice among *available* colors."""
+                  lookahead: bool) -> tuple[int, str]:
+    """Biased choice among *available* colors, plus why it was chosen
+    (``biased-partner`` | ``lookahead`` | ``first-free``)."""
     # sorted for cross-run determinism (sets iterate in hash order)
     mates = sorted(partners.get(node, ()), key=lambda r: r.sort_key())
     # 1. a color some colored partner already has
     for mate in mates:
         c = coloring.get(mate)
         if c is not None and c in available:
-            return c
+            return c, "biased-partner"
     if lookahead and mates:
         # 2. limited lookahead: prefer a color still free for an uncolored
         #    partner, so the partner can match it later
@@ -103,6 +118,6 @@ def _choose_color(node: Reg, available: list[int],
             if score > best_score:
                 best_color, best_score = c, score
         if best_color is not None:
-            return best_color
+            return best_color, "lookahead"
     # 3. first free color (Chaitin's default)
-    return available[0]
+    return available[0], "first-free"

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from ..ir import Reg
 from ..machine import MachineDescription
+from ..obs import NULL_TRACER, SpillCandidateChosen
 from .interference import InterferenceGraph
 from .spillcost import SpillCosts
 
@@ -32,13 +33,18 @@ class SimplifyResult:
 
 
 def simplify(graph: InterferenceGraph, machine: MachineDescription,
-             costs: SpillCosts, optimistic: bool = True) -> SimplifyResult:
+             costs: SpillCosts, optimistic: bool = True,
+             tracer=NULL_TRACER) -> SimplifyResult:
     """Order the nodes of *graph* for select.
 
     With ``optimistic=False`` the phase behaves like Chaitin's original
     simplification: a spill candidate is spilled immediately instead of
     being pushed for select to try — the pessimism that Briggs' optimistic
     coloring removed (and the paper's base allocator assumes removed).
+
+    Each spill-candidate choice is emitted as a
+    :class:`~repro.obs.SpillCandidateChosen` event with its cost/degree
+    provenance when the tracer captures events.
     """
     degree: dict[Reg, int] = {n: graph.degree(n) for n in graph.nodes()}
     # the not-yet-removed nodes, maintained incrementally as an
@@ -80,6 +86,15 @@ def simplify(graph: InterferenceGraph, machine: MachineDescription,
         if candidate is None:
             break  # only isolated leftovers; cannot happen in practice
         candidates.add(candidate)
+        if tracer.events_enabled:
+            cost = costs.cost.get(candidate, math.inf)
+            deg = degree[candidate]
+            tracer.event(SpillCandidateChosen(
+                range=str(candidate), cost=cost, degree=deg,
+                ratio=cost / max(deg, 1),
+                chosen_because=("infinite-cost-fallback"
+                                if math.isinf(cost) else "min-ratio"),
+                optimistic=optimistic))
         if optimistic:
             remove(candidate)
         else:

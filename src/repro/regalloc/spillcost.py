@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from ..analysis import LoopInfo
 from ..ir import Function, Reg
 from ..machine import MachineDescription
+from ..obs import NULL_TRACER, RematCost
 from ..remat import InstTag
 
 
@@ -40,11 +41,15 @@ class SpillCosts:
 
 def compute_spill_costs(fn: Function, loops: LoopInfo,
                         machine: MachineDescription,
-                        no_spill: set[Reg] | None = None) -> SpillCosts:
+                        no_spill: set[Reg] | None = None,
+                        tracer=NULL_TRACER) -> SpillCosts:
     """Estimate spill costs for every register of *fn*.
 
     Registers in *no_spill* (spill temporaries from earlier rounds) get
     infinite cost so the spill-candidate chooser never selects them.
+    When the tracer captures events, every range recognized as
+    rematerializable emits a :class:`~repro.obs.RematCost` event
+    carrying its tag and net cost.
     """
     no_spill = no_spill or set()
     use_weight: dict[Reg, float] = {}
@@ -93,4 +98,9 @@ def compute_spill_costs(fn: Function, loops: LoopInfo,
                                + machine.store_cost * def_weight.get(reg, 0.0))
         if remat_tag is not None:
             costs.remat[reg] = remat_tag
+    if tracer.events_enabled:
+        # dense sort-key order: `seen` iterates in hash order
+        for reg in sorted(costs.remat, key=Reg.sort_key):
+            tracer.event(RematCost(range=str(reg), cost=costs.cost[reg],
+                                   remat_tag=str(costs.remat[reg])))
     return costs

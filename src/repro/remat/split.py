@@ -38,6 +38,7 @@ import enum
 from dataclasses import dataclass, field
 
 from ..ir import Function, Instruction, Opcode, Reg, RegClass
+from ..obs import NULL_TRACER, SplitInserted
 from ..ssa import SSAInfo
 from ..unionfind import DisjointSets
 from .lattice import BOTTOM, Tag, is_remat, meet_all
@@ -123,11 +124,15 @@ def label_pred(pred: str) -> str:
 
 
 def apply_plan(fn: Function, info: SSAInfo, plan: SplitPlan,
-               tags: dict[Reg, Tag] | None = None) -> RenumberResult:
+               tags: dict[Reg, Tag] | None = None,
+               tracer=NULL_TRACER) -> RenumberResult:
     """Rewrite *fn* from SSA values to live ranges according to *plan*.
 
     φ pseudo-ops disappear; step-5 copies and identity copies are removed;
-    splits appear at the end of the named predecessor blocks.
+    splits appear at the end of the named predecessor blocks.  Each split
+    actually inserted emits a :class:`~repro.obs.SplitInserted` event on
+    an event-capturing *tracer* (so the event count reconciles exactly
+    with ``n_splits_inserted``).
     """
     ds = plan.ds
 
@@ -160,6 +165,9 @@ def apply_plan(fn: Function, info: SSAInfo, plan: SplitPlan,
         fn.block(pred).insert_before_terminator(
             Instruction(opcode, dests=(dest_lr,), srcs=(src_lr,)))
         n_splits += 1
+        if tracer.events_enabled:
+            tracer.event(SplitInserted(block=pred, dest=str(dest_lr),
+                                       src=str(src_lr)))
 
     # rewrite instructions, dropping φs, dead copies and identity copies
     n_removed = 0

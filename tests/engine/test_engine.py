@@ -232,3 +232,59 @@ def test_ir_text_round_trips_for_every_kernel():
     for kernel in ALL_KERNELS:
         text = function_to_text(kernel.compile())
         assert function_to_text(parse_function(text)) == text
+
+
+class TestBatchStats:
+    def test_each_run_many_appends_a_batch(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        engine.run_many([req(), req(), req(kernel=ADAPT)])
+        engine.run_many([req()])
+        assert len(engine.batches) == 2
+        first, second = engine.batches
+        assert first.requests == 3
+        assert first.deduplicated == 1
+        assert first.executed == 2
+        assert first.workers == 1
+        assert second.requests == 1
+        assert second.memo_hits == 1
+        assert second.executed == 0
+        assert second.workers == 0
+
+    def test_cache_hits_counted_per_batch(self, tmp_path):
+        warm = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        warm.run(req())
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        engine.run(req())
+        assert engine.batches[-1].cache_hits == 1
+        assert engine.batches[-1].executed == 0
+
+    def test_parallel_fanout_recorded(self, tmp_path):
+        engine = ExperimentEngine(jobs=2, cache_dir=tmp_path)
+        engine.run_many([req(), req(kernel=ADAPT)])
+        assert engine.batches[-1].workers == 2
+
+    def test_metrics_registry_view(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        engine.run_many([req(), req()])
+        engine.run_many([req()])
+        counters = engine.metrics().counters()
+        assert counters["engine.requests"] == 3
+        assert counters["engine.deduplicated"] == 1
+        assert counters["engine.memo_hits"] == 1
+        assert counters["engine.executed"] == 1
+        assert counters["engine.batches"] == 2
+        histograms = engine.metrics().histograms()
+        assert histograms["engine.batch_size"]["count"] == 2
+        assert histograms["engine.batch_size"]["max"] == 2
+        # only the batch that executed something observed a fan-out
+        assert histograms["engine.fanout"]["count"] == 1
+
+
+class TestClonTiming:
+    def test_timing_samples_carry_clone_time(self):
+        summary = execute_request(req(run=False, cacheable=False))
+        sample = summary.timing.samples[0]
+        assert sample.clone >= 0.0
+        # the clone copy is real work, so on any real clock it is > 0
+        assert sample.clone > 0.0
+        assert sample.total > sample.clone

@@ -1,0 +1,156 @@
+"""Unit tests for the tracer, spans, events and metrics."""
+
+import pytest
+
+from repro.obs import (ALLOCATE_LINE_KEYS, MetricsRegistry, NULL_TRACER,
+                       SpillDecision, Tracer)
+
+
+class FakeClock:
+    """A deterministic perf_counter: each call advances by one tick."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestTracer:
+    def test_span_tree_nests(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner-a"):
+                pass
+            with tracer.span("inner-b"):
+                pass
+        assert tracer.root is outer
+        assert [c.name for c in outer.children] == ["inner-a", "inner-b"]
+        assert tracer.current is None
+
+    def test_durations_from_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:     # start=1
+            with tracer.span("inner") as inner:  # start=2, end=3
+                pass
+        assert inner.duration == 1.0
+        assert outer.duration == 3.0            # end=4
+        assert outer.start <= inner.start <= inner.end <= outer.end
+
+    def test_exception_closes_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.current is None
+        assert tracer.root.end > tracer.root.start
+        assert tracer.root.children[0].end > 0
+
+    def test_attrs(self):
+        tracer = Tracer()
+        with tracer.span("round", index=3) as span:
+            pass
+        assert span.attrs == {"index": 3}
+
+    def test_total_and_child(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("allocate") as root:
+            for i in range(3):
+                with tracer.span("round", index=i):
+                    pass
+        assert root.child("round").attrs["index"] == 0
+        assert len(root.children_named("round")) == 3
+        assert root.total("round") == 3.0
+        assert root.child("missing") is None
+
+    def test_events_gated_by_capture_flag(self):
+        event = SpillDecision(range="f1", cost=1.0, degree=2,
+                              remat_tag=None, chosen_because="x")
+        off = Tracer(capture_events=False)
+        with off.span("s") as span:
+            off.event(event)
+        assert span.events == []
+        on = Tracer(capture_events=True)
+        with on.span("s") as span:
+            on.event(event)
+        assert span.events == [event]
+
+    def test_event_attached_to_innermost_span(self):
+        tracer = Tracer(capture_events=True)
+        event = SpillDecision(range="f1", cost=1.0, degree=2,
+                              remat_tag=None, chosen_because="x")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                tracer.event(event)
+        assert inner.events == [event]
+        assert outer.events == []
+        assert outer.n_events() == 1
+
+    def test_walk_preorder(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        assert [s.name for s in tracer.root.walk()] == ["a", "b", "c", "d"]
+
+
+class TestNullTracer:
+    def test_is_inert(self):
+        span = NULL_TRACER.span("anything", attr=1)
+        with span as inner:
+            assert inner is span
+        assert NULL_TRACER.events_enabled is False
+        NULL_TRACER.event("ignored")
+        assert span.duration == 0.0
+        assert span.children == []
+        assert span.events == []
+
+    def test_shared_instance(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestMetricsRegistry:
+    def test_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(2)
+        registry.histogram("h").observe(1.0)
+        registry.histogram("h").observe(3.0)
+        assert registry.counters() == {"a": 3}
+        snap = registry.histograms()["h"]
+        assert snap["count"] == 2
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert registry.histogram("h").mean == 2.0
+
+    def test_absorb_dataclass(self):
+        from repro.regalloc.allocator import AllocationStats
+
+        stats = AllocationStats(n_spilled_ranges=4, n_remat_spills=1)
+        registry = MetricsRegistry()
+        registry.absorb_dataclass(stats, "alloc")
+        assert registry.counters()["alloc.n_spilled_ranges"] == 4
+        assert registry.counters()["alloc.n_remat_spills"] == 1
+
+    def test_render_line_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("alloc.rounds").inc(2)
+        registry.counter("alloc.n_spilled_ranges").inc(3)
+        line = registry.render_line(ALLOCATE_LINE_KEYS)
+        assert line.startswith("rounds=2 spilled=3")
+        # absent counters render as zero rather than crashing
+        assert "coalesced=0" in line
+
+    def test_render_summary_contains_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(7)
+        registry.histogram("y").observe(0.5)
+        text = registry.render_summary(title="t")
+        assert "x" in text and "7" in text
+        assert "y" in text and "count=1" in text

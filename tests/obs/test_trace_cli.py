@@ -1,0 +1,128 @@
+"""Tests for the ``repro trace`` CLI and the ``allocate --trace`` flag.
+
+The summary renderer is covered by a golden file: the committed fixture
+``fehl_k8_chaitin.jsonl`` (an Old-allocator trace of the fehl kernel at
+8+8 registers) must render to exactly the committed summary text —
+every number in the output comes from the fixture, so the comparison is
+deterministic.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.obs import load_trace
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+GOLDEN_TRACE = FIXTURES / "fehl_k8_chaitin.jsonl"
+GOLDEN_SUMMARY = FIXTURES / "fehl_k8_chaitin.summary.txt"
+
+
+class TestGolden:
+    def test_summary_matches_golden_file(self, capsys):
+        assert main(["trace", str(GOLDEN_TRACE), "--format", "summary"]) == 0
+        assert capsys.readouterr().out == GOLDEN_SUMMARY.read_text()
+
+    def test_fixture_reconciles(self):
+        """The committed fixture itself satisfies the event/counter
+        invariants (guards against regenerating it with a broken
+        exporter)."""
+        doc = load_trace(str(GOLDEN_TRACE))
+        assert len(doc.events_of("spill_decision")) == \
+            doc.counter("alloc.n_spilled_ranges")
+        accepted = [e for e in doc.events_of("coalesce_decision")
+                    if e.get("accepted")]
+        assert sum(1 for e in accepted if e.get("copy_kind") == "copy") == \
+            doc.counter("alloc.n_copies_coalesced")
+        assert len(doc.events_of("split_inserted")) == \
+            doc.counter("alloc.n_splits_inserted")
+
+
+class TestTraceCommand:
+    def test_records_kernel_by_name(self, capsys):
+        assert main(["trace", "zeroin", "--k", "6"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace summary: zeroin")
+        assert "decisions:" in out
+
+    def test_tree_format(self, capsys):
+        assert main(["trace", "zeroin", "--k", "6",
+                     "--format", "tree"]) == 0
+        out = capsys.readouterr().out
+        assert "allocate [fn=zeroin" in out
+        assert "round [index=0]" in out
+        assert "renumber" in out
+
+    def test_jsonl_format_parses(self, capsys):
+        assert main(["trace", "zeroin", "--k", "6",
+                     "--format", "jsonl"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        first = json.loads(lines[0])
+        assert first["type"] == "meta"
+        assert first["function"] == "zeroin"
+        types = {json.loads(line)["type"] for line in lines}
+        assert types == {"meta", "span", "event", "metrics"}
+
+    def test_out_writes_loadable_trace(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        assert main(["trace", "zeroin", "--k", "6",
+                     "--out", str(out)]) == 0
+        doc = load_trace(str(out))
+        assert doc.meta["function"] == "zeroin"
+        assert doc.n_rounds >= 1
+
+    def test_source_file_target(self, tmp_path, capsys):
+        path = tmp_path / "prog.mf"
+        path.write_text("proc double(n) { out(n * 2); }")
+        assert main(["trace", str(path), "--k", "4"]) == 0
+        assert "trace summary: double" in capsys.readouterr().out
+
+    def test_unknown_target_lists_kernels(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["trace", "no-such-kernel"])
+        assert "kernel" in str(err.value)
+
+    def test_diff_pinpoints_divergent_spills(self, tmp_path, capsys):
+        """The ISSUE's acceptance demo: OLD vs NEW on an FMM-suite
+        kernel diverges in at least one spill decision and the diff
+        names it."""
+        old = tmp_path / "old.jsonl"
+        assert main(["trace", "fehl", "--k", "8", "--mode", "chaitin",
+                     "--out", str(old)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "fehl", "--k", "8",
+                     "--diff", str(old)]) == 0
+        out = capsys.readouterr().out
+        assert "trace diff:" in out
+        assert "spilled only in" in out
+        divergent = [line for line in out.splitlines()
+                     if line.startswith("divergent spill decisions:")]
+        assert divergent and int(divergent[0].split(":")[1]) >= 1
+
+    def test_diff_of_identical_traces_is_clean(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        for path in (a, b):
+            assert main(["trace", "zeroin", "--k", "6",
+                         "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(b), "--diff", str(a)]) == 0
+        out = capsys.readouterr().out
+        assert "divergent spill decisions: 0" in out
+
+
+class TestAllocateTrace:
+    def test_allocate_trace_flag(self, tmp_path, capsys):
+        path = tmp_path / "prog.mf"
+        path.write_text("proc double(n) { out(n * 2); }")
+        out = tmp_path / "t.jsonl"
+        assert main(["allocate", str(path), "--k", "4",
+                     "--trace", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "rounds=" in captured.err
+        assert "coalesced=" in captured.err
+        doc = load_trace(str(out))
+        assert doc.meta["function"] == "double"
+        assert doc.counter("alloc.rounds") == doc.n_rounds
