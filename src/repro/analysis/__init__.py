@@ -5,7 +5,7 @@ from .dominance import (DominanceInfo, compute_dominance,
                         iterated_dominance_frontier)
 from .indexmap import RegIndex, iter_bits
 from .liveness import (BlockLiveness, LivenessInfo, block_use_def,
-                       compute_liveness, live_at_instruction)
+                       compute_liveness)
 from .loops import (Loop, LoopInfo, compute_loops, find_back_edges,
                     instruction_depths)
 from .postdominance import (PostDominanceInfo, VIRTUAL_EXIT,
@@ -32,5 +32,4 @@ __all__ = [
     "instruction_depths",
     "iter_bits",
     "iterated_dominance_frontier",
-    "live_at_instruction",
 ]

@@ -12,6 +12,11 @@ Commands
   benchmark kernel name; ``--format jsonl|tree|summary`` picks the
   view and ``--diff OTHER.jsonl`` compares two traces round by round
   (see ``docs/observability.md``)
+* ``opt FILE``      — run an explicit pass pipeline (``--passes
+  dce,lvn,licm``) with optional ``--verify-after-each`` and
+  ``--print-before/--print-after PASS`` IR dumps
+* ``passes``        — list the registered passes and what each declares
+  it preserves
 * ``table1`` / ``table2`` / ``ablation`` / ``sweep`` — the experiments,
   executed through the allocation-experiment engine (``--jobs N`` for
   parallel fan-out, ``--no-cache`` to bypass the persistent result
@@ -117,6 +122,52 @@ def cmd_allocate(args: argparse.Namespace) -> int:
         write_trace(args.trace, result.trace,
                     _trace_meta(result, args.file), registry)
         print(f"# trace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
+def cmd_opt(args: argparse.Namespace) -> int:
+    from .passes import (AnalysisManager, PassPipeline, PreservedAnalyses,
+                         make_pass)
+
+    fn = _load(args.file)
+    try:
+        passes = [make_pass(name.strip())
+                  for name in args.passes.split(",") if name.strip()]
+    except KeyError as exc:
+        raise SystemExit(f"repro opt: {exc.args[0]}")
+    if not passes:
+        raise SystemExit("repro opt: --passes named no passes")
+    am = AnalysisManager(fn)
+    pipeline = PassPipeline(
+        passes,
+        verify_after_each=args.verify_after_each,
+        print_before=args.print_before,
+        print_after=args.print_after,
+        dump=lambda line: print(line, file=sys.stderr))
+    report = pipeline.run(fn, am)
+    print(function_to_text(fn), end="")
+    changed = [name for name, preserved
+               in zip(report.pass_names, report.preserved)
+               if preserved != PreservedAnalyses.all()]
+    print(f"# passes={','.join(report.pass_names)} "
+          f"changed={','.join(changed) or '-'} "
+          f"verified={report.verifications} "
+          f"analyses_computed={am.n_computed()} "
+          f"analyses_reused={am.n_reused()}", file=sys.stderr)
+    return 0
+
+
+def cmd_passes(args: argparse.Namespace) -> int:
+    from .passes import PASS_REGISTRY, make_pass
+
+    width = max(len(name) for name in PASS_REGISTRY)
+    for name in sorted(PASS_REGISTRY):
+        p = make_pass(name)
+        doc = (type(p).__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name:<{width}}  preserves: {p.preserves.describe()}")
+        if summary:
+            print(f"{'':<{width}}  {summary}")
     return 0
 
 
@@ -254,6 +305,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a full allocation trace to FILE.jsonl")
     _add_common(p)
     p.set_defaults(func=cmd_allocate)
+
+    p = sub.add_parser("opt", help="run an explicit pass pipeline")
+    p.add_argument("file")
+    p.add_argument("--passes", default="lvn,licm,dce", metavar="P1,P2,...",
+                   help="comma-separated pass names (see `repro passes`; "
+                        "default lvn,licm,dce)")
+    p.add_argument("--verify-after-each", action="store_true",
+                   help="verify the IR after every pass")
+    p.add_argument("--print-before", metavar="PASS", action="append",
+                   default=[], help="dump IR to stderr before PASS "
+                                    "('all' for every pass)")
+    p.add_argument("--print-after", metavar="PASS", action="append",
+                   default=[], help="dump IR to stderr after PASS "
+                                    "('all' for every pass)")
+    p.set_defaults(func=cmd_opt)
+
+    p = sub.add_parser("passes",
+                       help="list registered passes and their "
+                            "invalidation contracts")
+    p.set_defaults(func=cmd_passes)
 
     p = sub.add_parser("run", help="interpret a routine")
     p.add_argument("file")

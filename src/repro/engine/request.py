@@ -34,7 +34,8 @@ from ..regalloc.allocator import AllocationStats
 from ..remat import RenumberMode
 
 #: bump to invalidate every persisted cache entry
-CACHE_VERSION = 1
+#: 2: allocator/optimizer rebuilt on the pass pipeline + AnalysisManager
+CACHE_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -3,7 +3,10 @@
 The paper's allocator consumes heavily optimized ILOC; this package
 provides the passes that give MiniFort output the same character:
 dead-code elimination, local value numbering and loop-invariant code
-motion.  :func:`optimize` runs the standard pipeline to a fixed point.
+motion.  :func:`optimize` runs the standard pipeline to a fixed point,
+expressed as a :class:`~repro.passes.PassPipeline` over one shared
+:class:`~repro.passes.AnalysisManager` — LICM's loop/liveness facts
+survive between rounds whenever LVN and DCE report no changes.
 """
 
 from __future__ import annotations
@@ -11,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..ir import Function
+from ..passes import (AnalysisManager, DCEPass, LICMPass, LVNPass,
+                      PassPipeline)
 from .dce import DCEStats, eliminate_dead_code
 from .licm import LICMStats, hoist_loop_invariants
 from .lvn import LVNStats, run_lvn
@@ -26,18 +31,23 @@ class OptStats:
     rounds: int = 0
 
 
-def optimize(fn: Function, max_rounds: int = 4) -> OptStats:
+def optimize(fn: Function, max_rounds: int = 4,
+             am: AnalysisManager | None = None,
+             verify_after_each: bool = False) -> OptStats:
     """Run LVN → LICM → DCE on *fn* in place until nothing changes."""
     stats = OptStats()
+    if am is None:
+        am = AnalysisManager(fn)
     for _ in range(max_rounds):
         stats.rounds += 1
-        lvn = run_lvn(fn)
-        licm = hoist_loop_invariants(fn)
-        dce = eliminate_dead_code(fn)
-        stats.lvn_replaced += lvn.replaced
-        stats.licm_hoisted += licm.hoisted
-        stats.dce_removed += dce.removed
-        if lvn.replaced == 0 and licm.hoisted == 0 and dce.removed == 0:
+        lvn, licm, dce = LVNPass(), LICMPass(), DCEPass()
+        PassPipeline([lvn, licm, dce],
+                     verify_after_each=verify_after_each).run(fn, am)
+        stats.lvn_replaced += lvn.stats.replaced
+        stats.licm_hoisted += licm.stats.hoisted
+        stats.dce_removed += dce.stats.removed
+        if (lvn.stats.replaced == 0 and licm.stats.hoisted == 0
+                and dce.stats.removed == 0):
             break
     return stats
 

@@ -19,15 +19,25 @@ loop L:
   the preheader value is then indistinguishable).
 
 Loops are processed innermost-first so invariants percolate outward.
+
+Analyses flow through an :class:`~repro.passes.AnalysisManager`: loop
+nesting and liveness are recomputed only after an iteration that
+actually hoisted something or created a preheader, instead of once per
+fixed-point iteration regardless.  Callers inside a pass pipeline pass
+their manager in; standalone calls get a private one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..analysis import compute_liveness, compute_loops
 from ..ir import Function, Instruction, Opcode, Reg
+from ..passes.manager import AnalysisManager, PreservedAnalyses
 from .lvn import _NUMBERABLE
+
+#: hoisting moves instructions between existing blocks: CFG analyses
+#: survive, liveness does not
+_CFG_ONLY = PreservedAnalyses.cfg()
 
 
 @dataclass
@@ -43,22 +53,30 @@ _HOISTABLE = frozenset(op for op in _NUMBERABLE
                        if op not in (Opcode.DIV, Opcode.FDIV))
 
 
-def hoist_loop_invariants(fn: Function) -> LICMStats:
-    """Apply loop-invariant code motion to *fn* in place."""
+def hoist_loop_invariants(fn: Function,
+                          am: AnalysisManager | None = None) -> LICMStats:
+    """Apply loop-invariant code motion to *fn* in place.
+
+    *am* shares analyses with an enclosing pipeline; on exit the
+    manager's cache is consistent with the rewritten function (the
+    transform invalidates exactly when it mutates).
+    """
+    if am is None:
+        am = AnalysisManager(fn)
     stats = LICMStats()
     processed: set[str] = set()
     # innermost first: deeper loops feed their invariants to outer ones.
-    # Loops are recomputed after each one is processed so that freshly
-    # created inner preheaders are counted as part of the enclosing
-    # loop's body.
+    # Loop nesting is re-derived after each loop whose processing
+    # changed the CFG, so freshly created inner preheaders are counted
+    # as part of the enclosing loop's body.
     while True:
-        loops = compute_loops(fn)
+        loops = am.loops()
         remaining = [loop for loop in loops.loops.values()
                      if loop.header not in processed]
         if not remaining:
             return stats
         loop = max(remaining, key=lambda l: l.depth)
-        _hoist_one_loop(fn, loop, stats)
+        _hoist_one_loop(fn, loop, stats, am)
         processed.add(loop.header)
 
 
@@ -89,14 +107,19 @@ def _preheader(fn: Function, header: str, body: set[str],
     return pre.label
 
 
-def _hoist_one_loop(fn: Function, loop, stats: LICMStats) -> None:
+def _hoist_one_loop(fn: Function, loop, stats: LICMStats,
+                    am: AnalysisManager) -> None:
+    before_preheaders = stats.preheaders_created
     pre_label = _preheader(fn, loop.header, loop.body, stats)
+    if stats.preheaders_created > before_preheaders:
+        # a new block and retargeted terminators: nothing cached survives
+        am.invalidate_all()
     if pre_label is None:
         return
     changed = True
     while changed:
         changed = False
-        liveness = compute_liveness(fn)
+        liveness = am.liveness()
         live_at_header = liveness.live_in(loop.header)
         defs_in_loop: dict[Reg, int] = {}
         for label in loop.body:
@@ -120,3 +143,5 @@ def _hoist_one_loop(fn: Function, loop, stats: LICMStats) -> None:
                 else:
                     kept.append(inst)
             blk.instructions = kept
+        if changed:
+            am.invalidate(_CFG_ONLY)

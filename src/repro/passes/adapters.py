@@ -1,0 +1,282 @@
+"""`FunctionPass` adapters over every existing transform.
+
+A pass is anything with a ``name``, a *declared* ``preserves``
+(:class:`~repro.passes.manager.PreservedAnalyses` — what the pass leaves
+valid when it changes the function) and a ``run(fn, am)`` method that
+returns the preservation that *actually* held (``all()`` when the pass
+turned out to be a no-op, the declaration otherwise).  Adapters keep
+their wrapped transform's stats/result object on the instance so callers
+that need more than the function mutation (SSA metadata, renumber
+outcomes, hoist counts) can still reach it.
+
+Transform modules are imported inside ``run`` bodies: the allocator and
+the optimizer import this package for the manager, so importing them
+back at module scope would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from ..ir import Function
+from .manager import AnalysisManager, PreservedAnalyses
+
+
+@runtime_checkable
+class FunctionPass(Protocol):
+    """The pass protocol the pipeline drives."""
+
+    name: str
+    #: declared invalidation contract, listed by ``repro passes``
+    preserves: PreservedAnalyses
+
+    def run(self, fn: Function, am: AnalysisManager) -> PreservedAnalyses:
+        """Transform *fn* in place; return what stayed valid."""
+        ...  # pragma: no cover - protocol
+
+
+#: instruction-level rewrites keep the CFG shape, so dominance,
+#: post-dominance and loops survive; liveness and def-use do not
+_CFG_ONLY = PreservedAnalyses.cfg()
+#: pre-splitting inserts ``split r r`` only where *r* is already live,
+#: which leaves every block-boundary live set unchanged (checked against
+#: fresh recomputes by tests/passes/test_invalidation.py)
+_CFG_AND_LIVENESS = PreservedAnalyses.of("dominance", "postdominance",
+                                         "loops", "liveness")
+
+
+class DCEPass:
+    """Dead-code elimination (:func:`repro.opt.eliminate_dead_code`)."""
+
+    name = "dce"
+    preserves = _CFG_ONLY
+
+    def __init__(self) -> None:
+        self.stats = None
+
+    def run(self, fn: Function, am: AnalysisManager) -> PreservedAnalyses:
+        from ..opt.dce import eliminate_dead_code
+
+        self.stats = eliminate_dead_code(fn)
+        if self.stats.removed == 0:
+            return PreservedAnalyses.all()
+        return self.preserves
+
+
+class LVNPass:
+    """Local value numbering (:func:`repro.opt.run_lvn`)."""
+
+    name = "lvn"
+    preserves = _CFG_ONLY
+
+    def __init__(self) -> None:
+        self.stats = None
+
+    def run(self, fn: Function, am: AnalysisManager) -> PreservedAnalyses:
+        from ..opt.lvn import run_lvn
+
+        self.stats = run_lvn(fn)
+        if self.stats.replaced == 0:
+            return PreservedAnalyses.all()
+        return self.preserves
+
+
+class LICMPass:
+    """Loop-invariant code motion (:func:`repro.opt.hoist_loop_invariants`).
+
+    The transform threads the manager through its own fixed point
+    (reusing loops/liveness between iterations and invalidating exactly
+    when it hoists or creates a preheader), so by the time ``run``
+    returns, the cache is already consistent — hence ``all()``.
+    """
+
+    name = "licm"
+    preserves = PreservedAnalyses.none()
+
+    def __init__(self) -> None:
+        self.stats = None
+
+    def run(self, fn: Function, am: AnalysisManager) -> PreservedAnalyses:
+        from ..opt.licm import hoist_loop_invariants
+
+        self.stats = hoist_loop_invariants(fn, am=am)
+        return PreservedAnalyses.all()
+
+
+class SSAConstructPass:
+    """Pruned SSA construction (:func:`repro.ssa.construct_ssa`).
+
+    Leaves φ pseudo-instructions in the function; pair with
+    :class:`SSADestructPass` or :class:`RematSplitPass` before handing
+    the function to φ-free consumers.  The :class:`~repro.ssa.SSAInfo`
+    is kept on ``self.info``.
+    """
+
+    name = "ssa-construct"
+    preserves = _CFG_ONLY
+
+    def __init__(self) -> None:
+        self.info = None
+
+    def run(self, fn: Function, am: AnalysisManager) -> PreservedAnalyses:
+        from ..ssa import construct_ssa
+
+        self.info = construct_ssa(fn, dom=am.dominance(),
+                                  liveness=am.liveness())
+        return self.preserves
+
+
+class SSADestructPass:
+    """φ removal (:func:`repro.ssa.destroy_ssa`) for a prior
+    :class:`SSAConstructPass`."""
+
+    name = "ssa-destruct"
+    preserves = _CFG_ONLY
+
+    def __init__(self, construct: SSAConstructPass,
+                 insert_copies: bool = False) -> None:
+        self.construct = construct
+        self.insert_copies = insert_copies
+        self.result = None
+
+    def run(self, fn: Function, am: AnalysisManager) -> PreservedAnalyses:
+        from ..ssa import destroy_ssa
+
+        self.result = destroy_ssa(fn, self.construct.info,
+                                  insert_copies=self.insert_copies)
+        return self.preserves
+
+
+class RematSplitPass:
+    """Tag propagation + live-range splitting (:mod:`repro.remat`) over a
+    prior :class:`SSAConstructPass` — renumber's steps 4–6."""
+
+    name = "remat-split"
+    preserves = _CFG_ONLY
+
+    def __init__(self, mode, construct: SSAConstructPass,
+                 tracer=None) -> None:
+        self.mode = mode
+        self.construct = construct
+        self.tracer = tracer
+        self.result = None
+
+    def run(self, fn: Function, am: AnalysisManager) -> PreservedAnalyses:
+        from ..obs import NULL_TRACER
+        from ..remat import (RenumberMode, apply_plan, plan_unions,
+                             propagate_tags)
+        from ..ssa import SSAGraph
+
+        info = self.construct.info
+        tags = None
+        if self.mode is RenumberMode.REMAT:
+            tags = propagate_tags(SSAGraph.build(fn, info))
+        plan = plan_unions(fn, info, tags, self.mode)
+        self.result = apply_plan(fn, info, plan, tags,
+                                 tracer=self.tracer or NULL_TRACER)
+        return self.preserves
+
+
+class RenumberPass:
+    """The allocator's full renumber phase
+    (:func:`repro.regalloc.run_renumber`): SSA construction, tag
+    propagation and splitting composed, φ-free on exit."""
+
+    name = "renumber"
+    preserves = _CFG_ONLY
+
+    def __init__(self, mode, no_spill_regs=None, tracer=None) -> None:
+        self.mode = mode
+        self.no_spill_regs = no_spill_regs
+        self.tracer = tracer
+        self.outcome = None
+        self.name = f"renumber-{mode.value.replace('_', '-')}"
+
+    def run(self, fn: Function, am: AnalysisManager) -> PreservedAnalyses:
+        from ..obs import NULL_TRACER
+        from ..regalloc.renumber import run_renumber
+
+        self.outcome = run_renumber(fn, self.mode, dom=am.dominance(),
+                                    no_spill_regs=self.no_spill_regs,
+                                    tracer=self.tracer or NULL_TRACER,
+                                    am=am)
+        return self.preserves
+
+
+class PreSplitPass:
+    """A Section 6 loop-splitting scheme's pre-split hook
+    (:mod:`repro.regalloc.splitting`), manager-fed."""
+
+    preserves = _CFG_AND_LIVENESS
+
+    def __init__(self, scheme_name: str) -> None:
+        from ..regalloc.splitting import SCHEMES
+
+        self.scheme = SCHEMES[scheme_name]
+        self.name = f"pre-split-{scheme_name}"
+
+    def run(self, fn: Function, am: AnalysisManager) -> PreservedAnalyses:
+        hook = self.scheme.pre_split
+        if hook is not None:
+            hook(fn, am.dominance(), am.loops(), am=am)
+        return self.preserves
+
+
+class SpillCodePass:
+    """Spill-code insertion (:func:`repro.regalloc.insert_spill_code`)
+    for one round's uncolored live ranges."""
+
+    name = "spill-code"
+    preserves = _CFG_ONLY
+
+    def __init__(self, spilled, costs) -> None:
+        self.spilled = spilled
+        self.costs = costs
+        self.stats = None
+
+    def run(self, fn: Function, am: AnalysisManager) -> PreservedAnalyses:
+        from ..regalloc.spillcode import insert_spill_code
+
+        self.stats = insert_spill_code(fn, self.spilled, self.costs)
+        return self.preserves
+
+
+def _renumber_factory(mode_value: str) -> Callable[[], FunctionPass]:
+    def make() -> FunctionPass:
+        from ..remat import RenumberMode
+
+        return RenumberPass(RenumberMode(mode_value))
+
+    return make
+
+
+def _registry() -> dict[str, Callable[[], FunctionPass]]:
+    reg: dict[str, Callable[[], Any]] = {
+        "dce": DCEPass,
+        "lvn": LVNPass,
+        "licm": LICMPass,
+    }
+    for mode_value in ("chaitin", "remat", "split_all"):
+        name = f"renumber-{mode_value.replace('_', '-')}"
+        reg[name] = _renumber_factory(mode_value)
+    for scheme in ("around-all-loops", "around-outer-loops",
+                   "around-unused-loops", "forward-reverse-df"):
+        reg[f"pre-split-{scheme}"] = (
+            lambda s=scheme: PreSplitPass(s))
+    return reg
+
+
+#: CLI-constructible passes (``repro opt --passes`` / ``repro passes``);
+#: adapters needing per-call arguments (SSA pairs, spill code) are
+#: instantiated programmatically instead
+PASS_REGISTRY: dict[str, Callable[[], FunctionPass]] = _registry()
+
+
+def make_pass(name: str) -> FunctionPass:
+    """Instantiate a registered pass by CLI name."""
+    factory = PASS_REGISTRY.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown pass {name!r} (registered: "
+            f"{', '.join(sorted(PASS_REGISTRY))})")
+    return factory()

@@ -1,0 +1,92 @@
+"""The :class:`PassPipeline` driver.
+
+Runs a sequence of :class:`~repro.passes.adapters.FunctionPass` objects
+over one function and one :class:`~repro.passes.manager.AnalysisManager`,
+handling the cross-cutting concerns in one place:
+
+* an ``obs`` span per pass (``pass`` spans under a ``pipeline`` root, so
+  traces show where pipeline time goes exactly like allocator rounds),
+* invalidation — after each pass the manager drops whatever the pass's
+  returned :class:`PreservedAnalyses` does not cover,
+* optional IR verification between passes (``verify_after_each``; φs are
+  permitted mid-pipeline since SSA passes produce them transiently),
+* print-before/print-after hooks for debugging pass pipelines from the
+  CLI (``repro opt --print-after PASS``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..ir import Function, function_to_text, verify_function
+from ..obs import NULL_TRACER
+from .adapters import FunctionPass
+from .manager import AnalysisManager, PreservedAnalyses
+
+
+@dataclass
+class PipelineReport:
+    """What one :meth:`PassPipeline.run` did."""
+
+    pass_names: list[str] = field(default_factory=list)
+    #: per-pass actual preservation, parallel to ``pass_names``
+    preserved: list[PreservedAnalyses] = field(default_factory=list)
+    verifications: int = 0
+
+    def changed(self) -> bool:
+        """Did any pass report a change (i.e. not preserve everything)?"""
+        return any(p != PreservedAnalyses.all() for p in self.preserved)
+
+
+class PassPipeline:
+    """A fixed sequence of function passes sharing one analysis manager."""
+
+    def __init__(self, passes: Sequence[FunctionPass],
+                 tracer=NULL_TRACER,
+                 verify_after_each: bool = False,
+                 print_before: Iterable[str] = (),
+                 print_after: Iterable[str] = (),
+                 dump: Callable[[str], None] = print) -> None:
+        self.passes = list(passes)
+        self.tracer = tracer
+        self.verify_after_each = verify_after_each
+        self.print_before = frozenset(print_before)
+        self.print_after = frozenset(print_after)
+        self.dump = dump
+
+    def _wants(self, selection: frozenset[str], name: str) -> bool:
+        return name in selection or "all" in selection
+
+    def _print(self, fn: Function, when: str, name: str) -> None:
+        self.dump(f"# --- IR {when} {name} ---")
+        self.dump(function_to_text(fn).rstrip("\n"))
+
+    def run(self, fn: Function,
+            am: AnalysisManager | None = None) -> PipelineReport:
+        """Run every pass over *fn* in order; returns the report.
+
+        An existing manager may be passed to share analyses with work
+        done before (or after) the pipeline; by default a fresh one is
+        created.
+        """
+        if am is None:
+            am = AnalysisManager(fn)
+        report = PipelineReport()
+        with self.tracer.span("pipeline", passes=len(self.passes)):
+            for p in self.passes:
+                if self._wants(self.print_before, p.name):
+                    self._print(fn, "before", p.name)
+                with self.tracer.span("pass", which=p.name):
+                    preserved = p.run(fn, am)
+                if preserved is None:
+                    preserved = p.preserves
+                am.invalidate(preserved)
+                report.pass_names.append(p.name)
+                report.preserved.append(preserved)
+                if self.verify_after_each:
+                    verify_function(fn, allow_phis=True)
+                    report.verifications += 1
+                if self._wants(self.print_after, p.name):
+                    self._print(fn, "after", p.name)
+        return report

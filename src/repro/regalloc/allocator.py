@@ -20,6 +20,15 @@ typed spill/coalesce/split/color decision events
 the pass-level hot paths guard event emission behind a single
 ``events_enabled`` attribute check.
 
+Analyses are served by a per-allocation
+:class:`~repro.passes.AnalysisManager`: dominance and loops are computed
+once (the CFG shape is fixed after edge splitting) and survive every
+round, while renumber and spill-code insertion invalidate liveness per
+the pass layer's :class:`~repro.passes.PreservedAnalyses` contract.
+Coalescing *maintains* the cached liveness instead (bitset rename, PR 1
+semantics), and pre-split hooks share their fixed point with the first
+renumber — see ``docs/architecture.md``.
+
 Three allocator variants share the driver, differing only in renumber's
 splitting policy (:class:`~repro.remat.RenumberMode`):
 
@@ -32,12 +41,13 @@ splitting policy (:class:`~repro.remat.RenumberMode`):
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 
-from ..analysis import compute_dominance, compute_liveness, compute_loops
 from ..ir import Function, Reg, verify_function
 from ..machine import MachineDescription, standard_machine
 from ..obs import SpillDecision, Span, Tracer
+from ..passes import AnalysisManager, PreservedAnalyses
 from ..remat import RenumberMode
 from .coalesce import build_coalesce_loop
 from .interference import build_interference_graph
@@ -46,6 +56,17 @@ from .select import find_partners, select
 from .simplify import simplify
 from .spillcode import insert_spill_code
 from .spillcost import compute_spill_costs
+
+#: renumber and spill-code insertion rewrite instructions and register
+#: names but never the CFG shape (edges were split up front), so the
+#: round loop keeps dominance/post-dominance/loops across rounds and
+#: drops only liveness/def-use
+_CFG_ONLY = PreservedAnalyses.cfg()
+#: pre-split hooks insert ``split r r`` only where ``r`` is live, which
+#: leaves every block-boundary live set intact — the hook's liveness
+#: fixed point stays valid for the first renumber's SSA construction
+_PRE_SPLIT_PRESERVES = PreservedAnalyses.of(
+    "dominance", "postdominance", "loops", "liveness")
 
 
 class AllocationError(RuntimeError):
@@ -101,6 +122,13 @@ class AllocationStats:
     n_liveness_cache_misses: int = 0
     #: widest register universe (bitset width in bits) seen in any round
     max_bitset_bits: int = 0
+    #: AnalysisManager accounting for the whole allocation: fixed points
+    #: actually run vs. requests served from the cache, plus the
+    #: liveness share (the satellite metric — pre-split schemes reuse
+    #: their hook's fixed point instead of recomputing it)
+    n_analyses_computed: int = 0
+    n_analyses_reused: int = 0
+    n_liveness_computed: int = 0
 
 
 @dataclass
@@ -130,8 +158,8 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
              max_rounds: int = 50, clone: bool = True,
              biased: bool = True, lookahead: bool = True,
              coalesce_splits: bool = True, optimistic: bool = True,
-             pre_split=None, tracer: Tracer | None = None
-             ) -> AllocationResult:
+             pre_split=None, tracer: Tracer | None = None,
+             verify_rounds: bool = False) -> AllocationResult:
     """Allocate registers for *fn*.
 
     Args:
@@ -148,10 +176,16 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
             Chaitin's original allocator.
         pre_split: optional hook ``f(fn, dom, loops) -> None`` run once
             before the first renumber — used by the Section 6 loop-based
-            splitting schemes.
+            splitting schemes.  Hooks that additionally accept an ``am``
+            keyword receive the round loop's
+            :class:`~repro.passes.AnalysisManager` and share its cached
+            analyses.
         tracer: observability sink; pass
             ``Tracer(capture_events=True)`` to record decision events
             alongside the (always recorded) span tree.
+        verify_rounds: run the IR verifier after every mutating phase
+            (renumber, spill insertion) of every round — the allocator's
+            analogue of the pipeline's ``verify_after_each``.
 
     Returns:
         an :class:`AllocationResult` whose ``function`` references only
@@ -169,14 +203,20 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
         work.remove_unreachable_blocks()
         work.split_critical_edges()
 
-        # control-flow analysis: the CFG shape never changes after edge
-        # splitting, so dominance and loop nesting are computed once
+        # every analysis of the allocation flows through one manager;
+        # the CFG shape never changes after edge splitting, so dominance
+        # and loop nesting are computed once here and preserved by every
+        # round's invalidations
+        am = AnalysisManager(work)
         with tracer.span("cfa"):
-            dom = compute_dominance(work)
-            loops = compute_loops(work, dom)
+            dom = am.dominance()
+            loops = am.loops()
 
         if pre_split is not None:
-            pre_split(work, dom, loops)
+            _call_pre_split(pre_split, work, dom, loops, am)
+            am.invalidate(_PRE_SPLIT_PRESERVES)
+            if verify_rounds:
+                verify_function(work)
 
         stats = AllocationStats()
         no_spill_regs: set[Reg] = set()
@@ -187,7 +227,12 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
                 with tracer.span("renumber"):
                     outcome = run_renumber(work, mode, dom=dom,
                                            no_spill_regs=no_spill_regs,
-                                           tracer=tracer)
+                                           tracer=tracer, am=am)
+                # renumber renames every register: liveness/def-use are
+                # stale, the CFG analyses survive
+                am.invalidate(_CFG_ONLY)
+                if verify_rounds:
+                    verify_function(work)
                 stats.n_splits_inserted += outcome.result.n_splits_inserted
                 if round_index == 0:
                     stats.n_live_ranges_first_round = len(
@@ -196,11 +241,11 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
 
                 # one liveness fixed point per round, shared by every
                 # graph rebuild of the build-coalesce loop (coalescing
-                # renames the cached bitsets in place); spill-code
-                # insertion ends the round, so the cache is invalidated
-                # simply by recomputing here
+                # renames the manager's cached bitsets in place, which
+                # keeps the entry valid); spill-code insertion ends the
+                # round and invalidates it below
                 with tracer.span("build"):
-                    liveness = compute_liveness(work)
+                    liveness = am.liveness()
                     graph, cstats = build_coalesce_loop(
                         work, machine, build_interference_graph,
                         no_spill=no_spill,
@@ -248,6 +293,9 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
                 with tracer.span("spill"):
                     spill_stats = insert_spill_code(work, chosen.spilled,
                                                     costs)
+                am.invalidate(_CFG_ONLY)
+                if verify_rounds:
+                    verify_function(work)
                 stats.n_spilled_ranges += len(chosen.spilled)
                 stats.n_remat_spills += spill_stats.n_remat_ranges
                 stats.n_memory_spills += spill_stats.n_memory_ranges
@@ -259,6 +307,9 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
                 f"k_float={machine.float_regs})")
 
         stats.n_spill_slots = work.n_spill_slots
+        stats.n_analyses_computed = am.n_computed()
+        stats.n_analyses_reused = am.n_reused()
+        stats.n_liveness_computed = am.n_computed("liveness")
         verify_function(work, require_physical=True,
                         max_int_reg=machine.int_regs,
                         max_float_reg=machine.float_regs)
@@ -273,6 +324,26 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
         total_time=root.duration,
         clone_time=clone_span.duration if clone_span else 0.0,
         trace=root)
+
+
+def _call_pre_split(hook, fn: Function, dom, loops,
+                    am: AnalysisManager) -> None:
+    """Invoke a pre-split hook, passing the manager when it takes one.
+
+    The public hook signature stays ``f(fn, dom, loops)``; the bundled
+    Section 6 schemes additionally accept ``am`` and share the round
+    loop's cached liveness.
+    """
+    try:
+        params = inspect.signature(hook).parameters
+    except (TypeError, ValueError):  # builtins / odd callables
+        params = {}
+    takes_am = "am" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values())
+    if takes_am:
+        hook(fn, dom, loops, am=am)
+    else:
+        hook(fn, dom, loops)
 
 
 def _assign_physical(fn: Function, coloring: dict[Reg, int],

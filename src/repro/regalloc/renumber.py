@@ -39,18 +39,21 @@ class RenumberOutcome:
 def run_renumber(fn: Function, mode: RenumberMode,
                  dom: DominanceInfo | None = None,
                  no_spill_regs: set[Reg] | None = None,
-                 tracer=NULL_TRACER) -> RenumberOutcome:
+                 tracer=NULL_TRACER, am=None) -> RenumberOutcome:
     """Renumber *fn* in place under *mode*.
 
     *no_spill_regs* names (pre-renumber) registers that are spill
     temporaries; the returned outcome translates them into the new
     live-range namespace.  Split insertions are emitted as
     :class:`~repro.obs.SplitInserted` events on an event-capturing
-    *tracer*.
+    *tracer*.  With an :class:`~repro.passes.AnalysisManager` (*am*),
+    dominance and the pruning liveness are sourced through it — e.g. a
+    pre-split hook's fixed point is reused instead of recomputed.
     """
     if dom is None:
-        dom = compute_dominance(fn)
-    info = construct_ssa(fn, dom=dom)
+        dom = am.dominance() if am is not None else compute_dominance(fn)
+    liveness = am.liveness() if am is not None else None
+    info = construct_ssa(fn, dom=dom, liveness=liveness)
     tags = None
     if mode is RenumberMode.REMAT:
         graph = SSAGraph.build(fn, info)

@@ -18,6 +18,15 @@ inserted at the chosen region boundaries.  Renaming turns each into a
 fresh SSA value, so the tag machinery and the conservative-coalesce /
 biased-coloring cleanup treat these extra seams exactly like the φ-derived
 ones.  Scheme 4 is :data:`~repro.remat.RenumberMode.SPLIT_ALL`.
+
+Hooks accept an optional :class:`~repro.passes.AnalysisManager` (``am``)
+and source liveness through it when given; the allocator passes its
+round manager, so the hook's liveness fixed point is shared with the
+first renumber's SSA construction instead of being recomputed twice on
+an unchanged function.  Splitting ``r`` only where ``r`` is live leaves
+every block-boundary live set unchanged, so the hooks *preserve*
+liveness (the invalidation property tests check this against fresh
+recomputes).
 """
 
 from __future__ import annotations
@@ -25,11 +34,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from ..analysis import (DominanceInfo, LoopInfo, compute_liveness)
+from ..analysis import (DominanceInfo, LivenessInfo, LoopInfo,
+                        compute_liveness)
 from ..ir import Function, Instruction, Opcode, Reg, RegClass
 from ..remat import RenumberMode
 
-PreSplitHook = Callable[[Function, DominanceInfo, LoopInfo], None]
+PreSplitHook = Callable[..., None]
+
+
+def _liveness(fn: Function, am) -> LivenessInfo:
+    return am.liveness() if am is not None else compute_liveness(fn)
 
 
 def _split_instruction(reg: Reg) -> Instruction:
@@ -40,13 +54,14 @@ def _split_instruction(reg: Reg) -> Instruction:
 def _loop_boundary_splits(fn: Function, dom: DominanceInfo,
                           loops: LoopInfo,
                           want_loop,
-                          want_reg) -> int:
+                          want_reg,
+                          am=None) -> int:
     """Insert ``split r r`` at the entries and exits of selected loops.
 
     *want_loop(loop)* selects loops; *want_reg(reg, loop)* selects which
     live registers to split there.  Returns the number of splits inserted.
     """
-    liveness = compute_liveness(fn)
+    liveness = _liveness(fn, am)
     preds = fn.predecessors_map()
     inserted = 0
     for loop in loops.loops.values():
@@ -79,23 +94,25 @@ def _loop_boundary_splits(fn: Function, dom: DominanceInfo,
 
 
 def split_around_all_loops(fn: Function, dom: DominanceInfo,
-                           loops: LoopInfo) -> None:
+                           loops: LoopInfo, am=None) -> None:
     """Scheme 1: every live range, every loop."""
     _loop_boundary_splits(fn, dom, loops,
                           want_loop=lambda loop: True,
-                          want_reg=lambda reg, loop: True)
+                          want_reg=lambda reg, loop: True,
+                          am=am)
 
 
 def split_around_outer_loops(fn: Function, dom: DominanceInfo,
-                             loops: LoopInfo) -> None:
+                             loops: LoopInfo, am=None) -> None:
     """Scheme 2: every live range, outermost loops only."""
     _loop_boundary_splits(fn, dom, loops,
                           want_loop=lambda loop: loop.parent is None,
-                          want_reg=lambda reg, loop: True)
+                          want_reg=lambda reg, loop: True,
+                          am=am)
 
 
 def split_around_unused_loops(fn: Function, dom: DominanceInfo,
-                              loops: LoopInfo) -> None:
+                              loops: LoopInfo, am=None) -> None:
     """Scheme 3: split a live range around the outermost loop where it is
     neither used nor defined (it is merely live through the loop)."""
     # registers referenced per loop body
@@ -120,15 +137,16 @@ def split_around_unused_loops(fn: Function, dom: DominanceInfo,
 
     _loop_boundary_splits(fn, dom, loops,
                           want_loop=lambda loop: True,
-                          want_reg=want_reg)
+                          want_reg=want_reg,
+                          am=am)
 
 
 def split_reverse_frontier(fn: Function, dom: DominanceInfo,
-                           loops: LoopInfo) -> None:
+                           loops: LoopInfo, am=None) -> None:
     """The reverse-frontier half of scheme 5: a split for every live
     register at the entry of each branch target (the joins of the reverse
     CFG)."""
-    liveness = compute_liveness(fn)
+    liveness = _liveness(fn, am)
     for blk in list(fn.blocks):
         succs = blk.successors()
         if len(succs) < 2:

@@ -1,0 +1,128 @@
+"""The invalidation contract, property-tested on random CFGs.
+
+Each test mutates a generated function the way a real pass does, tells
+the manager what that pass declares it preserves, and then checks every
+analysis the manager still serves byte-equal against a fresh recompute
+(the set-based oracles in ``tests/reference_impl.py`` / the naive
+algorithms in ``tests/helpers.py``).  This is what makes the declared
+:class:`~repro.passes.PreservedAnalyses` contracts trustworthy — in
+particular the pre-split claim that inserting ``split r r`` where ``r``
+is live preserves liveness, and the coalescer's claim that
+:meth:`~repro.analysis.LivenessInfo.rename` maintains the cached fixed
+point.
+"""
+
+import random
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.analysis import compute_dominance, compute_liveness
+from repro.benchsuite import GeneratorConfig, random_program
+from repro.passes import (DOMINANCE, LIVENESS, LOOPS, AnalysisManager,
+                          DCEPass, PreSplitPass)
+from repro.regalloc.splitting import _split_instruction
+
+from ..helpers import naive_dominators
+from ..reference_impl import ref_compute_liveness
+
+SHAPES = GeneratorConfig(n_vars=5, max_depth=3, max_stmts=5)
+
+common = settings(max_examples=50, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+def assert_served_liveness_fresh(am, fn):
+    """Whatever ``am.liveness()`` serves now must match the oracle on the
+    function as it currently stands."""
+    live = am.liveness()
+    ref = ref_compute_liveness(fn)
+    for label in fn.reverse_postorder():
+        assert live.live_in(label) == ref.live_in(label), label
+        assert live.live_out(label) == ref.live_out(label), label
+
+
+def assert_served_dominance_fresh(am, fn):
+    dom = am.dominance()
+    assert dom.idom == compute_dominance(fn).idom
+    naive = naive_dominators(fn)
+    for label, idom in dom.idom.items():
+        if label != fn.entry.label:
+            assert idom in naive[label]
+
+
+@common
+@given(seed=st.integers(0, 10**6))
+def test_insert_split_preserves_liveness(seed):
+    """The PreSplitPass contract: a ``split r r`` at a point where *r*
+    is live leaves every block-boundary live set unchanged, so the
+    cached fixed point stays valid without recomputation."""
+    fn = random_program(seed, SHAPES)
+    fn.split_critical_edges()
+    am = AnalysisManager(fn)
+    live = am.liveness()
+
+    rng = random.Random(seed)
+    candidates = [blk for blk in fn.blocks if live.live_in(blk.label)]
+    assume(candidates)
+    for blk in rng.sample(candidates, k=min(3, len(candidates))):
+        reg = rng.choice(sorted(live.live_in(blk.label)))
+        blk.instructions.insert(0, _split_instruction(reg))
+
+    am.invalidate(PreSplitPass.preserves)
+    # still the same cached object — and still exactly right
+    assert am.cached(LIVENESS)
+    assert am.n_computed("liveness") == 1
+    assert_served_liveness_fresh(am, fn)
+    assert_served_dominance_fresh(am, fn)
+
+
+@common
+@given(seed=st.integers(0, 10**6))
+def test_delete_instruction_invalidates_per_dce(seed):
+    """Deleting instructions (what DCE does) keeps the CFG shape: after
+    invalidating per DCE's declaration, dominance/loops are served from
+    cache and still correct, while liveness is recomputed fresh."""
+    fn = random_program(seed, SHAPES)
+    am = AnalysisManager(fn)
+    am.liveness(), am.dominance(), am.loops()
+
+    rng = random.Random(seed)
+    candidates = [blk for blk in fn.blocks if len(blk.instructions) > 1]
+    assume(candidates)
+    blk = rng.choice(candidates)
+    del blk.instructions[rng.randrange(len(blk.instructions) - 1)]
+
+    am.invalidate(DCEPass.preserves)
+    assert not am.cached(LIVENESS)
+    assert am.cached(DOMINANCE) and am.cached(LOOPS)
+    assert_served_liveness_fresh(am, fn)
+    assert_served_dominance_fresh(am, fn)
+    assert am.n_computed("liveness") == 2
+    assert am.n_computed("dominance") == 1
+
+
+@common
+@given(seed=st.integers(0, 10**6))
+def test_coalesce_rename_maintains_cached_liveness(seed):
+    """The coalescer's maintenance path: renaming a register in the code
+    and in the cached bitsets (``LivenessInfo.rename``) is equivalent to
+    a fresh fixed point on the rewritten function."""
+    fn = random_program(seed, SHAPES)
+    am = AnalysisManager(fn)
+    live = am.liveness()
+
+    rng = random.Random(seed)
+    regs = sorted(fn.all_regs())
+    assume(regs)
+    mapping = {}
+    for old in rng.sample(regs, k=min(3, len(regs))):
+        mapping[old] = fn.new_reg(old.rclass)
+    for blk in fn.blocks:
+        for inst in blk.instructions:
+            inst.rewrite_regs(mapping)
+    live.rename(mapping)
+
+    # the manager keeps serving the maintained object
+    assert am.liveness() is live
+    assert am.n_computed("liveness") == 1
+    assert_served_liveness_fresh(am, fn)

@@ -1,0 +1,144 @@
+"""Unit tests for the PassPipeline driver."""
+
+import pytest
+
+from repro.ir import verify_function
+from repro.obs import Tracer
+from repro.passes import (AnalysisManager, DCEPass, LIVENESS, LVNPass,
+                          PassPipeline, PreservedAnalyses, make_pass)
+
+from ..helpers import nested_loops, single_loop
+
+
+class _RecordingPass:
+    """A configurable fake pass: mutates nothing, reports *preserved*."""
+
+    def __init__(self, name, preserved):
+        self.name = name
+        self.preserves = preserved
+        self.preserved = preserved
+        self.calls = 0
+
+    def run(self, fn, am):
+        self.calls += 1
+        return self.preserved
+
+
+class _DeclaredOnlyPass(_RecordingPass):
+    """Returns ``None`` from run: the pipeline must fall back to the
+    declared ``preserves``."""
+
+    def run(self, fn, am):
+        self.calls += 1
+        return None
+
+
+class TestDriver:
+    def test_passes_run_in_order_over_one_manager(self):
+        order = []
+
+        class P(_RecordingPass):
+            def run(self, inner_self_fn, am):  # noqa: N805
+                order.append(self.name)
+                return self.preserved
+
+        passes = [P("a", PreservedAnalyses.all()),
+                  P("b", PreservedAnalyses.all())]
+        report = PassPipeline(passes).run(single_loop())
+        assert order == ["a", "b"]
+        assert report.pass_names == ["a", "b"]
+        assert not report.changed()
+
+    def test_invalidates_per_returned_preservation(self):
+        fn = single_loop()
+        am = AnalysisManager(fn)
+        am.liveness()
+        keeper = _RecordingPass("keeper", PreservedAnalyses.all())
+        dropper = _RecordingPass("dropper", PreservedAnalyses.cfg())
+        PassPipeline([keeper]).run(fn, am)
+        assert am.cached(LIVENESS)
+        report = PassPipeline([dropper]).run(fn, am)
+        assert not am.cached(LIVENESS)
+        assert report.changed()
+
+    def test_none_return_falls_back_to_declared(self):
+        fn = single_loop()
+        am = AnalysisManager(fn)
+        am.liveness()
+        p = _DeclaredOnlyPass("d", PreservedAnalyses.cfg())
+        report = PassPipeline([p]).run(fn, am)
+        assert not am.cached(LIVENESS)
+        assert report.preserved == [PreservedAnalyses.cfg()]
+
+    def test_fresh_manager_created_when_none_given(self):
+        p = _RecordingPass("p", PreservedAnalyses.all())
+        assert PassPipeline([p]).run(single_loop()).pass_names == ["p"]
+        assert p.calls == 1
+
+    def test_verify_after_each_counts_and_checks(self):
+        report = PassPipeline([DCEPass(), LVNPass()],
+                              verify_after_each=True).run(nested_loops())
+        assert report.verifications == 2
+
+    def test_verify_catches_a_corrupting_pass(self):
+        class Corrupter(_RecordingPass):
+            def run(self, fn, am):
+                # dangle a branch target: the verifier must object
+                blk = fn.blocks[0]
+                term = blk.terminator
+                blk.instructions[-1] = term.with_labels(("nowhere",))
+                return PreservedAnalyses.none()
+
+        p = Corrupter("corrupt", PreservedAnalyses.none())
+        with pytest.raises(Exception):
+            PassPipeline([p], verify_after_each=True).run(single_loop())
+
+    def test_spans_recorded_per_pass(self):
+        tracer = Tracer()
+        PassPipeline([DCEPass(), LVNPass()],
+                     tracer=tracer).run(nested_loops())
+        root = tracer.root
+        assert root.name == "pipeline"
+        names = [span.attrs["which"] for span in root.children]
+        assert names == ["dce", "lvn"]
+
+
+class TestPrintHooks:
+    def test_print_before_and_after_selected_pass(self):
+        lines = []
+        PassPipeline([DCEPass(), LVNPass()],
+                     print_before=["lvn"], print_after=["lvn"],
+                     dump=lines.append).run(nested_loops())
+        headers = [line for line in lines if line.startswith("# ---")]
+        assert headers == ["# --- IR before lvn ---",
+                           "# --- IR after lvn ---"]
+
+    def test_all_selects_every_pass(self):
+        lines = []
+        PassPipeline([DCEPass(), LVNPass()], print_after=["all"],
+                     dump=lines.append).run(nested_loops())
+        headers = [line for line in lines if line.startswith("# ---")]
+        assert headers == ["# --- IR after dce ---",
+                           "# --- IR after lvn ---"]
+
+
+class TestRegisteredPipelines:
+    def test_registry_pipeline_preserves_semantics(self):
+        from repro.interp import run_function
+
+        fn = nested_loops()
+        expected = run_function(fn.clone(), args=[6]).output
+        PassPipeline([make_pass("lvn"), make_pass("licm"),
+                      make_pass("dce")],
+                     verify_after_each=True).run(fn)
+        verify_function(fn)
+        assert run_function(fn, args=[6]).output == expected
+
+    def test_renumber_pass_runs_standalone(self):
+        fn = nested_loops()
+        fn.split_critical_edges()
+        p = make_pass("renumber-remat")
+        report = PassPipeline([p], verify_after_each=True).run(fn)
+        assert p.outcome is not None
+        assert report.changed()
+        verify_function(fn)

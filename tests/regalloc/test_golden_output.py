@@ -1,0 +1,37 @@
+"""Golden allocated output: the pass-pipeline refactor changed nothing.
+
+The fixtures are the exact ``repro allocate`` output of the pre-refactor
+allocator on fehl at 8 int + 8 float registers (both the paper's *Old*
+Chaitin-style mode and the *New* rematerializing mode — a multi-round,
+spill-heavy configuration).  Byte-identity here pins the refactor's
+prime directive: moving every analysis behind the
+:class:`~repro.passes.AnalysisManager` altered no allocation decision.
+
+Regenerate (only after an *intentional* allocator change, with a
+``CACHE_VERSION`` bump) via::
+
+    PYTHONPATH=src python -m repro allocate <fehl.il> --k 8 --mode MODE
+"""
+
+import pathlib
+
+import pytest
+
+from repro.benchsuite import KERNELS_BY_NAME
+from repro.ir import function_to_text
+from repro.machine import machine_with
+from repro.regalloc import allocate
+from repro.remat import RenumberMode
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+@pytest.mark.parametrize("mode, fixture", [
+    (RenumberMode.CHAITIN, "fehl_8p8_chaitin.il"),
+    (RenumberMode.REMAT, "fehl_8p8_remat.il"),
+])
+def test_fehl_8p8_matches_pre_refactor_output(mode, fixture):
+    fn = KERNELS_BY_NAME["fehl"].compile()
+    result = allocate(fn, machine=machine_with(8, 8), mode=mode)
+    expected = (FIXTURES / fixture).read_text()
+    assert function_to_text(result.function) == expected

@@ -111,3 +111,80 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+LOOPY = """
+proc f(n) {
+  int s; int i;
+  s = 0;
+  for i = 0 to n {
+    s = s + i * 4;
+  }
+  out(s);
+}
+"""
+
+
+class TestOptCommand:
+    @pytest.fixture
+    def loop_file(self, tmp_path):
+        path = tmp_path / "loop.mf"
+        path.write_text(LOOPY)
+        return str(path)
+
+    def test_default_pipeline_emits_iloc(self, loop_file, capsys):
+        assert main(["opt", loop_file]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("proc f 1")
+        assert "# passes=lvn,licm,dce" in captured.err
+
+    def test_explicit_passes_and_verify(self, loop_file, capsys):
+        assert main(["opt", loop_file, "--passes", "dce,lvn",
+                     "--verify-after-each"]) == 0
+        err = capsys.readouterr().err
+        assert "passes=dce,lvn" in err
+        assert "verified=2" in err
+
+    def test_print_after_dumps_to_stderr(self, loop_file, capsys):
+        assert main(["opt", loop_file, "--print-after", "dce"]) == 0
+        captured = capsys.readouterr()
+        assert "# --- IR after dce ---" in captured.err
+        assert "# ---" not in captured.out
+
+    def test_analysis_accounting_reported(self, loop_file, capsys):
+        assert main(["opt", loop_file]) == 0
+        err = capsys.readouterr().err
+        assert "analyses_computed=" in err and "analyses_reused=" in err
+
+    def test_unknown_pass_is_an_error(self, loop_file):
+        with pytest.raises(SystemExit, match="unknown pass 'bogus'"):
+            main(["opt", loop_file, "--passes", "bogus"])
+
+    def test_empty_pass_list_is_an_error(self, loop_file):
+        with pytest.raises(SystemExit, match="named no passes"):
+            main(["opt", loop_file, "--passes", ","])
+
+    def test_output_parses_and_runs(self, loop_file, capsys, tmp_path):
+        from repro.interp import run_function
+        from repro.ir import parse_function
+
+        assert main(["opt", loop_file,
+                     "--passes", "lvn,licm,dce"]) == 0
+        fn = parse_function(capsys.readouterr().out)
+        assert run_function(fn, args=[5]).output == [40]
+
+
+class TestPassesCommand:
+    def test_lists_every_registered_pass(self, capsys):
+        from repro.passes import PASS_REGISTRY
+
+        assert main(["passes"]) == 0
+        out = capsys.readouterr().out
+        for name in PASS_REGISTRY:
+            assert name in out
+
+    def test_shows_invalidation_contracts(self, capsys):
+        assert main(["passes"]) == 0
+        out = capsys.readouterr().out
+        assert "preserves: dominance, loops, postdominance" in out
+        assert "preserves: none" in out
