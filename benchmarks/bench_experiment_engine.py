@@ -84,7 +84,12 @@ def test_experiment_engine_suite(benchmark, suite_runs, results_dir):
         "byte_identical": True,
     }
     path = results_dir / "BENCH_experiments.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    try:
+        merged = json.loads(path.read_text())
+    except (OSError, ValueError):
+        merged = {}
+    merged.update(payload)
+    path.write_text(json.dumps(merged, indent=2) + "\n")
     print(f"\n{json.dumps(payload, indent=2)}\n[saved to {path}]")
 
     # the benchmarked operation: a warm regeneration over a fresh

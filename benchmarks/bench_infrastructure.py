@@ -301,3 +301,55 @@ def test_pass_overhead_within_two_percent(results_dir):
         json.dumps(payload, indent=2) + "\n")
     print("\n" + json.dumps(payload, indent=2))
     assert alloc_ratio <= 1.02, payload
+
+
+# -- supervised-executor overhead -------------------------------------------------
+
+def test_supervised_overhead_within_five_percent(results_dir):
+    """ISSUE acceptance: the supervised executor (per-request pipes,
+    deadline bookkeeping, crash watching) costs < 5% over a plain
+    ``multiprocessing.Pool.map`` on the same fault-free batch."""
+    import json
+    import multiprocessing
+
+    from repro.engine import execute_request, request_key
+    from repro.engine.supervisor import run_supervised
+    from repro.machine import machine_with
+
+    kernel = KERNELS_BY_NAME["repvid"]
+    from repro.experiments import kernel_request
+
+    requests = [kernel_request(kernel, machine_with(k, k), mode)
+                for k in range(4, 24)
+                for mode in (RenumberMode.CHAITIN, RenumberMode.REMAT)]
+    items = [(request_key(r), r) for r in requests]
+    jobs = 2
+    ctx = multiprocessing.get_context("spawn")
+
+    def pool_suite():
+        with ctx.Pool(jobs) as pool:
+            pool.map(execute_request, requests)
+
+    def supervised_suite():
+        outcomes, stats = run_supervised(items, jobs)
+        assert stats.retries == 0 and stats.worker_crashes == 0
+        assert len(outcomes) == len(items)
+
+    t_supervised, t_pool = _race(supervised_suite, pool_suite, repeats=5)
+    ratio = t_supervised / t_pool
+
+    payload = {
+        "requests": len(requests),
+        "jobs": jobs,
+        "unit": "seconds (best of 5, interleaved)",
+        "pool_map_seconds": round(t_pool, 4),
+        "supervised_seconds": round(t_supervised, 4),
+        "overhead_ratio": round(ratio, 4),
+    }
+    # merge beside the engine-suite numbers rather than clobbering them
+    path = results_dir / "BENCH_experiments.json"
+    merged = json.loads(path.read_text()) if path.exists() else {}
+    merged["supervised_overhead"] = payload
+    path.write_text(json.dumps(merged, indent=2) + "\n")
+    print("\n" + json.dumps(payload, indent=2))
+    assert ratio <= 1.05, payload

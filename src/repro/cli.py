@@ -20,7 +20,12 @@ Commands
 * ``table1`` / ``table2`` / ``ablation`` / ``sweep`` — the experiments,
   executed through the allocation-experiment engine (``--jobs N`` for
   parallel fan-out, ``--no-cache`` to bypass the persistent result
-  cache under ``benchmarks/results/cache/``)
+  cache under ``benchmarks/results/cache/``, ``--timeout`` /
+  ``--retries`` for the supervisor's failure policy).  Quarantined
+  requests render as a partial-results appendix and exit nonzero
+  instead of aborting the table (see ``docs/robustness.md``)
+* ``cache {stats,verify,gc}`` — inspect, re-checksum, or sweep the
+  persistent result cache and its ``quarantine/`` directory
 
 ``FILE`` may be MiniFort (``.mf``) or textual ILOC (``.il``); anything
 else is sniffed by content (ILOC starts with ``proc NAME NPARAMS``).
@@ -79,13 +84,40 @@ def _add_engine(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent result cache under "
                              "benchmarks/results/cache/")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent result cache directory "
+                             "(default: benchmarks/results/cache/ or "
+                             "$REPRO_CACHE_DIR)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-attempt wall-clock budget; a worker "
+                             "exceeding it is killed and the request "
+                             "retried (default: no timeout)")
+    parser.add_argument("--retries", type=int, default=3, metavar="N",
+                        help="attempts per request before it is "
+                             "quarantined as a failure (default 3)")
 
 
 def _engine(args: argparse.Namespace):
-    from .engine import ExperimentEngine
+    from .engine import ExperimentEngine, SupervisorConfig
 
-    return ExperimentEngine(jobs=args.jobs,
-                            use_cache=not args.no_cache)
+    return ExperimentEngine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        supervisor=SupervisorConfig(timeout=args.timeout,
+                                    max_attempts=args.retries))
+
+
+def _report_failures(engine) -> int:
+    """Print the partial-results appendix to stderr; nonzero when the
+    rendered tables are missing quarantined requests."""
+    if not engine.failures:
+        return 0
+    from .experiments import render_failures
+
+    print(render_failures(engine.failures), file=sys.stderr)
+    return 1
 
 
 def _maybe_optimize(fn: Function, args: argparse.Namespace) -> None:
@@ -254,10 +286,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_table1(args: argparse.Namespace) -> int:
     from .experiments import generate_table1
 
+    engine = _engine(args)
     print(generate_table1(machine=_machine(args),
                           optimize_first=args.opt,
-                          engine=_engine(args)).render())
-    return 0
+                          engine=engine).render())
+    return _report_failures(engine)
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
@@ -265,9 +298,9 @@ def cmd_table2(args: argparse.Namespace) -> int:
 
     # timing requests are cacheable=False by construction, so the
     # engine only contributes parallel fan-out here — never stale times
-    print(generate_table2(repeats=args.repeats,
-                          engine=_engine(args)).render())
-    return 0
+    engine = _engine(args)
+    print(generate_table2(repeats=args.repeats, engine=engine).render())
+    return _report_failures(engine)
 
 
 def cmd_ablation(args: argparse.Namespace) -> int:
@@ -277,13 +310,34 @@ def cmd_ablation(args: argparse.Namespace) -> int:
     print(run_ablation(engine=engine).render())
     print()
     print(run_heuristic_ablation(engine=engine).render())
-    return 0
+    return _report_failures(engine)
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import run_register_sweep
 
-    print(run_register_sweep(engine=_engine(args)).render())
+    engine = _engine(args)
+    print(run_register_sweep(engine=engine).render())
+    return _report_failures(engine)
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from .engine import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        print(json.dumps(cache.stats_report(), indent=2))
+    elif args.action == "verify":
+        ok, corrupt = cache.verify()
+        print(f"verified {ok + corrupt} entries: {ok} ok, "
+              f"{corrupt} corrupt (quarantined)")
+        return 1 if corrupt else 0
+    else:  # gc
+        swept = cache.gc()
+        print(f"removed {swept['quarantined_removed']} quarantined "
+              f"entries, {swept['tmp_removed']} stray temp files")
     return 0
 
 
@@ -373,6 +427,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="register-set size sweep")
     _add_engine(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("cache", help="inspect or maintain the persistent "
+                                     "result cache")
+    p.add_argument("action", choices=["stats", "verify", "gc"],
+                   help="stats: occupancy snapshot (JSON); verify: "
+                        "re-checksum every entry, quarantining corrupt "
+                        "ones (exit 1 if any); gc: sweep quarantine/ "
+                        "and stray temp files")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache directory (default: "
+                        "benchmarks/results/cache/ or $REPRO_CACHE_DIR)")
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

@@ -3,29 +3,50 @@
 The serve-many-compilations layer: experiment harnesses describe each
 allocation as a content-hashed :class:`ExperimentRequest`, and the
 :class:`ExperimentEngine` answers from an in-process memo, a persistent
-on-disk cache, or a parallel worker pool — see ``engine.py`` for the
-resolution order and ``request.py`` for the keying rules.
+on-disk cache (checksummed envelopes; corrupt entries quarantine as
+misses), or a supervised worker pool with timeouts, bounded retries and
+poison-request quarantine — see ``engine.py`` for the resolution order,
+``request.py`` for the keying rules, ``supervisor.py`` for the failure
+model, and ``faults.py`` for the deterministic chaos harness.
 """
 
-from .cache import ResultCache, default_cache_dir
+from .cache import (CacheStats, ResultCache, default_cache_dir,
+                    QUARANTINE_DIR)
 from .engine import (BatchStats, EngineStats, ExperimentEngine,
                      default_engine)
 from .executor import execute_request
+from .faults import (CORRUPTION_KINDS, FaultPlan, InjectedFault,
+                     corrupt_cache_entry)
 from .request import (AllocationSummary, CACHE_VERSION, ExperimentRequest,
                       TimingReport, TimingSample, request_key)
+from .supervisor import (ExperimentError, ExperimentFailure,
+                         SupervisedStats, SupervisorConfig,
+                         expect_summary, run_supervised)
 
 __all__ = [
     "AllocationSummary",
     "BatchStats",
     "CACHE_VERSION",
+    "CORRUPTION_KINDS",
+    "CacheStats",
     "EngineStats",
     "ExperimentEngine",
+    "ExperimentError",
+    "ExperimentFailure",
     "ExperimentRequest",
+    "FaultPlan",
+    "InjectedFault",
+    "QUARANTINE_DIR",
     "ResultCache",
+    "SupervisedStats",
+    "SupervisorConfig",
     "TimingReport",
     "TimingSample",
+    "corrupt_cache_entry",
     "default_cache_dir",
     "default_engine",
     "execute_request",
+    "expect_summary",
     "request_key",
+    "run_supervised",
 ]

@@ -1,4 +1,4 @@
-"""The allocation-experiment engine: dedup → cache → parallel fan-out.
+"""The allocation-experiment engine: dedup → cache → supervised fan-out.
 
 Every experiment harness (Table 1, Table 2, the ablations, the register
 sweep, the benchmark suite, the CLI) submits
@@ -10,37 +10,63 @@ calling ``allocate`` in its own loop.  ``run_many`` then
    standard-machine runs) collapse to one execution;
 2. serves **hits** from the in-process memo and, for cacheable
    requests, the persistent on-disk :class:`~repro.engine.cache.
-   ResultCache`;
-3. executes the **misses** — serially in-process, or fanned out over a
-   ``spawn`` :mod:`multiprocessing` pool when ``jobs > 1`` — and writes
-   cacheable results back atomically.
+   ResultCache` (whose checksummed envelope quarantines corrupt
+   entries as misses);
+3. executes the **misses** under the :mod:`~repro.engine.supervisor` —
+   serially in-process, or fanned out over supervised ``spawn``
+   workers when ``jobs > 1`` — with per-attempt timeouts, bounded
+   retries, and quarantine of poison requests.  Cacheable results are
+   flushed to disk *as they arrive*, so an interrupt mid-batch loses
+   nothing already computed.
 
-Results are returned in request order, and (PR 1's determinism) are
-bit-identical whichever path produced them; only the live
-``timing`` field differs, and it is never cached.
+Results come back in request order.  Surviving requests are
+:class:`~repro.engine.request.AllocationSummary` values — and (PR 1's
+determinism) bit-identical whichever path produced them; only the live
+``timing`` field differs, and it is never cached.  Requests the
+supervisor gave up on come back as typed
+:class:`~repro.engine.supervisor.ExperimentFailure` values so harnesses
+render partial tables instead of aborting (single-request call sites
+use :meth:`ExperimentEngine.run`, which raises
+:class:`~repro.engine.supervisor.ExperimentError` instead).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import pathlib
 from dataclasses import dataclass, field
 
 from .cache import ResultCache
-from .executor import execute_request
+from .faults import FaultPlan
 from .request import AllocationSummary, ExperimentRequest, request_key
+from .supervisor import (ExperimentFailure, SupervisorConfig,
+                         expect_summary, run_supervised)
 
 
 @dataclass
 class EngineStats:
-    """Where the answers of one engine's lifetime came from."""
+    """Where the answers of one engine's lifetime came from — plus the
+    fault ledger of everything that went wrong along the way."""
 
     requests: int = 0
     memo_hits: int = 0
     cache_hits: int = 0
     executed: int = 0
     deduplicated: int = 0
+    #: requests quarantined as :class:`ExperimentFailure`
+    failed: int = 0
+    #: re-executions scheduled after a failed attempt
+    retries: int = 0
+    #: attempts killed for exceeding the per-attempt timeout
+    timeouts: int = 0
+    #: worker processes observed dead while holding a request
+    worker_crashes: int = 0
+    #: requests that exhausted the retry budget
+    quarantined: int = 0
+    #: worker spawns that failed
+    spawn_failures: int = 0
+    #: batches that degraded to serial in-process execution
+    fallback_serial: int = 0
 
 
 @dataclass
@@ -53,13 +79,14 @@ class BatchStats:
     memo_hits: int = 0
     cache_hits: int = 0
     executed: int = 0
+    failed: int = 0
     #: pool processes used for the misses (1 = in-process serial)
     workers: int = 0
 
 
 @dataclass
 class ExperimentEngine:
-    """A request executor with memoization, disk cache and a pool.
+    """A request executor with memoization, disk cache and supervision.
 
     Args:
         jobs: worker processes for cache misses (default:
@@ -69,11 +96,17 @@ class ExperimentEngine:
             ``$REPRO_CACHE_DIR``).
         use_cache: disable to bypass the persistent cache entirely
             (the in-process memo still deduplicates within a run).
+        supervisor: failure policy — per-attempt timeout, retry
+            budget, backoff, serial-fallback threshold.
+        fault_plan: deterministic fault injection for the chaos suite
+            (never set in production paths).
     """
 
     jobs: int | None = None
     cache_dir: pathlib.Path | str | None = None
     use_cache: bool = True
+    supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
+    fault_plan: FaultPlan | None = None
     stats: EngineStats = field(default_factory=EngineStats)
 
     def __post_init__(self) -> None:
@@ -81,29 +114,35 @@ class ExperimentEngine:
             self.jobs = os.cpu_count() or 1
         self.cache = ResultCache(self.cache_dir) if self.use_cache else None
         self._memo: dict[str, AllocationSummary] = {}
+        #: quarantined failures, in delivery order, engine lifetime
+        self.failures: list[ExperimentFailure] = []
         #: per-``run_many`` provenance, in call order (the bench
         #: harnesses used to infer hit rates from wall-clock deltas;
         #: now the engine records them)
         self.batches: list[BatchStats] = []
 
     def run(self, request: ExperimentRequest) -> AllocationSummary:
-        """Execute (or recall) one request."""
-        return self.run_many([request])[0]
+        """Execute (or recall) one request; raises
+        :class:`~repro.engine.supervisor.ExperimentError` if the
+        supervisor quarantined it."""
+        return expect_summary(self.run_many([request])[0])
 
     def run_many(self, requests: list[ExperimentRequest]
-                 ) -> list[AllocationSummary]:
+                 ) -> list[AllocationSummary | ExperimentFailure]:
         """Execute (or recall) a batch; results align with *requests*.
 
         Each call appends a :class:`BatchStats` entry to
         :attr:`batches` recording the batch's hit/miss provenance and
-        pool fan-out.
+        pool fan-out.  Cacheable results are flushed to the persistent
+        cache as they complete, so a ``KeyboardInterrupt`` mid-batch
+        terminates the workers promptly without losing finished work.
         """
         keyed = [(request_key(r), r) for r in requests]
         batch = BatchStats(requests=len(keyed))
         self.batches.append(batch)
         self.stats.requests += len(keyed)
 
-        resolved: dict[str, AllocationSummary] = {}
+        resolved: dict[str, AllocationSummary | ExperimentFailure] = {}
         misses: dict[str, ExperimentRequest] = {}
         for key, request in keyed:
             if key in resolved or key in misses:
@@ -131,36 +170,56 @@ class ExperimentEngine:
             misses[key] = request
 
         if misses:
-            results, batch.workers = self._execute(list(misses.values()))
-            for key, summary in zip(misses, results):
+            outcomes, batch.workers = self._execute(misses, batch)
+            resolved.update(outcomes)
+
+        return [resolved[key] for key, _ in keyed]
+
+    def _execute(self, misses: dict[str, ExperimentRequest],
+                 batch: BatchStats,
+                 ) -> tuple[dict[str, AllocationSummary
+                                 | ExperimentFailure], int]:
+        """Run cache misses under supervision; returns outcomes plus the
+        fan-out width used."""
+        assert self.jobs is not None
+        workers = min(self.jobs, len(misses))
+
+        def on_result(key: str,
+                      outcome: AllocationSummary | ExperimentFailure
+                      ) -> None:
+            # flush incrementally: completed work survives interrupts
+            if isinstance(outcome, AllocationSummary):
                 self.stats.executed += 1
                 batch.executed += 1
                 if misses[key].cacheable:
                     if self.cache is not None:
-                        self.cache.put(key, summary)
-                    self._memo[key] = summary
-                resolved[key] = summary
+                        self.cache.put(key, outcome)
+                    self._memo[key] = outcome
+            else:
+                self.stats.failed += 1
+                batch.failed += 1
+                self.failures.append(outcome)
 
-        return [resolved[key] for key, _ in keyed]
-
-    def _execute(self, requests: list[ExperimentRequest]
-                 ) -> tuple[list[AllocationSummary], int]:
-        """Run cache misses (fanning out to worker processes if asked);
-        returns the summaries plus the fan-out width used."""
-        assert self.jobs is not None
-        workers = min(self.jobs, len(requests))
-        if workers <= 1:
-            return [execute_request(r) for r in requests], 1
-        # spawn, not fork: no inherited interpreter state, so results
-        # cannot depend on whatever the parent process computed before
-        ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes=workers) as pool:
-            return pool.map(execute_request, requests, chunksize=1), workers
+        outcomes, sstats = run_supervised(
+            list(misses.items()), workers, config=self.supervisor,
+            plan=self.fault_plan, on_result=on_result)
+        self.stats.retries += sstats.retries
+        self.stats.timeouts += sstats.timeouts
+        self.stats.worker_crashes += sstats.worker_crashes
+        self.stats.quarantined += sstats.quarantined
+        self.stats.spawn_failures += sstats.spawn_failures
+        self.stats.fallback_serial += sstats.fallback_serial
+        return outcomes, max(1, workers)
 
     def metrics(self) -> "MetricsRegistry":
         """The engine's lifetime stats as a metrics registry.
 
-        Counters under ``engine.*`` absorb :class:`EngineStats`;
+        Counters under ``engine.*`` absorb :class:`EngineStats` — the
+        hit/miss provenance plus the fault ledger (``engine.retries``,
+        ``engine.timeouts``, ``engine.worker_crashes``,
+        ``engine.quarantined``, ``engine.fallback_serial``) and the
+        cache-integrity counters (``engine.cache_corrupt``,
+        ``engine.cache_quarantined``, ``engine.cache_write_errors``);
         ``engine.batch_size`` and ``engine.fanout`` histograms cover
         the per-:meth:`run_many` batch shapes.
         """
@@ -168,6 +227,13 @@ class ExperimentEngine:
 
         registry = MetricsRegistry()
         registry.absorb_dataclass(self.stats, "engine")
+        if self.cache is not None:
+            registry.counter("engine.cache_corrupt").inc(
+                self.cache.stats.corrupt)
+            registry.counter("engine.cache_quarantined").inc(
+                self.cache.stats.quarantined)
+            registry.counter("engine.cache_write_errors").inc(
+                self.cache.stats.write_errors)
         registry.counter("engine.batches").inc(len(self.batches))
         for batch in self.batches:
             registry.histogram("engine.batch_size").observe(batch.requests)

@@ -35,7 +35,8 @@ from ..remat import RenumberMode
 
 #: bump to invalidate every persisted cache entry
 #: 2: allocator/optimizer rebuilt on the pass pipeline + AnalysisManager
-CACHE_VERSION = 2
+#: 3: checksummed envelope storage (pre-envelope entries never match)
+CACHE_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,522 @@
+"""Supervised execution: timeouts, crash detection, retry, quarantine.
+
+``ExperimentEngine`` used to fan cache misses out with a bare
+``pool.map`` — one worker segfault, OOM kill, or pathological-CFG hang
+lost the entire batch.  This module replaces the pool with a
+*supervisor* over long-lived ``spawn`` worker processes:
+
+* each request is dispatched **individually** over a pipe, so the
+  supervisor always knows which request a worker is holding;
+* a configurable **per-attempt timeout** catches hangs — the worker is
+  killed and the request retried elsewhere;
+* **worker death** (the process sentinel fires while a request is in
+  flight) is detected per request, not per batch;
+* failed attempts are **retried with exponential backoff** up to a
+  bounded budget, after which the request is declared poison and
+  **quarantined** as a typed :class:`ExperimentFailure` — surviving
+  requests still come back as normal summaries, so harnesses render
+  partial tables instead of aborting;
+* when the pool itself is unhealthy (``max_spawn_failures`` consecutive
+  worker spawns fail) the supervisor **degrades to serial in-process
+  execution** and finishes the batch without workers.
+
+Results are delivered to the caller *as they arrive* via ``on_result``
+(the engine uses this to flush the persistent cache incrementally), so
+a ``KeyboardInterrupt`` mid-batch terminates the workers promptly and
+loses nothing that already completed.
+
+Determinism note: the allocator is deterministic, so a retried request
+returns a byte-identical summary no matter which worker (or the serial
+fallback) produced it — the chaos suite in ``tests/engine/test_chaos.py``
+asserts exactly that.
+
+Fault-injection points (``engine/faults.py``) are threaded through both
+the worker loop and the supervisor so the recovery paths are provable;
+with no plan installed they cost one ``is None`` check per request.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+
+from .faults import CRASH, CRASH_EXIT_CODE, HANG, RAISE, FaultPlan, \
+    InjectedFault
+from .request import AllocationSummary, ExperimentRequest
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Failure-handling policy for one engine.
+
+    Attributes:
+        timeout: per-attempt wall-clock limit in seconds (``None`` — no
+            limit).  Enforced only for pooled execution; the serial
+            path cannot kill itself.
+        max_attempts: total attempts per request before it is
+            quarantined (1 = no retries).
+        backoff: base retry delay; attempt *n* is delayed
+            ``backoff * 2**(n-1)`` seconds.
+        max_spawn_failures: consecutive worker-spawn failures tolerated
+            before the supervisor degrades to serial in-process
+            execution.
+    """
+
+    timeout: float | None = None
+    max_attempts: int = 3
+    backoff: float = 0.05
+    max_spawn_failures: int = 3
+
+
+@dataclass
+class ExperimentFailure:
+    """A request the supervisor gave up on (typed, renderable).
+
+    Harnesses receive these *in place of* an ``AllocationSummary`` and
+    must render partial results around them.
+
+    Attributes:
+        key: the request's content hash.
+        request: the poison request itself.
+        error_class: exception class name of the final attempt
+            (``WorkerCrash`` / ``Timeout`` for non-exception fates).
+        message: human-readable detail of the final attempt.
+        attempts: how many attempts were made (== the configured
+            budget when quarantined).
+        worker_fate: how the last worker ended — ``crashed`` (process
+            died), ``killed`` (timeout), ``exception`` (clean error
+            reply), or ``in-process`` (serial execution).
+        attempt_errors: one line per failed attempt, oldest first.
+    """
+
+    key: str
+    request: ExperimentRequest
+    error_class: str
+    message: str
+    attempts: int
+    worker_fate: str
+    attempt_errors: list[str] = field(default_factory=list)
+
+    @property
+    def function_name(self) -> str:
+        """The routine name, recovered from the request's ILOC header."""
+        first = self.request.ir_text.split("\n", 1)[0].split()
+        return first[1] if len(first) >= 2 else "?"
+
+    def describe(self) -> str:
+        return (f"{self.function_name}: {self.error_class} after "
+                f"{self.attempts} attempt(s) [{self.worker_fate}] — "
+                f"{self.message}")
+
+
+class ExperimentError(RuntimeError):
+    """Raised by single-request call sites that cannot render partials."""
+
+    def __init__(self, failure: ExperimentFailure):
+        super().__init__(failure.describe())
+        self.failure = failure
+
+
+def expect_summary(outcome: "AllocationSummary | ExperimentFailure"
+                   ) -> AllocationSummary:
+    """Unwrap an engine outcome, raising on a failure."""
+    if isinstance(outcome, ExperimentFailure):
+        raise ExperimentError(outcome)
+    return outcome
+
+
+@dataclass
+class SupervisedStats:
+    """Fault accounting for one supervised batch."""
+
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    quarantined: int = 0
+    spawn_failures: int = 0
+    #: batches that degraded to serial in-process execution
+    fallback_serial: int = 0
+
+
+def worker_main(conn, plan: FaultPlan | None = None) -> None:
+    """The worker process loop: recv request, execute, send result.
+
+    Module-level so it pickles by reference under ``spawn``.  Replies
+    are ``("ok", key, summary)`` or ``("err", key, class, message)``;
+    anything else the supervisor learns from the process sentinel.
+    """
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg is None:
+            return
+        key, request, attempt = msg
+        action = plan.worker_action(key, attempt) if plan is not None \
+            else None
+        if action == CRASH:
+            os._exit(CRASH_EXIT_CODE)
+        if action == HANG:
+            time.sleep(plan.hang_seconds)
+        try:
+            if action == RAISE:
+                raise InjectedFault(
+                    f"injected transient fault (attempt {attempt})")
+            from .executor import execute_request
+
+            summary = execute_request(request)
+        except Exception as exc:  # crashes bypass this; see sentinel
+            reply = ("err", key, type(exc).__name__, str(exc))
+        else:
+            reply = ("ok", key, summary)
+        try:
+            conn.send(reply)
+        except OSError:
+            return
+
+
+@dataclass
+class _Attempt:
+    key: str
+    request: ExperimentRequest
+    number: int          # 1-based
+    ready_at: float = 0.0
+
+
+class _Worker:
+    """One supervised child process plus its command pipe."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, ctx, plan: FaultPlan | None):
+        parent, child = ctx.Pipe()
+        try:
+            self.process = ctx.Process(target=worker_main,
+                                       args=(child, plan), daemon=True)
+            self.process.start()
+        except BaseException:
+            parent.close()
+            child.close()
+            raise
+        child.close()
+        self.conn = parent
+
+    @property
+    def sentinel(self):
+        return self.process.sentinel
+
+    def kill(self) -> None:
+        """Terminate promptly; escalate to SIGKILL if needed."""
+        try:
+            self.process.terminate()
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5)
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class _Supervisor:
+    """The event loop: dispatch, watch, retry, quarantine, degrade."""
+
+    def __init__(self, config: SupervisorConfig, workers: int,
+                 plan: FaultPlan | None, on_result):
+        self.config = config
+        self.workers_target = max(1, workers)
+        self.plan = plan
+        self.on_result = on_result
+        self.ctx = multiprocessing.get_context("spawn")
+        self.stats = SupervisedStats()
+        self.results: dict[str, AllocationSummary | ExperimentFailure] = {}
+        self.history: dict[str, list[str]] = {}
+        self.runnable: deque[_Attempt] = deque()
+        self.delayed: list[_Attempt] = []
+        self.idle: list[_Worker] = []
+        self.busy: dict[_Worker, tuple[_Attempt, float | None]] = {}
+        self.outstanding = 0
+        self.delivered = 0
+        self.fallback = False
+        self._consecutive_spawn_failures = 0
+        self._spawn_attempts = 0
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self, items: list[tuple[str, ExperimentRequest]]
+            ) -> dict[str, AllocationSummary | ExperimentFailure]:
+        for key, request in items:
+            self.runnable.append(_Attempt(key, request, 1))
+            self.history[key] = []
+        self.outstanding = len(items)
+        if self.workers_target <= 1:
+            # requested serial mode, not a degradation
+            self._drain_serial()
+            return self.results
+        try:
+            while self.outstanding:
+                now = time.monotonic()
+                self._promote(now)
+                self._fill(now)
+                if self.fallback:
+                    self._reclaim_busy()
+                    self._drain_serial()
+                    break
+                self._wait()
+        finally:
+            self._shutdown()
+        return self.results
+
+    def _promote(self, now: float) -> None:
+        """Move backoff-delayed retries whose time has come."""
+        due = [a for a in self.delayed if a.ready_at <= now]
+        if due:
+            self.delayed = [a for a in self.delayed if a.ready_at > now]
+            for attempt in sorted(due, key=lambda a: a.ready_at):
+                self.runnable.append(attempt)
+
+    def _fill(self, now: float) -> None:
+        """Hand runnable attempts to idle (or freshly spawned) workers."""
+        while self.runnable and not self.fallback:
+            if self.idle:
+                worker = self.idle.pop()
+            elif len(self.busy) + len(self.idle) < self.workers_target:
+                worker = self._spawn()
+                if worker is None:
+                    break
+            else:
+                break
+            self._dispatch(worker, self.runnable.popleft(), now)
+
+    def _spawn(self) -> _Worker | None:
+        self._spawn_attempts += 1
+        try:
+            if self.plan is not None \
+                    and self._spawn_attempts <= self.plan.spawn_failures:
+                raise OSError("injected spawn failure")
+            worker = _Worker(self.ctx, self.plan)
+        except OSError:
+            self.stats.spawn_failures += 1
+            self._consecutive_spawn_failures += 1
+            if self._consecutive_spawn_failures \
+                    >= self.config.max_spawn_failures:
+                self.fallback = True
+                self.stats.fallback_serial += 1
+            return None
+        self._consecutive_spawn_failures = 0
+        return worker
+
+    def _dispatch(self, worker: _Worker, attempt: _Attempt,
+                  now: float) -> None:
+        deadline = (now + self.config.timeout
+                    if self.config.timeout is not None else None)
+        self.busy[worker] = (attempt, deadline)
+        try:
+            worker.conn.send((attempt.key, attempt.request, attempt.number))
+        except OSError:
+            self._on_crash(worker)
+
+    def _wait(self) -> None:
+        """Block until a result, a corpse, a deadline, or a retry is due."""
+        now = time.monotonic()
+        wakeups = [d for _, d in self.busy.values() if d is not None]
+        wakeups += [a.ready_at for a in self.delayed]
+        timeout = max(0.0, min(wakeups) - now) if wakeups else None
+        if not self.busy:
+            if timeout:
+                time.sleep(timeout)
+            return
+        objs: list = []
+        for worker in self.busy:
+            objs.append(worker.conn)
+            objs.append(worker.sentinel)
+        ready = set(connection_wait(objs, timeout))
+        for worker in list(self.busy):
+            if worker not in self.busy:
+                continue
+            if worker.conn in ready:
+                self._on_message(worker)
+            elif worker.sentinel in ready:
+                self._on_crash(worker)
+        now = time.monotonic()
+        for worker, (_, deadline) in list(self.busy.items()):
+            if deadline is not None and now >= deadline:
+                self._on_timeout(worker)
+
+    # -- outcomes --------------------------------------------------------------
+
+    def _on_message(self, worker: _Worker) -> None:
+        attempt, _ = self.busy.pop(worker)
+        try:
+            msg = worker.conn.recv()
+        except (EOFError, OSError):
+            self._crashed(worker, attempt)
+            return
+        self.idle.append(worker)
+        if msg[0] == "ok":
+            self._deliver(msg[1], msg[2])
+        else:
+            _, _key, error_class, message = msg
+            self._failed_attempt(attempt, error_class, message,
+                                 fate="exception")
+
+    def _on_crash(self, worker: _Worker) -> None:
+        attempt, _ = self.busy.pop(worker)
+        # the worker may have replied *and then* died — don't lose the
+        # result, and don't re-execute a completed request
+        if worker.conn.poll(0):
+            try:
+                msg = worker.conn.recv()
+            except (EOFError, OSError):
+                msg = None
+            if msg is not None and msg[0] == "ok":
+                self.stats.worker_crashes += 1
+                worker.close()
+                self._deliver(msg[1], msg[2])
+                return
+        self._crashed(worker, attempt)
+
+    def _crashed(self, worker: _Worker, attempt: _Attempt) -> None:
+        # reap first: exitcode is None until the dead child is joined
+        worker.process.join(timeout=5)
+        code = worker.process.exitcode
+        worker.kill()
+        self.stats.worker_crashes += 1
+        self._failed_attempt(attempt, "WorkerCrash",
+                             f"worker process died (exit code {code})",
+                             fate="crashed")
+
+    def _on_timeout(self, worker: _Worker) -> None:
+        attempt, _ = self.busy.pop(worker)
+        worker.kill()
+        self.stats.timeouts += 1
+        self._failed_attempt(
+            attempt, "Timeout",
+            f"no result within {self.config.timeout:.4g}s", fate="killed")
+
+    def _failed_attempt(self, attempt: _Attempt, error_class: str,
+                        message: str, fate: str) -> None:
+        self.history[attempt.key].append(
+            f"attempt {attempt.number}: {error_class}: {message} [{fate}]")
+        if attempt.number >= self.config.max_attempts:
+            self.stats.quarantined += 1
+            self._deliver(attempt.key, ExperimentFailure(
+                key=attempt.key, request=attempt.request,
+                error_class=error_class, message=message,
+                attempts=attempt.number, worker_fate=fate,
+                attempt_errors=list(self.history[attempt.key])))
+            return
+        self.stats.retries += 1
+        delay = self.config.backoff * (2 ** (attempt.number - 1))
+        self.delayed.append(_Attempt(attempt.key, attempt.request,
+                                     attempt.number + 1,
+                                     time.monotonic() + delay))
+
+    def _deliver(self, key: str,
+                 outcome: AllocationSummary | ExperimentFailure) -> None:
+        self.results[key] = outcome
+        self.outstanding -= 1
+        self.delivered += 1
+        if self.on_result is not None:
+            self.on_result(key, outcome)
+        if self.plan is not None \
+                and self.plan.interrupt_after is not None \
+                and self.delivered >= self.plan.interrupt_after:
+            raise KeyboardInterrupt
+
+    # -- degraded / serial path ------------------------------------------------
+
+    def _reclaim_busy(self) -> None:
+        """Take in-flight requests back (uncharged) before going serial."""
+        for worker, (attempt, _) in list(self.busy.items()):
+            worker.kill()
+            self.runnable.appendleft(attempt)
+        self.busy.clear()
+
+    def _drain_serial(self) -> None:
+        """Finish every unresolved request in-process.
+
+        Timeouts cannot be enforced here (``hang`` faults are ignored);
+        ``crash``/``raise`` faults surface as transient exceptions so
+        retry and quarantine semantics still hold.
+        """
+        from .executor import execute_request
+
+        pending = list(self.runnable) \
+            + sorted(self.delayed, key=lambda a: a.ready_at)
+        self.runnable.clear()
+        self.delayed.clear()
+        for attempt in pending:
+            number = attempt.number
+            while True:
+                action = self.plan.worker_action(attempt.key, number) \
+                    if self.plan is not None else None
+                try:
+                    if action in (CRASH, RAISE):
+                        raise InjectedFault(
+                            f"injected {action} (attempt {number})")
+                    summary = execute_request(attempt.request)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    error_class, message = type(exc).__name__, str(exc)
+                    self.history[attempt.key].append(
+                        f"attempt {number}: {error_class}: {message} "
+                        f"[in-process]")
+                    if number >= self.config.max_attempts:
+                        self.stats.quarantined += 1
+                        self._deliver(attempt.key, ExperimentFailure(
+                            key=attempt.key, request=attempt.request,
+                            error_class=error_class, message=message,
+                            attempts=number, worker_fate="in-process",
+                            attempt_errors=list(
+                                self.history[attempt.key])))
+                        break
+                    self.stats.retries += 1
+                    if self.config.backoff:
+                        time.sleep(self.config.backoff
+                                   * (2 ** (number - 1)))
+                    number += 1
+                else:
+                    self._deliver(attempt.key, summary)
+                    break
+
+    def _shutdown(self) -> None:
+        """Kill every worker promptly (also the KeyboardInterrupt path)."""
+        workers = self.idle + list(self.busy)
+        self.idle.clear()
+        self.busy.clear()
+        for worker in workers:
+            worker.kill()
+
+
+def run_supervised(items: list[tuple[str, ExperimentRequest]],
+                   workers: int,
+                   config: SupervisorConfig | None = None,
+                   plan: FaultPlan | None = None,
+                   on_result=None,
+                   ) -> tuple[dict[str, AllocationSummary
+                                   | ExperimentFailure], SupervisedStats]:
+    """Execute *items* (``(key, request)`` pairs, unique keys) under
+    supervision; returns per-key outcomes plus the fault accounting.
+
+    ``workers <= 1`` runs serially in-process (no worker processes, no
+    timeout enforcement) with the same retry/quarantine semantics.
+    ``on_result(key, outcome)`` fires as each outcome lands — before
+    the batch finishes, and before any ``KeyboardInterrupt`` unwinds.
+    """
+    supervisor = _Supervisor(config or SupervisorConfig(), workers,
+                             plan, on_result)
+    outcomes = supervisor.run(items)
+    return outcomes, supervisor.stats

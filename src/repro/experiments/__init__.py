@@ -4,7 +4,8 @@ from .ablation import (AblationResult, HEURISTIC_CONFIGS,
                        HeuristicAblation, run_ablation,
                        run_heuristic_ablation, scheme_request)
 from .regsweep import RegisterSweep, SweepPoint, run_register_sweep
-from .reporting import paper_percent, render_table
+from .reporting import (paper_percent, render_failures,
+                        render_table)
 from .spill_metrics import (KernelComparison, SpillMeasurement,
                             TABLE1_CLASSES, baseline_request,
                             compare_kernel, comparison_from_summaries,
@@ -39,5 +40,6 @@ __all__ = [
     "measure",
     "measure_baseline",
     "paper_percent",
+    "render_failures",
     "render_table",
 ]

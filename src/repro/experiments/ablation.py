@@ -18,12 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..benchsuite import ALL_KERNELS, Kernel
-from ..engine import ExperimentEngine, ExperimentRequest, default_engine
+from ..engine import (ExperimentEngine, ExperimentFailure,
+                      ExperimentRequest, default_engine)
 from ..interp import run_function
 from ..machine import MachineDescription, machine_with
 from ..regalloc.splitting import SCHEMES, SplittingScheme
 from ..remat import RenumberMode
-from .reporting import render_table
+from .reporting import render_failures, render_table
 from .spill_metrics import baseline_request, kernel_request
 
 
@@ -42,6 +43,9 @@ class AblationResult:
     machine: MachineDescription
     #: kernel -> scheme -> spill cycles
     spill: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: kernels dropped because a cell of their row failed
+    skipped: list[str] = field(default_factory=list)
+    failures: list[ExperimentFailure] = field(default_factory=list)
 
     def render(self) -> str:
         scheme_names = list(SCHEMES)
@@ -62,10 +66,14 @@ class AblationResult:
             summary_l.append(str(losses))
         rows.append(summary_w)
         rows.append(summary_l)
-        return render_table(
+        table = render_table(
             headers, rows,
             title=(f"Section 6 ablation: spill cycles per splitting scheme "
                    f"({self.machine.name} machine)"))
+        appendix = render_failures(self.failures, self.skipped)
+        if appendix:
+            table += "\n\n" + appendix
+        return table
 
 
 def run_ablation(kernels: list[Kernel] | None = None,
@@ -89,12 +97,19 @@ def run_ablation(kernels: list[Kernel] | None = None,
     result = AblationResult(machine=machine)
     stride = 1 + len(schemes)
     for i, kernel in enumerate(kernels):
-        baseline = summaries[stride * i]
+        row = summaries[stride * i:stride * (i + 1)]
+        failed = [s for s in row if isinstance(s, ExperimentFailure)]
+        if failed:
+            # spreads are only comparable over complete rows
+            result.skipped.append(kernel.name)
+            result.failures.extend(failed)
+            continue
+        baseline = row[0]
         expected = run_function(kernel.compile(),
                                 args=list(kernel.args)).output
         per_scheme: dict[str, int] = {}
         for j, name in enumerate(schemes):
-            summary = summaries[stride * i + 1 + j]
+            summary = row[1 + j]
             if list(summary.output or ()) != expected:
                 raise AssertionError(
                     f"{kernel.name}/{name}: output diverged")
@@ -109,6 +124,9 @@ class HeuristicAblation:
     machine: MachineDescription
     #: kernel -> config -> spill cycles
     spill: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: kernels dropped because a cell of their row failed
+    skipped: list[str] = field(default_factory=list)
+    failures: list[ExperimentFailure] = field(default_factory=list)
 
     CONFIGS = ("full", "no-biasing", "no-lookahead", "no-conservative",
                "pessimistic")
@@ -121,10 +139,14 @@ class HeuristicAblation:
         for c in self.CONFIGS:
             totals.append(f"{sum(per[c] for per in self.spill.values()):,}")
         rows.append(totals)
-        return render_table(
+        table = render_table(
             headers, rows,
             title=("Heuristic ablation (Sections 4.2-4.3): spill cycles "
                    f"with each mechanism disabled ({self.machine.name})"))
+        appendix = render_failures(self.failures, self.skipped)
+        if appendix:
+            table += "\n\n" + appendix
+        return table
 
 
 #: flag overrides per heuristic-ablation configuration
@@ -159,10 +181,16 @@ def run_heuristic_ablation(kernels: list[Kernel] | None = None,
     result = HeuristicAblation(machine=machine)
     stride = 1 + len(HEURISTIC_CONFIGS)
     for i, kernel in enumerate(kernels):
-        baseline = summaries[stride * i]
+        row = summaries[stride * i:stride * (i + 1)]
+        failed = [s for s in row if isinstance(s, ExperimentFailure)]
+        if failed:
+            result.skipped.append(kernel.name)
+            result.failures.extend(failed)
+            continue
+        baseline = row[0]
         per: dict[str, int] = {}
         for j, name in enumerate(HEURISTIC_CONFIGS):
-            summary = summaries[stride * i + 1 + j]
-            per[name] = summary.cycles(machine) - baseline.cycles(machine)
+            per[name] = row[1 + j].cycles(machine) \
+                - baseline.cycles(machine)
         result.spill[kernel.name] = per
     return result

@@ -14,10 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..benchsuite import ALL_KERNELS, Kernel
-from ..engine import ExperimentEngine, default_engine
+from ..engine import ExperimentEngine, ExperimentFailure, default_engine
 from ..machine import machine_with
 from ..remat import RenumberMode
-from .reporting import render_table
+from .reporting import render_failures, render_table
 from .spill_metrics import baseline_request, kernel_request
 
 
@@ -40,6 +40,10 @@ class SweepPoint:
 @dataclass
 class RegisterSweep:
     points: list[SweepPoint] = field(default_factory=list)
+    #: kernels dropped from *every* point (totals must sum the same
+    #: suite at each k to stay comparable)
+    skipped: list[str] = field(default_factory=list)
+    failures: list[ExperimentFailure] = field(default_factory=list)
 
     def render(self) -> str:
         headers = ["k (int=float)", "Optimistic", "Remat", "improvement",
@@ -49,11 +53,15 @@ class RegisterSweep:
             rows.append([str(p.k), f"{p.old_spill:,}", f"{p.new_spill:,}",
                          f"{p.improvement_percent:.0f}%",
                          str(p.n_differing)])
-        return render_table(
+        table = render_table(
             headers, rows,
             title=("Register-set sweep: suite-total spill cycles vs "
                    "register-file size (Section 5's varied-register-set "
                    "capability)"))
+        appendix = render_failures(self.failures, self.skipped)
+        if appendix:
+            table += "\n\n" + appendix
+        return table
 
 
 def run_register_sweep(ks: tuple[int, ...] = (6, 8, 10, 12, 16, 24),
@@ -81,11 +89,30 @@ def run_register_sweep(ks: tuple[int, ...] = (6, 8, 10, 12, 16, 24),
     grid = summaries[len(kernels):]
 
     sweep = RegisterSweep()
+    # a kernel with any failed measurement anywhere in the grid leaves
+    # the whole sweep: each point must total the same suite
+    bad = {kernel.name for kernel in kernels
+           if isinstance(baselines[kernel.name], ExperimentFailure)}
+    pos = 0
+    for _k in ks:
+        for kernel in kernels:
+            if any(isinstance(s, ExperimentFailure)
+                   for s in grid[pos:pos + 2]):
+                bad.add(kernel.name)
+            pos += 2
+    sweep.failures = [s for s in summaries
+                      if isinstance(s, ExperimentFailure)]
+    sweep.skipped = [kernel.name for kernel in kernels
+                     if kernel.name in bad]
+
     pos = 0
     for k in ks:
         machine = machines[k]
         old_total = new_total = differing = 0
         for kernel in kernels:
+            if kernel.name in bad:
+                pos += 2
+                continue
             baseline = baselines[kernel.name].cycles(machine)
             old_spill = grid[pos].cycles(machine) - baseline
             new_spill = grid[pos + 1].cycles(machine) - baseline

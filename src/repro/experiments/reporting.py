@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ExperimentFailure
+
 
 def render_table(headers: list[str], rows: list[list[str]],
                  title: str | None = None) -> str:
@@ -38,6 +43,28 @@ def _numeric(text: str) -> bool:
     if not stripped:
         return True
     return stripped.replace(".", "", 1).replace(",", "").isdigit()
+
+
+def render_failures(failures: "list[ExperimentFailure]",
+                    skipped: list[str] | None = None,
+                    what: str = "routines") -> str:
+    """The partial-result appendix every harness prints below its table.
+
+    Empty string when nothing failed; otherwise a header naming the
+    *skipped* rows (the table entries that could not be assembled) and
+    one table row per quarantined request — routine, final error class,
+    attempt count, and how the last worker ended.
+    """
+    if not failures:
+        return ""
+    lines = [f"PARTIAL RESULTS: {len(failures)} request(s) failed"]
+    if skipped:
+        lines[0] += f"; {what} skipped: {', '.join(skipped)}"
+    rows = [[f.function_name, f.error_class, str(f.attempts),
+             f.worker_fate, f.message[:60]] for f in failures]
+    lines.append(render_table(
+        ["routine", "error", "attempts", "worker fate", "detail"], rows))
+    return "\n".join(lines)
 
 
 def paper_percent(value: float) -> str:

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 from ..benchsuite import Kernel
 from ..engine import (AllocationSummary, ExperimentEngine,
-                      ExperimentRequest, default_engine)
+                      ExperimentRequest, default_engine, expect_summary)
 from ..ir import CountClass, function_to_text
 from ..machine import MachineDescription, huge_machine
 from ..remat import RenumberMode
@@ -191,9 +191,14 @@ def compare_kernel(kernel: Kernel, machine: MachineDescription,
                    optimize_first: bool = False,
                    engine: ExperimentEngine | None = None
                    ) -> KernelComparison:
-    """Produce one Table 1 row for *kernel* on *machine*."""
+    """Produce one Table 1 row for *kernel* on *machine*.
+
+    A single-row call site has no partial table to render, so a
+    quarantined request surfaces as
+    :class:`~repro.engine.supervisor.ExperimentError`.
+    """
     engine = engine or default_engine()
-    baseline, old, new = engine.run_many(
+    baseline, old, new = (expect_summary(s) for s in engine.run_many(
         comparison_requests(kernel, machine, old_mode, new_mode,
-                            optimize_first=optimize_first))
+                            optimize_first=optimize_first)))
     return comparison_from_summaries(kernel, machine, baseline, old, new)

@@ -13,19 +13,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..benchsuite import ALL_KERNELS, Kernel
-from ..engine import ExperimentEngine, default_engine
+from ..engine import (ExperimentEngine, ExperimentFailure, default_engine)
 from ..machine import MachineDescription, standard_machine
-from .reporting import paper_percent, render_table
+from .reporting import paper_percent, render_failures, render_table
 from .spill_metrics import (KernelComparison, TABLE1_CLASSES,
                             comparison_from_summaries, comparison_requests)
 
 
 @dataclass
 class Table1:
-    """All rows plus the suite-level summary of Section 5.3."""
+    """All rows plus the suite-level summary of Section 5.3.
+
+    When the engine quarantines a request, the affected kernels land in
+    :attr:`skipped` (with the underlying :attr:`failures`) and the table
+    renders partially instead of the harness aborting.
+    """
 
     machine: MachineDescription
     rows: list[KernelComparison] = field(default_factory=list)
+    #: kernels whose measurement triple could not be assembled
+    skipped: list[str] = field(default_factory=list)
+    failures: list[ExperimentFailure] = field(default_factory=list)
 
     @property
     def differing(self) -> list[KernelComparison]:
@@ -61,6 +69,9 @@ class Table1:
                    f"degradations in {self.n_degraded} cases "
                    f"(paper, 70 routines: 28 improvements, "
                    f"2 degradations).")
+        appendix = render_failures(self.failures, self.skipped)
+        if appendix:
+            summary += "\n\n" + appendix
         return table + summary
 
 
@@ -85,7 +96,14 @@ def generate_table1(machine: MachineDescription | None = None,
     summaries = engine.run_many(requests)
     table = Table1(machine=machine)
     for i, kernel in enumerate(kernels):
-        baseline, old, new = summaries[3 * i:3 * i + 3]
+        triple = summaries[3 * i:3 * i + 3]
+        failed = [s for s in triple if isinstance(s, ExperimentFailure)]
+        if failed:
+            # a kernel needs all three measurements; render partially
+            table.skipped.append(kernel.name)
+            table.failures.extend(failed)
+            continue
+        baseline, old, new = triple
         table.rows.append(comparison_from_summaries(kernel, machine,
                                                     baseline, old, new))
     return table

@@ -19,10 +19,10 @@ from dataclasses import dataclass, field
 
 from ..benchsuite import Kernel, KERNELS_BY_NAME
 from ..engine import (AllocationSummary, ExperimentEngine,
-                      ExperimentRequest, default_engine)
+                      ExperimentFailure, ExperimentRequest, default_engine)
 from ..machine import MachineDescription, machine_with
 from ..remat import RenumberMode
-from .reporting import render_table
+from .reporting import render_failures, render_table
 from .spill_metrics import kernel_request
 
 #: the default specimens, mirroring the paper's small/medium/large choice
@@ -99,8 +99,15 @@ class Table2:
     machine: MachineDescription
     columns: list[tuple[TimingColumn, TimingColumn]] = field(
         default_factory=list)
+    #: routines whose Old/New timing pair could not be measured
+    skipped: list[str] = field(default_factory=list)
+    failures: list[ExperimentFailure] = field(default_factory=list)
 
     def render(self) -> str:
+        if not self.columns:
+            return ("Table 2: Allocation Times in Seconds — no routine "
+                    "measured\n\n"
+                    + render_failures(self.failures, self.skipped))
         headers = ["Phase"]
         for old, _new in self.columns:
             headers += [f"{old.routine} Old", f"{old.routine} New"]
@@ -147,10 +154,14 @@ class Table2:
         sizes = ", ".join(
             f"{old.routine}: {old.code_size} ILOC instructions"
             for old, _new in self.columns)
-        return render_table(
+        table = render_table(
             headers, rows,
             title=("Table 2: Allocation Times in Seconds "
                    f"({self.machine.name} machine; averaged; {sizes})"))
+        appendix = render_failures(self.failures, self.skipped)
+        if appendix:
+            table += "\n\n" + appendix
+        return table
 
 
 def generate_table2(routines: tuple[str, ...] = DEFAULT_ROUTINES,
@@ -176,9 +187,14 @@ def generate_table2(routines: tuple[str, ...] = DEFAULT_ROUTINES,
     summaries = engine.run_many(requests)
     table = Table2(machine=machine)
     for i, kernel in enumerate(kernels):
-        old = TimingColumn.from_summary(kernel.name, modes[0],
-                                        summaries[2 * i])
-        new = TimingColumn.from_summary(kernel.name, modes[1],
-                                        summaries[2 * i + 1])
+        pair = summaries[2 * i:2 * i + 2]
+        failed = [s for s in pair if isinstance(s, ExperimentFailure)]
+        if failed:
+            # both columns or neither: a half-timed routine misleads
+            table.skipped.append(kernel.name)
+            table.failures.extend(failed)
+            continue
+        old = TimingColumn.from_summary(kernel.name, modes[0], pair[0])
+        new = TimingColumn.from_summary(kernel.name, modes[1], pair[1])
         table.columns.append((old, new))
     return table

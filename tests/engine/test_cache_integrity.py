@@ -1,0 +1,124 @@
+"""The checksummed cache envelope: corruption detection and degradation."""
+
+import logging
+import pickle
+
+import pytest
+
+from repro.engine import (CORRUPTION_KINDS, ExperimentEngine,
+                          ExperimentRequest, QUARANTINE_DIR, ResultCache,
+                          corrupt_cache_entry, execute_request, request_key)
+from repro.ir import function_to_text
+from repro.machine import machine_with
+
+from ..helpers import single_loop
+
+LOOP_TEXT = function_to_text(single_loop())
+
+
+def request(n: int = 0) -> ExperimentRequest:
+    return ExperimentRequest(ir_text=LOOP_TEXT,
+                             machine=machine_with(4, 4), args=(n,))
+
+
+@pytest.fixture
+def populated(tmp_path):
+    """A cache holding one valid entry, plus its key and summary."""
+    cache = ResultCache(tmp_path)
+    req = request()
+    key = request_key(req)
+    summary = execute_request(req)
+    assert cache.put(key, summary)
+    return cache, key, summary
+
+
+class TestCorruptionKinds:
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    def test_reads_as_miss_and_quarantines_once(self, populated, kind):
+        cache, key, _ = populated
+        corrupt_cache_entry(cache, key, kind)
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.quarantined == 1
+        quarantined = list((cache.directory / QUARANTINE_DIR).iterdir())
+        assert [p.name for p in quarantined] == [f"{key}.pkl"]
+        # the second read is a plain miss: the entry moved, so nothing
+        # is re-counted and nothing lands in quarantine twice
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.quarantined == 1
+        assert len(list((cache.directory / QUARANTINE_DIR).iterdir())) == 1
+
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    def test_rewrite_heals(self, populated, kind):
+        cache, key, summary = populated
+        corrupt_cache_entry(cache, key, kind)
+        assert cache.get(key) is None
+        assert cache.put(key, summary)
+        healed = cache.get(key)
+        assert healed is not None
+        assert pickle.dumps(healed) == pickle.dumps(summary.without_timing())
+
+    def test_legacy_bare_pickle_is_corrupt(self, populated):
+        """Pre-envelope entries (a bare pickle, no magic) are detected."""
+        cache, key, summary = populated
+        path = cache.directory / f"{key}.pkl"
+        path.write_bytes(pickle.dumps(summary))
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_verify_quarantines_every_damaged_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = []
+        for n in range(len(CORRUPTION_KINDS) + 2):
+            req = request(n)
+            key = request_key(req)
+            cache.put(key, execute_request(req))
+            keys.append(key)
+        for key, kind in zip(keys, CORRUPTION_KINDS):
+            corrupt_cache_entry(cache, key, kind)
+        ok, corrupt = cache.verify()
+        assert (ok, corrupt) == (2, len(CORRUPTION_KINDS))
+        assert len(cache.quarantined_entries()) == len(CORRUPTION_KINDS)
+        # gc sweeps the quarantine
+        swept = cache.gc()
+        assert swept["quarantined_removed"] == len(CORRUPTION_KINDS)
+        assert cache.quarantined_entries() == []
+
+    def test_quarantine_dir_not_counted_as_entries(self, populated):
+        cache, key, _ = populated
+        corrupt_cache_entry(cache, key, "flip")
+        assert cache.get(key) is None
+        assert len(cache) == 0
+        report = cache.stats_report()
+        assert report["entries"] == 0
+        assert report["quarantined_entries"] == 1
+
+
+class TestWriteDegradation:
+    def test_oserror_put_degrades(self, tmp_path, caplog):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        cache = ResultCache(blocker)  # mkdir will fail: path is a file
+        req = request()
+        key = request_key(req)
+        summary = execute_request(req)
+        with caplog.at_level(logging.WARNING):
+            assert cache.put(key, summary) is False
+            assert cache.put(key, summary) is False
+        assert cache.stats.write_errors == 2
+        # the warning fires once, not per put
+        warnings = [r for r in caplog.records
+                    if "not writable" in r.getMessage()]
+        assert len(warnings) == 1
+
+    def test_engine_run_continues_uncached(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        e = ExperimentEngine(jobs=1, cache_dir=blocker)
+        reqs = [request(n) for n in range(3)]
+        out = e.run_many(reqs)
+        assert len(out) == 3
+        assert e.stats.executed == 3
+        assert e.cache.stats.write_errors == 3
+        assert e.metrics().counters()["engine.cache_write_errors"] == 3

@@ -1,0 +1,118 @@
+"""The acceptance chaos run of the fault-tolerant engine.
+
+One 100-request batch absorbs ~10% injected worker crashes, two hangs
+(caught by the per-attempt timeout), two poison requests, and three
+corrupted cache entries — and must still deliver every non-poison
+summary byte-identical to a fault-free serial run, with every
+``engine.*`` fault counter reconciling against the injected plan.
+"""
+
+import pickle
+
+from repro.engine import (ExperimentEngine, ExperimentFailure,
+                          ExperimentRequest, FaultPlan, ResultCache,
+                          SupervisorConfig, corrupt_cache_entry,
+                          execute_request, request_key)
+from repro.ir import function_to_text
+from repro.machine import machine_with
+
+from ..helpers import single_loop
+
+N_REQUESTS = 100
+CRASHES = 8          # transient: crash on attempt 1, succeed on retry
+HANGS = 2            # transient: hang once, killed by the timeout
+POISON = 2           # crash on every attempt → quarantined
+CORRUPT = 3          # pre-cached entries damaged on disk
+MAX_ATTEMPTS = 3
+
+LOOP_TEXT = function_to_text(single_loop())
+
+
+def build_requests() -> list[ExperimentRequest]:
+    return [ExperimentRequest(ir_text=LOOP_TEXT,
+                              machine=machine_with(4, 4), args=(n,))
+            for n in range(N_REQUESTS)]
+
+
+def test_chaos_batch_reconciles(tmp_path):
+    requests = build_requests()
+    keys = [request_key(r) for r in requests]
+
+    # the ground truth: a fault-free, serial, uncached run
+    clean = ExperimentEngine(jobs=1, use_cache=False)
+    expected = clean.run_many(requests)
+    assert all(not isinstance(s, ExperimentFailure) for s in expected)
+
+    # seed the cache with three entries, then damage them on disk
+    cache = ResultCache(tmp_path)
+    for key, request in zip(keys[:CORRUPT], requests[:CORRUPT]):
+        assert cache.put(key, execute_request(request))
+    for key, kind in zip(keys[:CORRUPT], ("truncate", "flip",
+                                          "bad_checksum")):
+        corrupt_cache_entry(cache, key, kind)
+
+    plan = FaultPlan.seeded(keys, seed=1234, crashes=CRASHES,
+                            hangs=HANGS, poison=POISON, hang_seconds=30.0)
+    assert plan.describe() == {"crashes": CRASHES, "hangs": HANGS,
+                               "raises": 0, "poison": POISON,
+                               "spawn_failures": 0}
+
+    engine = ExperimentEngine(
+        jobs=2, cache_dir=tmp_path, fault_plan=plan,
+        supervisor=SupervisorConfig(timeout=1.0,
+                                    max_attempts=MAX_ATTEMPTS,
+                                    backoff=0.01))
+    outcomes = engine.run_many(requests)
+
+    # -- survivors: byte-identical to the fault-free serial run -------------
+    poison_keys = plan.poison
+    for key, outcome, reference in zip(keys, outcomes, expected):
+        if key in poison_keys:
+            assert isinstance(outcome, ExperimentFailure)
+            assert outcome.attempts == MAX_ATTEMPTS
+            assert outcome.error_class == "WorkerCrash"
+            assert outcome.worker_fate == "crashed"
+            assert len(outcome.attempt_errors) == MAX_ATTEMPTS
+        else:
+            assert not isinstance(outcome, ExperimentFailure)
+            assert pickle.dumps(outcome.without_timing()) \
+                == pickle.dumps(reference.without_timing())
+
+    # -- counters: reconcile with the injected plan -------------------------
+    stats = engine.stats
+    assert stats.requests == N_REQUESTS
+    assert stats.failed == POISON
+    assert stats.quarantined == POISON
+    # every transient crash dies once; every poison request dies once
+    # per attempt in its budget
+    assert stats.worker_crashes == CRASHES + POISON * MAX_ATTEMPTS
+    assert stats.timeouts == HANGS
+    # each transient fault retries once; poison retries budget-1 times
+    assert stats.retries == CRASHES + HANGS + POISON * (MAX_ATTEMPTS - 1)
+    # the corrupted entries were misses, so nothing was served from disk
+    assert stats.cache_hits == 0
+    assert stats.executed == N_REQUESTS - POISON
+    assert engine.cache.stats.corrupt == CORRUPT
+    assert engine.cache.stats.quarantined == CORRUPT
+
+    counters = engine.metrics().counters()
+    assert counters["engine.worker_crashes"] == stats.worker_crashes
+    assert counters["engine.timeouts"] == HANGS
+    assert counters["engine.retries"] == stats.retries
+    assert counters["engine.quarantined"] == POISON
+    assert counters["engine.cache_corrupt"] == CORRUPT
+    assert counters["engine.cache_quarantined"] == CORRUPT
+    assert counters["engine.fallback_serial"] == 0
+
+    # -- the failure ledger renders (partial-table appendix path) ----------
+    assert len(engine.failures) == POISON
+    for failure in engine.failures:
+        assert "WorkerCrash" in failure.describe()
+
+    # -- self-healing: a rerun re-executes only what was quarantined --------
+    engine2 = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+    outcomes2 = engine2.run_many(requests)
+    assert all(not isinstance(s, ExperimentFailure) for s in outcomes2)
+    assert engine2.stats.cache_hits == N_REQUESTS - POISON
+    assert engine2.stats.executed == POISON
+    assert engine2.cache.stats.corrupt == 0

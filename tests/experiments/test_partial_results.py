@@ -1,0 +1,146 @@
+"""Partial-table rendering: quarantined requests skip rows, not runs.
+
+Every harness receives typed :class:`ExperimentFailure` values in place
+of summaries and must degrade to a partial table plus a failure
+appendix — never an unhandled exception.  Faults are injected serially
+(``jobs=1``) so these stay fast; the parallel recovery paths are
+covered by ``tests/engine/test_chaos.py``.
+"""
+
+import pytest
+
+from repro.benchsuite import KERNELS_BY_NAME
+from repro.engine import (ExperimentEngine, ExperimentError, FaultPlan,
+                          SupervisorConfig, request_key)
+from repro.experiments import (baseline_request, compare_kernel,
+                               generate_table1, generate_table2,
+                               kernel_request, render_failures,
+                               run_ablation, run_heuristic_ablation,
+                               run_register_sweep)
+from repro.experiments.spill_metrics import comparison_requests
+from repro.machine import machine_with, standard_machine
+from repro.remat import RenumberMode
+
+KERNELS = [KERNELS_BY_NAME[n] for n in ("zeroin", "adapt", "marginal")]
+
+
+def poisoned_engine(*keys: str, max_attempts: int = 2) -> ExperimentEngine:
+    return ExperimentEngine(
+        jobs=1, use_cache=False,
+        fault_plan=FaultPlan(poison=frozenset(keys)),
+        supervisor=SupervisorConfig(max_attempts=max_attempts,
+                                    backoff=0.0))
+
+
+class TestTable1:
+    def test_failed_kernel_is_skipped_not_fatal(self):
+        machine = standard_machine()
+        bad = request_key(comparison_requests(KERNELS[1], machine)[1])
+        table = generate_table1(machine=machine, kernels=KERNELS,
+                                engine=poisoned_engine(bad))
+        assert table.skipped == [KERNELS[1].name]
+        assert len(table.failures) == 1
+        assert len(table.rows) == len(KERNELS) - 1
+        rendered = table.render()
+        assert "PARTIAL RESULTS" in rendered
+        assert KERNELS[1].name in rendered
+
+    def test_fault_free_render_has_no_appendix(self):
+        table = generate_table1(kernels=KERNELS)
+        assert table.skipped == []
+        assert "PARTIAL RESULTS" not in table.render()
+
+
+class TestTable2:
+    def test_failed_routine_drops_both_columns(self):
+        machine = machine_with(8, 8)
+        kernel = KERNELS_BY_NAME["repvid"]
+        bad = request_key(kernel_request(
+            kernel, machine, RenumberMode.CHAITIN, run=False, repeats=2,
+            cacheable=False))
+        table = generate_table2(routines=("repvid", "tomcatv"),
+                                machine=machine, repeats=2,
+                                engine=poisoned_engine(bad))
+        assert table.skipped == ["repvid"]
+        assert [old.routine for old, _ in table.columns] == ["tomcatv"]
+        assert "PARTIAL RESULTS" in table.render()
+
+    def test_all_routines_failed_still_renders(self):
+        machine = machine_with(8, 8)
+        kernel = KERNELS_BY_NAME["repvid"]
+        keys = [request_key(kernel_request(kernel, machine, mode,
+                                           run=False, repeats=2,
+                                           cacheable=False))
+                for mode in (RenumberMode.CHAITIN, RenumberMode.REMAT)]
+        table = generate_table2(routines=("repvid",), machine=machine,
+                                repeats=2, engine=poisoned_engine(*keys))
+        assert table.columns == []
+        assert "no routine measured" in table.render()
+
+
+class TestAblations:
+    def test_scheme_ablation_skips_failed_kernel(self):
+        machine = machine_with(8, 8)
+        bad = request_key(baseline_request(KERNELS[0]))
+        result = run_ablation(kernels=KERNELS, machine=machine,
+                              engine=poisoned_engine(bad))
+        assert result.skipped == [KERNELS[0].name]
+        assert set(result.spill) == {k.name for k in KERNELS[1:]}
+        assert "PARTIAL RESULTS" in result.render()
+
+    def test_heuristic_ablation_skips_failed_kernel(self):
+        machine = machine_with(8, 8)
+        bad = request_key(kernel_request(KERNELS[2], machine,
+                                         RenumberMode.REMAT,
+                                         lookahead=False))
+        result = run_heuristic_ablation(kernels=KERNELS, machine=machine,
+                                        engine=poisoned_engine(bad))
+        assert result.skipped == [KERNELS[2].name]
+        assert set(result.spill) == {k.name for k in KERNELS[:2]}
+        assert "PARTIAL RESULTS" in result.render()
+
+
+class TestRegisterSweep:
+    def test_failed_kernel_leaves_every_point(self):
+        bad = request_key(kernel_request(KERNELS[0], machine_with(6, 6),
+                                         RenumberMode.REMAT))
+        sweep = run_register_sweep(ks=(6, 8), kernels=KERNELS,
+                                   engine=poisoned_engine(bad))
+        assert sweep.skipped == [KERNELS[0].name]
+        assert len(sweep.points) == 2
+        # the dropped kernel is gone from *every* point, so totals stay
+        # comparable across k
+        reference = run_register_sweep(ks=(6, 8), kernels=KERNELS[1:])
+        assert [(p.old_spill, p.new_spill) for p in sweep.points] \
+            == [(p.old_spill, p.new_spill) for p in reference.points]
+        assert "PARTIAL RESULTS" in sweep.render()
+
+
+class TestSingleRequestCallSites:
+    def test_compare_kernel_raises_typed_error(self):
+        machine = standard_machine()
+        bad = request_key(comparison_requests(KERNELS[0], machine)[2])
+        with pytest.raises(ExperimentError):
+            compare_kernel(KERNELS[0], machine,
+                           engine=poisoned_engine(bad))
+
+
+class TestRenderFailures:
+    def test_empty_is_empty(self):
+        assert render_failures([]) == ""
+
+    def test_lists_each_failure(self):
+        machine = standard_machine()
+        keys = [request_key(comparison_requests(k, machine)[2])
+                for k in KERNELS[:2]]
+        engine = poisoned_engine(*keys)
+        generate_table1(machine=machine, kernels=KERNELS, engine=engine)
+        text = render_failures(engine.failures,
+                               [k.name for k in KERNELS[:2]])
+        assert "2 request(s) failed" in text
+        # jobs=1 injects faults in-process, so the crash surfaces as the
+        # typed InjectedFault rather than a worker death
+        assert "InjectedFault" in text
+        assert "in-process" in text
+        for kernel in KERNELS[:2]:
+            assert kernel.name in text
