@@ -12,6 +12,12 @@ after every pipeline pass and after every mutating allocator phase
 breaks — dangling labels, uses of undefined registers, φs escaping
 renumber — fails the run at the phase that broke it instead of
 surfacing as a miscompile later.  CI runs this on every push.
+
+With ``--verify-incremental`` every incremental analysis patch inside
+the allocator — the coalesce loop's graph refreshes and the
+spill-delta liveness updates — is additionally cross-checked against a
+from-scratch recomputation (``diff_graphs`` / ``diff_liveness``) and
+the run fails on the first divergence.
 """
 
 from __future__ import annotations
@@ -28,6 +34,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--k", type=int, default=8,
                         help="register count per class (default 8)")
+    parser.add_argument("--verify-incremental", action="store_true",
+                        help="cross-check every incremental analysis "
+                             "patch against a from-scratch recompute")
     args = parser.parse_args(argv)
 
     from repro.benchsuite import ALL_KERNELS
@@ -40,7 +49,8 @@ def main(argv: list[str] | None = None) -> int:
         line = [f"{kernel.name:>10}:"]
         for mode in RenumberMode:
             result = allocate(fn, machine=machine, mode=mode,
-                              verify_rounds=True)
+                              verify_rounds=True,
+                              verify_incremental=args.verify_incremental)
             n_allocations += 1
             line.append(f"{mode.value}={result.rounds}r/"
                         f"{result.stats.n_spilled_ranges}s")

@@ -21,7 +21,7 @@ import warnings
 from dataclasses import dataclass
 
 from ..ir import Function, Instruction, Reg
-from .indexmap import RegIndex
+from .indexmap import RegIndex, iter_bits
 
 
 @dataclass
@@ -126,6 +126,19 @@ class LivenessInfo:
 
     # -- cache maintenance (coalescing) ------------------------------------------
 
+    def clone(self) -> "LivenessInfo":
+        """An independent copy sharing the (append-only) index.
+
+        The bitset rows are immutable ints, so copying the four tables
+        decouples the clone from any later :meth:`rename` /
+        :meth:`apply_delta` of the original — used by the benchmarks to
+        time destructive updates repeatably and by tests to compare a
+        patched copy against its pristine source.
+        """
+        return LivenessInfo(self.fn, self.index, dict(self._use),
+                            dict(self._defs), dict(self._in),
+                            dict(self._out))
+
     def rename(self, mapping: dict[Reg, Reg]) -> None:
         """Apply a register renaming (coalesce merges) to every cached
         bitset: each *gone* bit moves onto its representative's bit.
@@ -138,18 +151,123 @@ class LivenessInfo:
         fixed-point iteration.
         """
         index = self.index
-        moves = [(1 << index.id(old), 1 << index.ensure(new))
+        moves = {index.id(old): 1 << index.ensure(new)
                  for old, new in mapping.items()
-                 if old in index and old != new]
+                 if old in index and old != new}
         if not moves:
             return
+        # one mask test per row; the per-bit translation loop runs only
+        # over moved registers actually present in that row (a handful),
+        # so a pass costs O(blocks) big-int ops, not O(moves * blocks)
+        old_mask = 0
+        for i in moves:
+            old_mask |= 1 << i
         for table in (self._use, self._defs, self._in, self._out):
             for label, bits in table.items():
-                for old_bit, new_bit in moves:
-                    if bits & old_bit:
-                        bits = (bits & ~old_bit) | new_bit
-                table[label] = bits
+                hits = bits & old_mask
+                if not hits:
+                    continue
+                new_bits = 0
+                for i in iter_bits(hits):
+                    new_bits |= moves[i]
+                table[label] = (bits & ~old_mask) | new_bits
         self._views.clear()
+
+    def apply_delta(self, delta) -> "LivenessUpdateStats":
+        """Patch the cached fixed point after an edit described by a
+        :class:`~repro.analysis.CodeDelta` (see :mod:`repro.analysis.delta`
+        for the exactness contract).
+
+        Four steps: clear the removed registers' bits from every row
+        (they occur nowhere, so they are live nowhere — and clearing
+        *first* is what lets the restarted worklist below stay exact: a
+        decrease can stick at a greater fixed point around a loop);
+        clear the *touched* registers' live-in/out bits the same way —
+        their ranges may have shrunk (a deleted remat def is also a
+        deleted use of its sources) and will regrow from their
+        remaining use sites; recompute the dirty blocks' use/def
+        summaries from their new instruction lists; re-run the worklist
+        seeded with the dirty region plus the touched use sites so
+        every genuine data-flow change propagates to the affected
+        predecessors — and only to them.
+        """
+        from .delta import LivenessUpdateStats
+
+        fn = self.fn
+        index = self.index
+        stats = LivenessUpdateStats(blocks_total=len(self._in))
+
+        removed_mask = 0
+        for reg in delta.removed_regs:
+            i = index.get(reg)
+            if i is not None:
+                removed_mask |= 1 << i
+        if removed_mask:
+            keep = ~removed_mask
+            for table in (self._use, self._defs, self._in, self._out):
+                for label, bits in table.items():
+                    if bits & removed_mask:
+                        table[label] = bits & keep
+
+        touched_mask = 0
+        for reg in delta.touched_regs:
+            i = index.get(reg)
+            if i is not None:
+                touched_mask |= 1 << i
+        touched_mask &= ~removed_mask
+        if touched_mask:
+            # use/defs of clean blocks are unchanged facts; only the
+            # fixed-point rows are cleared for regrowth
+            keep = ~touched_mask
+            for table in (self._in, self._out):
+                for label, bits in table.items():
+                    if bits & touched_mask:
+                        table[label] = bits & keep
+
+        for label in delta.dirty_blocks:
+            if label not in self._in:
+                raise ValueError(
+                    f"dirty block {label!r} unknown to this liveness; "
+                    "CFG edits need invalidation, not update()")
+            u, d = _block_use_def_bits(fn.block(label).instructions, index)
+            self._use[label] = u
+            self._defs[label] = d
+
+        seeds = set(delta.dirty_blocks)
+        if touched_mask:
+            seeds.update(label for label, bits in self._use.items()
+                         if bits & touched_mask)
+        if seeds:
+            preds = fn.predecessors_map()
+            use, defs = self._use, self._defs
+            live_in, live_out = self._in, self._out
+            # seed in postorder-ish position (reversed RPO) so backward
+            # flow converges with few re-visits, exactly as the full
+            # fixed point does
+            worklist = [label for label in reversed(fn.reverse_postorder())
+                        if label in seeds]
+            in_list = set(worklist)
+            seen: set[str] = set()
+            while worklist:
+                label = worklist.pop()
+                in_list.discard(label)
+                seen.add(label)
+                stats.worklist_pops += 1
+                out = 0
+                for succ in fn.block(label).successors():
+                    if succ in live_in:
+                        out |= live_in[succ]
+                new_in = use[label] | (out & ~defs[label])
+                live_out[label] = out
+                if new_in != live_in[label]:
+                    live_in[label] = new_in
+                    for p in preds[label]:
+                        if p in live_in and p not in in_list:
+                            worklist.append(p)
+                            in_list.add(p)
+            stats.blocks_reanalyzed = len(seen)
+        self._views.clear()
+        return stats
 
 
 def block_use_def(instructions: list[Instruction]) -> tuple[set[Reg], set[Reg]]:

@@ -1,0 +1,71 @@
+"""Sparse liveness: per-variable backward reachability from uses.
+
+The dense solver in :mod:`repro.analysis.liveness` iterates a worklist
+over whole-block bit vectors — every pass touches every register's bit
+whether or not anything about that register changed.  Following the
+sparse-dataflow line of Tavares, Boissinot, Pereira and Rastello
+(*Parameterized Construction of Program Representations for Sparse
+Dataflow Analyses*), this module computes the same fixed point by
+propagating each variable separately along the paths where the fact can
+actually change: from every upward-exposed use, walk the CFG backward
+marking the variable live until a defining block stops the walk.  Each
+(block, variable) pair is visited at most once, so the total work is
+proportional to the *sum of live-range sizes* — for huge low-pressure
+functions (many blocks, short ranges) that is far below the dense
+solver's blocks × width × iterations, while for small dense-pressure
+functions the classic solver wins.  The result is bit-for-bit the same
+:class:`LivenessInfo` (same :class:`RegIndex`, same bitsets), so every
+downstream consumer — interference build, renaming, delta patching —
+is oblivious to which solver produced it.
+"""
+
+from __future__ import annotations
+
+from ..ir import Function
+from .indexmap import RegIndex, iter_bits
+from .liveness import LivenessInfo, _block_use_def_bits
+
+
+def compute_liveness_sparse(fn: Function,
+                            index: RegIndex | None = None) -> LivenessInfo:
+    """Compute per-block liveness of all registers in *fn*, sparsely.
+
+    Produces a :class:`LivenessInfo` identical to
+    :func:`~repro.analysis.compute_liveness` (the least fixed point is
+    unique and both use the canonical register index).
+    """
+    if index is None:
+        index = RegIndex.for_function(fn)
+    labels = fn.reverse_postorder()
+    use: dict[str, int] = {}
+    defs: dict[str, int] = {}
+    live_in: dict[str, int] = {}
+    live_out: dict[str, int] = {}
+    for label in labels:
+        u, d = _block_use_def_bits(fn.block(label).instructions, index)
+        use[label] = u
+        defs[label] = d
+        live_in[label] = 0
+        live_out[label] = 0
+
+    preds = fn.predecessors_map()
+    stack: list[str] = []
+    for label in labels:
+        for i in iter_bits(use[label]):
+            bit = 1 << i
+            if live_in[label] & bit:
+                continue  # an earlier walk already passed through here
+            live_in[label] |= bit
+            stack.append(label)
+            while stack:
+                here = stack.pop()
+                for p in preds[here]:
+                    if p not in live_in or live_out[p] & bit:
+                        continue
+                    live_out[p] |= bit
+                    if defs[p] & bit or live_in[p] & bit:
+                        continue  # the walk stops at a def (or joins
+                        # a walk already seeded from p's own use)
+                    live_in[p] |= bit
+                    stack.append(p)
+    return LivenessInfo(fn, index, use, defs, live_in, live_out)

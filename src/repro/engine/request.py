@@ -36,7 +36,9 @@ from ..remat import RenumberMode
 #: bump to invalidate every persisted cache entry
 #: 2: allocator/optimizer rebuilt on the pass pipeline + AnalysisManager
 #: 3: checksummed envelope storage (pre-envelope entries never match)
-CACHE_VERSION = 3
+#: 4: incremental analysis maintenance (exact coalesce-delete liveness
+#:    patches change colorings; AllocationStats grew incremental fields)
+CACHE_VERSION = 4
 
 
 @dataclass(frozen=True)

@@ -40,6 +40,10 @@ class MachineDescription:
             return self.int_regs
         return self.float_regs
 
+    def max_k(self) -> int:
+        """The wider of the two register files."""
+        return max(self.int_regs, self.float_regs)
+
     def cycle_cost(self, opcode: Opcode) -> int:
         """Cost of one dynamic execution of *opcode*."""
         cls = opcode.info.count_class

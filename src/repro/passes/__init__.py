@@ -11,7 +11,8 @@ and the invalidation contract.
 
 from .manager import (ALL_ANALYSES, ANALYSES_BY_NAME, Analysis,
                       AnalysisManager, CFG_ANALYSES, DEFUSE, DOMINANCE,
-                      LIVENESS, LOOPS, POSTDOMINANCE, PreservedAnalyses)
+                      LIVENESS, LOOPS, POSTDOMINANCE, PreservedAnalyses,
+                      SPARSE_LIVENESS)
 from .pipeline import PassPipeline, PipelineReport
 from .adapters import (DCEPass, FunctionPass, LICMPass, LVNPass,
                        PASS_REGISTRY, PreSplitPass, RematSplitPass,
@@ -40,6 +41,7 @@ __all__ = [
     "PreservedAnalyses",
     "RematSplitPass",
     "RenumberPass",
+    "SPARSE_LIVENESS",
     "SSAConstructPass",
     "SSADestructPass",
     "SpillCodePass",

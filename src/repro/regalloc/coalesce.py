@@ -14,30 +14,45 @@ conservatively coalescing split instructions, again to a fixed point.
 Each rebuild reuses the round's liveness fixed point: coalescing only
 merges names, so the cached bitsets are *renamed* through the shared
 :class:`~repro.analysis.RegIndex` instead of re-running the data-flow
-iteration (see :meth:`~repro.analysis.LivenessInfo.rename`).
+iteration (see :meth:`~repro.analysis.LivenessInfo.rename`), plus a
+small exact patch for the deleted copies themselves (a deleted copy's
+renamed use/def bits would otherwise linger in its block's summaries,
+leaving the cached fixed point conservative — and the next round's
+incremental update would then disagree with a from-scratch compute).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..analysis import LivenessInfo, iter_bits
+from ..analysis import CodeDelta, LivenessInfo, compute_liveness, iter_bits
 from ..ir import Function, Reg
 from ..machine import MachineDescription
 from ..obs import CoalesceDecision, NULL_TRACER
 from ..unionfind import DisjointSets
-from .interference import InterferenceGraph
+from .interference import InterferenceGraph, diff_graphs
 
 
 @dataclass
 class CoalesceStats:
-    """How many copies each stage removed, and how often the round's
-    liveness was reused across graph rebuilds."""
+    """How many copies each stage removed, how often the round's
+    liveness was reused across graph rebuilds, and how many of those
+    rebuilds were incremental patches instead of from-scratch scans."""
 
     copies_removed: int = 0
     splits_removed: int = 0
     liveness_cache_hits: int = 0
     liveness_cache_misses: int = 0
+    #: from-scratch interference builds (the first one plus any
+    #: fallback where a pass merged too much to patch profitably)
+    graph_builds: int = 0
+    #: rebuilds served by :meth:`InterferenceGraph.try_refresh_after_coalesce`
+    graph_patches: int = 0
+    #: blocks rescanned across all patches (vs. blocks × rebuilds for
+    #: the from-scratch strategy)
+    graph_blocks_rescanned: int = 0
+    #: adjacency bits re-derived across all patches
+    graph_edges_patched: int = 0
 
 
 def _significant_neighbors(graph: InterferenceGraph, a: Reg, b: Reg,
@@ -63,7 +78,8 @@ def coalesce_pass(fn: Function, graph: InterferenceGraph,
                   splits: bool,
                   no_spill: set[Reg] | None = None,
                   liveness: LivenessInfo | None = None,
-                  tracer=NULL_TRACER) -> int:
+                  tracer=NULL_TRACER,
+                  dirty_out: set[Reg] | None = None) -> int:
     """One pass over the code, combining what the stage allows.
 
     With ``splits=False`` only ordinary copies are (aggressively)
@@ -71,8 +87,12 @@ def coalesce_pass(fn: Function, graph: InterferenceGraph,
     conservative criterion.  The graph is updated in place by node merging
     and the code rewritten, so several combines can happen per pass.
     When a cached *liveness* is supplied its bitsets are renamed through
-    the same mapping applied to the code, keeping it valid for the next
-    graph rebuild.  Returns the number of instructions removed.
+    the same mapping applied to the code and patched exact over the
+    deleted-copy sites, keeping it equal to a from-scratch recompute for
+    the next graph rebuild.  A *dirty_out* set collects every register involved
+    in a combine (survivors and merged-away names) — the seed for an
+    incremental graph refresh.  Returns the number of instructions
+    removed.
 
     When the tracer captures events every considered pair emits a
     :class:`~repro.obs.CoalesceDecision` recording acceptance, the
@@ -100,6 +120,9 @@ def coalesce_pass(fn: Function, graph: InterferenceGraph,
             if dest == src:
                 removed_ids.add(id(inst))
                 merged += 1
+                if dirty_out is not None:
+                    dirty_out.add(inst.dest)
+                    dirty_out.add(inst.src)
                 if events:
                     decide(inst.dest, inst.src, True, "already-unioned")
                 continue
@@ -126,6 +149,9 @@ def coalesce_pass(fn: Function, graph: InterferenceGraph,
             keep = ds.union(dest, src)
             gone = src if keep == dest else dest
             graph.merge(keep, gone)
+            if dirty_out is not None:
+                dirty_out.add(keep)
+                dirty_out.add(gone)
             if no_spill is not None and gone in no_spill:
                 no_spill.discard(gone)
                 no_spill.add(keep)
@@ -133,19 +159,40 @@ def coalesce_pass(fn: Function, graph: InterferenceGraph,
             merged += 1
 
     if merged:
-        rename = {reg: ds.find(reg) for reg in fn.all_regs() if reg in ds}
+        # every register the pass touched is already in the union-find;
+        # walking it directly beats re-collecting fn.all_regs() (an
+        # O(program) instruction sweep) just to filter it back down
+        rename = {reg: ds.find(reg) for reg in ds}
+        deleted_blocks: set[str] = set()
+        deleted_regs: set[Reg] = set()
         for blk in fn.blocks:
             new_instructions = []
             for inst in blk.instructions:
                 if id(inst) in removed_ids:
+                    deleted_blocks.add(blk.label)
+                    deleted_regs.add(ds.find(inst.dest))
                     continue
                 inst.rewrite_regs(rename)
                 if inst.is_copy and inst.dest == inst.src:
-                    continue  # became an identity copy through renaming
+                    # became an identity copy through renaming
+                    deleted_blocks.add(blk.label)
+                    deleted_regs.add(inst.dest)
+                    continue
                 new_instructions.append(inst)
             blk.instructions = new_instructions
         if liveness is not None:
             liveness.rename(rename)
+            if deleted_blocks:
+                # rename() alone leaves the deleted copies' use/def bits
+                # behind (the copy's occurrence of both names is gone from
+                # the code but its renamed bit survives in the block
+                # summaries), so the cached fixed point would drift
+                # conservative.  Patch it exact: the deleted sites are the
+                # dirty blocks and the representatives are the touched
+                # registers whose ranges may have shrunk.
+                liveness.apply_delta(CodeDelta.of(
+                    dirty_blocks=deleted_blocks,
+                    touched_regs=deleted_regs))
     return merged
 
 
@@ -153,45 +200,73 @@ def build_coalesce_loop(fn: Function, machine: MachineDescription,
                         build_graph, no_spill: set[Reg] | None = None,
                         coalesce_splits: bool = True,
                         liveness: LivenessInfo | None = None,
-                        tracer=NULL_TRACER,
+                        tracer=NULL_TRACER, incremental: bool = True,
+                        verify_incremental: bool = False,
                         ) -> tuple[InterferenceGraph, CoalesceStats]:
     """The paper's build–coalesce loop.
 
     *build_graph* is called to (re)construct the interference graph; the
     loop alternates building and coalescing until no combine fires, first
     for ordinary copies, then (if *coalesce_splits*) conservatively for
-    splits.  With a cached *liveness* every rebuild after the first is a
-    cache hit: the backward edge-insertion scan re-runs over the rewritten
-    code, but the block-level fixed point is only renamed, never
-    recomputed.  Returns the final graph and the statistics.
+    splits.  One liveness fixed point serves the whole loop: the caller's
+    cached *liveness* when given, else one computed here up front — never
+    one per rebuild — and every rebuild after the first is a cache hit
+    because coalescing renames the bitsets in place.
+
+    With *incremental* (the default), rebuilds after a pass are served
+    by :meth:`InterferenceGraph.try_refresh_after_coalesce` — an edge
+    patch over the merge-dirty rows — falling back to a from-scratch
+    scan when a pass merged more than patching profits from (typically
+    the first, aggressive pass).  *verify_incremental* cross-checks
+    every patch against a from-scratch build and raises on any mismatch
+    (rows or node order).  Returns the final graph and the statistics.
     """
     stats = CoalesceStats()
+    if liveness is None:
+        liveness = compute_liveness(fn)
 
-    def rebuild(first: bool) -> InterferenceGraph:
-        if liveness is None:
-            return build_graph(fn)
-        if first:
-            stats.liveness_cache_misses += 1
-        else:
-            stats.liveness_cache_hits += 1
+    def fresh_build() -> InterferenceGraph:
+        stats.graph_builds += 1
         return build_graph(fn, liveness)
 
-    graph = rebuild(first=True)
+    def rebuild(graph: InterferenceGraph,
+                dirty: set[Reg]) -> InterferenceGraph:
+        stats.liveness_cache_hits += 1
+        if incremental:
+            patch = graph.try_refresh_after_coalesce(fn, liveness, dirty)
+            if patch is not None:
+                stats.graph_patches += 1
+                stats.graph_blocks_rescanned += patch.blocks_rescanned
+                stats.graph_edges_patched += patch.edges_patched
+                if verify_incremental:
+                    problems = diff_graphs(graph, fresh_build())
+                    if problems:
+                        raise RuntimeError(
+                            "incremental interference refresh diverged "
+                            f"from from-scratch build on {fn.name}: "
+                            + "; ".join(problems[:5]))
+                return graph
+        return fresh_build()
+
+    stats.liveness_cache_misses += 1
+    graph = fresh_build()
     while True:
+        dirty: set[Reg] = set()
         n = coalesce_pass(fn, graph, machine, splits=False,
                           no_spill=no_spill, liveness=liveness,
-                          tracer=tracer)
+                          tracer=tracer, dirty_out=dirty)
         stats.copies_removed += n
         if n == 0:
             break
-        graph = rebuild(first=False)
+        graph = rebuild(graph, dirty)
     if coalesce_splits:
         while True:
+            dirty = set()
             n = coalesce_pass(fn, graph, machine, splits=True,
                               no_spill=no_spill, liveness=liveness,
-                              tracer=tracer)
+                              tracer=tracer, dirty_out=dirty)
             stats.splits_removed += n
             if n == 0:
                 break
-            graph = rebuild(first=False)
+            graph = rebuild(graph, dirty)
     return graph, stats

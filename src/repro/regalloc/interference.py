@@ -20,8 +20,22 @@ with the per-class universe).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..analysis import LivenessInfo, RegIndex, compute_liveness, iter_bits
 from ..ir import Function, Reg
+
+
+@dataclass
+class GraphPatchStats:
+    """What one incremental graph refresh did (vs. a full rebuild)."""
+
+    #: blocks whose edge-insertion scan was re-run
+    blocks_rescanned: int = 0
+    #: blocks in the function
+    blocks_total: int = 0
+    #: adjacency bits re-derived (edge endpoints on refreshed rows)
+    edges_patched: int = 0
 
 
 class InterferenceGraph:
@@ -121,6 +135,19 @@ class InterferenceGraph:
     def n_edges(self) -> int:
         return sum(row.bit_count() for row in self._rows.values()) // 2
 
+    def clone(self) -> "InterferenceGraph":
+        """An independent copy sharing the (append-only) index.
+
+        Rows are immutable ints, so copying the two dicts decouples the
+        clone from later :meth:`merge` / refresh calls on the original —
+        used to time destructive patches repeatably and to diff a
+        patched copy against its pristine source.
+        """
+        other = InterferenceGraph(index=self._index)
+        other._rows = dict(self._rows)
+        other._node_regs = dict(self._node_regs)
+        return other
+
     # -- mutation (coalescing support) -------------------------------------------
 
     def merge(self, keep: Reg, gone: Reg) -> None:
@@ -151,6 +178,199 @@ class InterferenceGraph:
         del self._node_regs[i]
         for j in iter_bits(row):
             self._rows[j] &= ~bit
+
+    # -- incremental maintenance ---------------------------------------------
+
+    def try_refresh_after_coalesce(
+            self, fn: Function, liveness: LivenessInfo, dirty: set[Reg],
+            max_block_fraction: float = 0.5) -> GraphPatchStats | None:
+        """Patch this graph after a coalesce pass so it equals a fresh
+        :func:`build_interference_graph` over the rewritten code —
+        node order included — touching only what the merges disturbed.
+
+        *dirty* names every register involved in a merge this pass
+        (survivors and merged-away members).  Exactness rests on the
+        merge structure: the rewrite only renames dirty registers and
+        deletes copies that mention them, so the liveness of a clean
+        register is unchanged at every unchanged definition point — all
+        adjacency bits that can differ from a fresh build involve at
+        least one dirty node.  The patch therefore clears the dirty
+        rows and columns, re-derives edges incident to dirty nodes by
+        rescanning only the blocks where a dirty register is referenced
+        or live, and restores program-order node insertion (simplify
+        and select iterate :meth:`nodes`; byte-identical coloring needs
+        the fresh-build order).
+
+        *liveness* must already reflect the rewrite (the coalescer
+        renames it in place).  When more than *max_block_fraction* of
+        the blocks would need rescanning — typical for the first, very
+        aggressive pass of a round — returns ``None`` without touching
+        the graph; the caller should rebuild from scratch.
+        """
+        index = self._index
+        dirty_mask = 0
+        for reg in dirty:
+            i = index.get(reg)
+            if i is not None:
+                dirty_mask |= 1 << i
+        if not dirty_mask:
+            return GraphPatchStats(blocks_total=len(fn.blocks))
+        return self._refresh(fn, liveness, dirty_mask, max_block_fraction)
+
+    def refresh_after_spill(self, fn: Function, liveness: LivenessInfo,
+                            delta) -> GraphPatchStats:
+        """Patch this graph after spill-code insertion described by a
+        :class:`~repro.analysis.CodeDelta`: the spilled ranges' rows and
+        columns disappear, and the tiny spill-temp intervals gain their
+        edges from a rescan of the dirty blocks alone.
+
+        *liveness* must already be patched for the same delta
+        (:meth:`~repro.analysis.LivenessInfo.apply_delta`).  Exact for
+        the same reason the liveness patch is: spilled registers vanish
+        from the code, temps are block-local, and the only surviving
+        registers whose liveness can change are the delta's *touched*
+        ones (a deleted remat def is also a deleted use of its
+        sources) — so every edge that differs from a fresh build
+        involves a removed, added, or touched register, and all three
+        groups are treated as dirty rows.
+
+        Note the allocator's round loop cannot consume this across
+        rounds — renumber renames every register, so each round's first
+        build starts a new graph — but the build–coalesce loop's
+        *within-round* rebuilds do (see
+        :meth:`try_refresh_after_coalesce`), and the delta form is what
+        the property suite and scaling bench verify and measure.
+        """
+        index = self._index
+        dirty_mask = 0
+        for reg in delta.removed_regs:
+            i = index.get(reg)
+            if i is not None:
+                dirty_mask |= 1 << i
+        for reg in delta.touched_regs:
+            i = index.get(reg)
+            if i is not None:
+                dirty_mask |= 1 << i
+        for reg in delta.added_regs:
+            dirty_mask |= 1 << index.ensure(reg)
+        if not dirty_mask:
+            return GraphPatchStats(blocks_total=len(fn.blocks))
+        return self._refresh(fn, liveness, dirty_mask, None)
+
+    def _refresh(self, fn: Function, liveness: LivenessInfo,
+                 dirty_mask: int,
+                 max_block_fraction: float | None) -> GraphPatchStats | None:
+        """The shared patch engine: make this graph equal a fresh build
+        over *fn* given that every changed adjacency bit involves a
+        register in *dirty_mask*.
+
+        Clears the dirty rows and columns, restores fresh-build node
+        insertion order, then re-derives the dirty-incident edges by
+        rescanning only the blocks where a dirty register is referenced
+        or live (per the already-updated *liveness*).  When
+        *max_block_fraction* is given and exceeded, returns ``None``
+        without touching the graph.
+        """
+        index = self._index
+        rows = self._rows
+        hit_blocks = [
+            blk for blk in fn.blocks
+            if (liveness.use_bits(blk.label) | liveness.def_bits(blk.label)
+                | liveness.live_out_bits(blk.label)) & dirty_mask]
+        n_blocks = len(fn.blocks)
+        if (max_block_fraction is not None
+                and len(hit_blocks) > max_block_fraction * n_blocks):
+            return None
+        stats = GraphPatchStats(blocks_rescanned=len(hit_blocks),
+                                blocks_total=n_blocks)
+
+        # fresh-build node set and insertion order (same scan as
+        # build_interference_graph's add_node loop: dests before srcs)
+        new_node_regs: dict[int, Reg] = {}
+        ensure = index.ensure
+        for blk in fn.blocks:
+            for inst in blk.instructions:
+                for r in inst.dests:
+                    i = ensure(r)
+                    if i not in new_node_regs:
+                        new_node_regs[i] = r
+                for r in inst.srcs:
+                    i = ensure(r)
+                    if i not in new_node_regs:
+                        new_node_regs[i] = r
+
+        keep = ~dirty_mask
+        for i in list(rows):
+            if i not in new_node_regs:
+                # gone from the code entirely (merged-away or spilled:
+                # necessarily dirty, so its bits in surviving rows fall
+                # to the column clear below)
+                del rows[i]
+            elif (1 << i) & dirty_mask:
+                rows[i] = 0
+            else:
+                rows[i] &= keep
+        for i in new_node_regs:
+            if i not in rows:
+                rows[i] = 0
+        self._node_regs = new_node_regs
+
+        add_def_edges = self.add_def_edges
+        for blk in hit_blocks:
+            live = liveness.live_out_bits(blk.label)
+            for inst in reversed(blk.instructions):
+                dest_bits = 0
+                if inst.dests:
+                    exempt = live
+                    if inst.is_copy:
+                        exempt &= ~(1 << ensure(inst.src))
+                    dirty_live = exempt & dirty_mask
+                    for d in inst.dests:
+                        bit = 1 << ensure(d)
+                        dest_bits |= bit
+                        # a clean definition already carries its
+                        # clean-neighbor edges; only the dirty slice of
+                        # the live set can differ from a fresh build
+                        if bit & dirty_mask:
+                            add_def_edges(d, exempt)
+                        elif dirty_live:
+                            add_def_edges(d, dirty_live)
+                src_bits = 0
+                for s in inst.srcs:
+                    src_bits |= 1 << ensure(s)
+                live = (live & ~dest_bits) | src_bits
+
+        for i in iter_bits(dirty_mask):
+            row = rows.get(i)
+            if row is not None:
+                stats.edges_patched += row.bit_count()
+        return stats
+
+
+def diff_graphs(a: InterferenceGraph, b: InterferenceGraph) -> list[str]:
+    """Human-readable mismatches between two graphs sharing one
+    :class:`RegIndex` (empty when identical, node order included); the
+    ``verify_incremental`` cross-check for incremental refreshes."""
+    if a.index is not b.index:
+        raise ValueError("graphs must share a RegIndex to be compared")
+    problems: list[str] = []
+    order_a = list(a._node_regs.values())
+    order_b = list(b._node_regs.values())
+    if order_a != order_b:
+        extra = set(order_a) ^ set(order_b)
+        what = (f"node sets differ: {sorted(map(str, extra))}" if extra
+                else "node insertion order differs")
+        problems.append(what)
+    for i in a._rows.keys() & b._rows.keys():
+        if a._rows[i] != b._rows[i]:
+            ra, rb = a._rows[i], b._rows[i]
+            only_a = a.index.to_set(ra & ~rb)
+            only_b = b.index.to_set(rb & ~ra)
+            problems.append(
+                f"row {a.index.reg(i)}: only-patched="
+                f"{sorted(map(str, only_a))} "
+                f"only-fresh={sorted(map(str, only_b))}")
+    return problems
 
 
 def build_interference_graph(

@@ -64,22 +64,27 @@ def select(graph: InterferenceGraph, order: SimplifyResult,
     coloring = result.coloring
 
     index = graph.index
+    # one bitset of already-colored nodes per color: a color is
+    # forbidden iff the node's adjacency row intersects that color's
+    # bitset, so the forbidden set costs k big-int ANDs instead of a
+    # dict probe per neighbor (rows are same-class by construction, so
+    # the two register files can share the array)
+    colored_with = [0] * machine.max_k()
     for node in reversed(order.stack):
         k = machine.k(node.rclass)
-        forbidden = {coloring[n]
-                     for n in index.iter_regs(graph.neighbor_bits(node))
-                     if n in coloring}
-        available = [c for c in range(k) if c not in forbidden]
+        row = graph.neighbor_bits(node)
+        available = [c for c in range(k) if not row & colored_with[c]]
         if not available:
             result.spilled.append(node)
             continue
         color, because = _choose_color(node, available, graph, coloring,
-                                       partners, lookahead)
+                                       colored_with, partners, lookahead)
         coloring[node] = color
+        colored_with[color] |= 1 << index.id(node)
         if tracer.events_enabled:
             tracer.event(ColorAssigned(
                 range=str(node), color=color,
-                n_forbidden=len(forbidden),
+                n_forbidden=k - len(available),
                 biased_hit=because == "biased-partner",
                 lookahead_used=because == "lookahead",
                 was_candidate=node in order.candidates))
@@ -88,6 +93,7 @@ def select(graph: InterferenceGraph, order: SimplifyResult,
 
 def _choose_color(node: Reg, available: list[int],
                   graph: InterferenceGraph, coloring: dict[Reg, int],
+                  colored_with: list[int],
                   partners: dict[Reg, set[Reg]],
                   lookahead: bool) -> tuple[int, str]:
     """Biased choice among *available* colors, plus why it was chosen
@@ -101,20 +107,16 @@ def _choose_color(node: Reg, available: list[int],
             return c, "biased-partner"
     if lookahead and mates:
         # 2. limited lookahead: prefer a color still free for an uncolored
-        #    partner, so the partner can match it later
-        uncolored = [m for m in mates if m not in coloring and m in graph]
+        #    partner, so the partner can match it later; each mate's
+        #    adjacency row is fetched once (it does not depend on the
+        #    color under trial) and tested against the per-color bitsets
+        mate_rows = [graph.neighbor_bits(m) for m in mates
+                     if m not in coloring and m in graph]
         best_color = None
         best_score = -1
-        index = graph.index
         for c in available:
-            score = 0
-            for mate in uncolored:
-                mate_forbidden = {
-                    coloring[n]
-                    for n in index.iter_regs(graph.neighbor_bits(mate))
-                    if n in coloring}
-                if c not in mate_forbidden:
-                    score += 1
+            taken = colored_with[c]
+            score = sum(1 for row in mate_rows if not row & taken)
             if score > best_score:
                 best_color, best_score = c, score
         if best_color is not None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..analysis import CodeDelta
 from ..ir import Function, Instruction, Opcode, Reg, RegClass
 from .spillcost import SpillCosts
 
@@ -22,6 +23,13 @@ class SpillCodeStats:
 
     #: temporaries minted for reloads/stores (they must not respill)
     new_temps: set[Reg] = field(default_factory=set)
+    #: labels of blocks whose instruction list actually changed
+    dirty_blocks: set[str] = field(default_factory=set)
+    #: the edit summary for incremental analysis updates — the spilled
+    #: ranges vanish entirely (defs deleted or retargeted to fresh
+    #: temps, uses reloaded/rematerialized into fresh temps) and every
+    #: new temp is block-local, exactly the :class:`CodeDelta` contract
+    delta: CodeDelta | None = None
     n_remat_ranges: int = 0
     n_memory_ranges: int = 0
     n_reloads: int = 0
@@ -53,14 +61,27 @@ def insert_spill_code(fn: Function, spilled: list[Reg],
             slots[reg] = fn.new_spill_slot()
         return slots[reg]
 
+    # surviving registers occurring in a *deleted* instruction: deleting
+    # a remat def also deletes a use of its sources, so (only) these
+    # ranges may shrink — the incremental liveness update must know them
+    # (CodeDelta.touched_regs).  Rewritten instructions keep every
+    # surviving operand in place, so they touch nothing.  (Never-killed
+    # opcodes carry no register sources in this encoding, so the set is
+    # empty in practice; the bookkeeping keeps the delta contract honest
+    # should that change.)
+    touched: set[Reg] = set()
+
     for blk in fn.blocks:
         new_instructions: list[Instruction] = []
+        changed = False
         for inst in blk.instructions:
             # a definition of a rematerializable spilled range disappears:
             # its defs are all the (pure) never-killed tag instruction
             if (inst.dests and inst.dests[0] in remat
                     and inst.is_never_killed):
                 stats.n_deleted_defs += 1
+                touched.update(inst.srcs)
+                changed = True
                 continue
 
             # reload spilled sources just before the use
@@ -101,5 +122,14 @@ def insert_spill_code(fn: Function, spilled: list[Reg],
 
             new_instructions.append(inst)
             new_instructions.extend(stores)
-        blk.instructions = new_instructions
+            if replacement or stores:
+                changed = True
+        if changed:
+            blk.instructions = new_instructions
+            stats.dirty_blocks.add(blk.label)
+    touched -= spill_set
+    stats.delta = CodeDelta(frozenset(stats.dirty_blocks),
+                            frozenset(spill_set),
+                            frozenset(stats.new_temps),
+                            frozenset(touched))
     return stats

@@ -35,6 +35,10 @@ class DisjointSets:
     def __contains__(self, item: T) -> bool:
         return item in self._parent
 
+    def __iter__(self):
+        """All known items, in insertion order."""
+        return iter(self._parent)
+
     def find(self, item: T) -> T:
         """The canonical representative of *item*'s class."""
         self.add(item)

@@ -5,13 +5,25 @@ The production code in :mod:`repro.analysis.liveness` and
 :mod:`repro.regalloc.interference` runs on dense int bitsets; the
 equivalence property tests (and ``benchmarks/bench_build_scaling.py``)
 check it against — and time it against — these originals.
+
+:func:`ref_simplify` and :func:`ref_select` likewise preserve the
+pre-incremental color phases (linear candidate rescan, per-neighbor
+forbidden sets) so the scaling bench can race the current allocator
+end to end against the from-scratch configuration it replaced.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.ir import Function, Instruction, Reg
+from repro.machine import MachineDescription
+from repro.obs import NULL_TRACER
+from repro.regalloc.interference import InterferenceGraph
+from repro.regalloc.select import SelectResult
+from repro.regalloc.simplify import SimplifyResult
+from repro.regalloc.spillcost import SpillCosts
 
 
 @dataclass
@@ -162,3 +174,131 @@ def ref_build_interference_graph(fn: Function) -> RefInterferenceGraph:
             live.difference_update(inst.dests)
             live.update(inst.srcs)
     return graph
+
+
+# -- pre-incremental color phases, kept verbatim ----------------------------
+
+
+def ref_simplify(graph: InterferenceGraph, machine: MachineDescription,
+                 costs: SpillCosts, optimistic: bool = True,
+                 tracer=NULL_TRACER) -> SimplifyResult:
+    """The pre-heap simplify: linear rescan of the live nodes for every
+    spill-candidate choice (``O(candidates * live nodes)``)."""
+    degree: dict[Reg, int] = {n: graph.degree(n) for n in graph.nodes()}
+    alive: dict[Reg, None] = dict.fromkeys(degree)
+    stack: list[Reg] = []
+    candidates: set[Reg] = set()
+    pessimistic_spills: list[Reg] = []
+    index = graph.index
+
+    def k_of(reg: Reg) -> int:
+        return machine.k(reg.rclass)
+
+    worklist = [n for n in degree if degree[n] < k_of(n)]
+
+    def remove(node: Reg, push: bool = True) -> None:
+        del alive[node]
+        if push:
+            stack.append(node)
+        for n in index.iter_regs(graph.neighbor_bits(node)):
+            if n not in alive:
+                continue
+            degree[n] -= 1
+            if degree[n] == k_of(n) - 1:
+                worklist.append(n)
+
+    while alive:
+        while worklist:
+            node = worklist.pop()
+            if node in alive and degree[node] < k_of(node):
+                remove(node)
+        if not alive:
+            break
+        candidate = _ref_pick_spill_candidate(degree, alive, costs)
+        if candidate is None:
+            break
+        candidates.add(candidate)
+        if optimistic:
+            remove(candidate)
+        else:
+            pessimistic_spills.append(candidate)
+            remove(candidate, push=False)
+    return SimplifyResult(stack=stack, candidates=candidates,
+                          pessimistic_spills=pessimistic_spills)
+
+
+def _ref_pick_spill_candidate(degree: dict[Reg, int],
+                              alive: dict[Reg, None],
+                              costs: SpillCosts) -> Reg | None:
+    best: Reg | None = None
+    best_ratio = math.inf
+    fallback: Reg | None = None
+    for node in alive:
+        deg = degree[node]
+        cost = costs.cost.get(node, math.inf)
+        if math.isinf(cost):
+            if fallback is None:
+                fallback = node
+            continue
+        ratio = cost / max(deg, 1)
+        if ratio < best_ratio or (ratio == best_ratio and best is not None
+                                  and node.sort_key() < best.sort_key()):
+            best, best_ratio = node, ratio
+    return best if best is not None else fallback
+
+
+def ref_select(graph: InterferenceGraph, order: SimplifyResult,
+               machine: MachineDescription,
+               partners: dict[Reg, set[Reg]] | None = None,
+               lookahead: bool = True, tracer=NULL_TRACER) -> SelectResult:
+    """The pre-bitset select: a forbidden *set* built per node from a
+    neighbor walk, and lookahead recomputing every uncolored partner's
+    forbidden set once per trial color."""
+    partners = partners or {}
+    result = SelectResult()
+    coloring = result.coloring
+
+    index = graph.index
+    for node in reversed(order.stack):
+        k = machine.k(node.rclass)
+        forbidden = {coloring[n]
+                     for n in index.iter_regs(graph.neighbor_bits(node))
+                     if n in coloring}
+        available = [c for c in range(k) if c not in forbidden]
+        if not available:
+            result.spilled.append(node)
+            continue
+        color, _because = _ref_choose_color(node, available, graph,
+                                            coloring, partners, lookahead)
+        coloring[node] = color
+    return result
+
+
+def _ref_choose_color(node: Reg, available: list[int],
+                      graph: InterferenceGraph, coloring: dict[Reg, int],
+                      partners: dict[Reg, set[Reg]],
+                      lookahead: bool) -> tuple[int, str]:
+    mates = sorted(partners.get(node, ()), key=lambda r: r.sort_key())
+    for mate in mates:
+        c = coloring.get(mate)
+        if c is not None and c in available:
+            return c, "biased-partner"
+    if lookahead and mates:
+        uncolored = [m for m in mates if m not in coloring and m in graph]
+        best_color = None
+        best_score = -1
+        index = graph.index
+        for c in available:
+            score = 0
+            for mate in uncolored:
+                mate_forbidden = {
+                    coloring[n]
+                    for n in index.iter_regs(graph.neighbor_bits(mate))
+                    if n in coloring}
+                if c not in mate_forbidden:
+                    score += 1
+            if score > best_score:
+                best_color, best_score = c, score
+        if best_color is not None:
+            return best_color, "lookahead"
+    return available[0], "first-free"

@@ -189,14 +189,55 @@ class TestAnalysisAccounting:
         return KERNELS_BY_NAME["fehl"].compile()
 
     def test_one_liveness_fixed_point_per_ssa_and_build(self):
-        # exactly two liveness fixed points per round (SSA pruning +
-        # interference build) and nothing else — the build-coalesce
-        # loop's rebuilds all ride the cached/maintained object
+        # without incremental maintenance: exactly two liveness fixed
+        # points per round (SSA pruning + interference build) and
+        # nothing else — the build-coalesce loop's rebuilds all ride
+        # the cached/maintained object
         result = allocate(self._kernel(), machine=machine_with(8, 8),
-                          mode=RenumberMode.REMAT)
+                          mode=RenumberMode.REMAT, incremental=False)
         stats = result.stats
         assert stats.n_rounds > 1  # 8+8 forces spilling on fehl
         assert stats.n_liveness_computed == 2 * stats.n_rounds
+        assert stats.n_liveness_updates == 0
+
+    def test_incremental_saves_one_fixed_point_per_spill_round(self):
+        # with incremental maintenance (the default) the patched
+        # liveness survives spill insertion, so every round ≥ 2 serves
+        # SSA pruning from cache: rounds + 1 fixed points total, one
+        # update per spill round, and each update re-analyzed only a
+        # subset of the blocks
+        result = allocate(self._kernel(), machine=machine_with(8, 8),
+                          mode=RenumberMode.REMAT)
+        stats = result.stats
+        assert stats.n_rounds > 1
+        assert stats.n_liveness_computed == stats.n_rounds + 1
+        assert stats.n_liveness_updates == stats.n_rounds - 1
+        assert (stats.n_incremental_blocks_reanalyzed
+                <= stats.n_incremental_blocks_total)
+
+    def test_incremental_and_strict_agree_on_output(self):
+        from repro.ir import function_to_text
+
+        kwargs = dict(machine=machine_with(8, 8), mode=RenumberMode.REMAT)
+        inc = allocate(self._kernel(), **kwargs)
+        strict = allocate(self._kernel(), incremental=False, **kwargs)
+        assert (function_to_text(inc.function)
+                == function_to_text(strict.function))
+
+    def test_verify_incremental_mode(self):
+        result = allocate(self._kernel(), machine=machine_with(8, 8),
+                          mode=RenumberMode.REMAT, verify_incremental=True)
+        assert result.stats.n_liveness_updates == result.stats.n_rounds - 1
+
+    def test_sparse_liveness_mode_identical_output(self):
+        from repro.ir import function_to_text
+
+        kwargs = dict(machine=machine_with(8, 8), mode=RenumberMode.REMAT)
+        dense = allocate(self._kernel(), **kwargs)
+        sparse = allocate(self._kernel(), liveness_mode="sparse", **kwargs)
+        assert (function_to_text(dense.function)
+                == function_to_text(sparse.function))
+        assert sparse.stats.n_liveness_computed == sparse.stats.n_rounds + 1
 
     def test_cfg_analyses_computed_once_for_whole_allocation(self):
         result = allocate(self._kernel(), machine=machine_with(8, 8),
@@ -210,7 +251,8 @@ class TestAnalysisAccounting:
 
         scheme = SCHEMES["around-all-loops"]
         result = allocate(self._kernel(), machine=machine_with(8, 8),
-                          mode=scheme.mode, pre_split=scheme.pre_split)
+                          mode=scheme.mode, pre_split=scheme.pre_split,
+                          incremental=False)
         stats = result.stats
         # the hook's fixed point is the first round's SSA-construction
         # liveness: still two computes per round (not 2*rounds + 1, the
