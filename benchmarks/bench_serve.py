@@ -1,0 +1,152 @@
+"""Evidence for the allocation server (allocation-as-a-service shape).
+
+Boots one ``repro serve`` process with a warm worker pool and a fresh
+cache, then measures a cold single-client pass over the corpus followed
+by warm 100-request runs at 1, 8, and 64 concurrent clients.  Gates:
+
+* every response is byte-identical to a local batch-engine run;
+* warm-cache 64-client throughput beats the single-client cold
+  baseline by at least 5x;
+* worker spawns stay amortized — at most pool-size spawns in total,
+  and none at all during the warm (cache-hot) runs.
+
+Writes latency percentiles and throughput per scenario to
+``benchmarks/results/BENCH_serve.json``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import ExperimentEngine
+from repro.serve import (ServeClient, dumps, request_from_json, run_load,
+                         summary_to_json)
+
+POOL_SIZE = min(4, os.cpu_count() or 1)
+KERNELS = ("zeroin", "fehl", "spline", "decomp")
+WARM_REQUESTS = 100
+CLIENT_COUNTS = (1, 8, 64)
+
+
+def corpus() -> list[dict]:
+    return [{"kernel": name, "int_regs": 8, "float_regs": 8,
+             "mode": mode}
+            for name in KERNELS for mode in ("chaitin", "remat")]
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("serve-cache")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", str(POOL_SIZE), "--cache-dir", str(cache_dir),
+         "--queue-limit", "512", "--max-batch", "64"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    announce = proc.stdout.readline().strip()
+    assert announce.startswith("# serving on "), announce
+    port = int(announce.rsplit(":", 1)[1])
+    yield {"port": port, "proc": proc}
+    proc.send_signal(signal.SIGTERM)
+    proc.wait(timeout=60)
+    proc.stdout.close()
+
+
+@pytest.fixture(scope="module")
+def scenario_runs(server):
+    port = server["port"]
+    runs = {}
+
+    with ServeClient("127.0.0.1", port) as probe:
+        spawned_start = probe.metrics()["counters"].get("pool.spawned", 0)
+
+    # cold: one client, every request a miss (pays spawn + execute)
+    runs["cold_1"] = run_load("127.0.0.1", port, corpus(), clients=1,
+                              total_requests=len(corpus()))
+
+    with ServeClient("127.0.0.1", port) as probe:
+        spawned_cold = probe.metrics()["counters"].get("pool.spawned", 0)
+
+    # warm: the same corpus over a hot cache at increasing concurrency
+    for clients in CLIENT_COUNTS:
+        runs[f"warm_{clients}"] = run_load(
+            "127.0.0.1", port, corpus(), clients=clients,
+            total_requests=WARM_REQUESTS)
+
+    with ServeClient("127.0.0.1", port) as probe:
+        counters = probe.metrics()["counters"]
+
+    runs["spawned_start"] = spawned_start
+    runs["spawned_cold"] = spawned_cold
+    runs["counters"] = counters
+    return runs
+
+
+def test_serve_throughput_and_amortization(scenario_runs, results_dir):
+    cold = scenario_runs["cold_1"]
+    warm64 = scenario_runs[f"warm_{CLIENT_COUNTS[-1]}"]
+    counters = scenario_runs["counters"]
+
+    for name in ("cold_1", *(f"warm_{c}" for c in CLIENT_COUNTS)):
+        run = scenario_runs[name]
+        assert run.failed == 0, (name, run)
+        assert run.ok == run.requests, (name, run)
+
+    # the perf gate: warm 64-client throughput >= 5x cold single-client
+    assert warm64.throughput >= 5 * cold.throughput, \
+        (warm64.throughput, cold.throughput)
+
+    # spawn amortization: the cold pass spawns at most pool-size
+    # workers, and the warm (cache-hot) runs spawn none at all
+    spawned_total = counters.get("pool.spawned", 0)
+    assert spawned_total - scenario_runs["spawned_start"] <= POOL_SIZE, \
+        counters
+    assert counters.get("pool.spawned", 0) == \
+        scenario_runs["spawned_cold"], "warm runs spawned workers"
+
+    # the warm runs were answered without re-execution
+    assert counters["engine.executed"] == len(corpus())
+
+    payload = {
+        "pool_size": POOL_SIZE,
+        "corpus": len(corpus()),
+        "warm_requests": WARM_REQUESTS,
+        "worker_spawns": spawned_total,
+        "overload_rejections": counters.get(
+            "serve.overload_rejections", 0),
+        "deduplicated": counters.get("serve.deduplicated", 0),
+        "speedup_warm64_vs_cold1": round(
+            warm64.throughput / cold.throughput, 2)
+        if cold.throughput else None,
+        "runs": {name: scenario_runs[name].as_json()
+                 for name in ("cold_1",
+                              *(f"warm_{c}" for c in CLIENT_COUNTS))},
+    }
+    path = results_dir / "BENCH_serve.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n{json.dumps(payload, indent=2)}\n[saved to {path}]")
+
+
+def test_served_bytes_match_local_engine(server):
+    """Acceptance gate: cold and warm server responses are both
+    byte-identical to a local ``run_many`` over the same requests."""
+    local = ExperimentEngine(jobs=1, use_cache=False)
+    expected = [dumps(summary_to_json(o))
+                for o in local.run_many([request_from_json(spec)
+                                         for spec in corpus()])]
+    with ServeClient("127.0.0.1", server["port"]) as client:
+        served = [dumps(client.allocate(**spec)) for spec in corpus()]
+        again = [dumps(client.allocate(**spec)) for spec in corpus()]
+    assert served == expected
+    assert again == expected
+
+
+def test_warm_single_request_latency(server, benchmark):
+    """The benchmarked operation: one warm round-trip (memo hit)."""
+    with ServeClient("127.0.0.1", server["port"]) as client:
+        payload = corpus()[0]
+        client.allocate(**payload)  # ensure hot
+        benchmark(lambda: client.allocate(**payload))

@@ -25,7 +25,11 @@ Commands
   requests render as a partial-results appendix and exit nonzero
   instead of aborting the table (see ``docs/robustness.md``)
 * ``cache {stats,verify,gc}`` — inspect, re-checksum, or sweep the
-  persistent result cache and its ``quarantine/`` directory
+  persistent result cache and its ``quarantine/`` directory (``gc``
+  also migrates legacy flat entries into their shards)
+* ``serve``             — run the persistent allocation server: a warm
+  worker pool plus the shared result cache behind a JSONL/TCP protocol
+  with admission control and micro-batching (see ``docs/serving.md``)
 
 ``FILE`` may be MiniFort (``.mf``) or textual ILOC (``.il``); anything
 else is sniffed by content (ILOC starts with ``proc NAME NPARAMS``).
@@ -337,8 +341,38 @@ def cmd_cache(args: argparse.Namespace) -> int:
     else:  # gc
         swept = cache.gc()
         print(f"removed {swept['quarantined_removed']} quarantined "
-              f"entries, {swept['tmp_removed']} stray temp files")
+              f"entries, {swept['tmp_removed']} stray temp files; "
+              f"migrated {swept['migrated']} legacy entries into shards")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .engine import ExperimentEngine, SupervisorConfig, WorkerPool
+    from .serve import ServeConfig, run_server
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    pool = WorkerPool(jobs)
+    engine = ExperimentEngine(
+        jobs=jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        supervisor=SupervisorConfig(timeout=args.timeout,
+                                    max_attempts=args.retries),
+        pool=pool)
+    config = ServeConfig(host=args.host, port=args.port,
+                         queue_limit=args.queue_limit,
+                         batch_window=args.batch_window,
+                         max_batch=args.max_batch)
+
+    def announce(host: str, port: int) -> None:
+        print(f"# serving on {host}:{port}", flush=True)
+
+    try:
+        return asyncio.run(run_server(engine, config, announce=announce))
+    finally:
+        pool.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -439,6 +473,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache directory (default: "
                         "benchmarks/results/cache/ or $REPRO_CACHE_DIR)")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("serve", help="run the persistent allocation "
+                                     "server (JSONL over TCP)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="listen address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port; 0 binds an ephemeral port "
+                        "(announced as '# serving on HOST:PORT')")
+    p.add_argument("--queue-limit", type=int, default=256, metavar="N",
+                   help="admission bound — requests beyond N pending "
+                        "are rejected with a typed overload error "
+                        "(default 256)")
+    p.add_argument("--batch-window", type=float, default=0.005,
+                   metavar="SECONDS",
+                   help="how long the batcher lingers for stragglers "
+                        "before dispatching a batch (default 0.005)")
+    p.add_argument("--max-batch", type=int, default=32, metavar="N",
+                   help="requests per engine batch (default 32)")
+    _add_engine(p)
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

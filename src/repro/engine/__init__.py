@@ -10,8 +10,8 @@ poison-request quarantine — see ``engine.py`` for the resolution order,
 model, and ``faults.py`` for the deterministic chaos harness.
 """
 
-from .cache import (CacheStats, ResultCache, default_cache_dir,
-                    QUARANTINE_DIR)
+from .cache import (CacheStats, ResultCache, SHARD_WIDTH,
+                    default_cache_dir, QUARANTINE_DIR)
 from .engine import (BatchStats, EngineStats, ExperimentEngine,
                      default_engine)
 from .executor import execute_request
@@ -19,8 +19,8 @@ from .faults import (CORRUPTION_KINDS, FaultPlan, InjectedFault,
                      corrupt_cache_entry)
 from .request import (AllocationSummary, CACHE_VERSION, ExperimentRequest,
                       TimingReport, TimingSample, request_key)
-from .supervisor import (ExperimentError, ExperimentFailure,
-                         SupervisedStats, SupervisorConfig,
+from .supervisor import (ExperimentError, ExperimentFailure, PoolStats,
+                         SupervisedStats, SupervisorConfig, WorkerPool,
                          expect_summary, run_supervised)
 
 __all__ = [
@@ -36,10 +36,13 @@ __all__ = [
     "ExperimentRequest",
     "FaultPlan",
     "InjectedFault",
+    "PoolStats",
     "QUARANTINE_DIR",
     "ResultCache",
+    "SHARD_WIDTH",
     "SupervisedStats",
     "SupervisorConfig",
+    "WorkerPool",
     "TimingReport",
     "TimingSample",
     "corrupt_cache_entry",

@@ -5,6 +5,14 @@ directory + ``os.replace``) so concurrent workers and concurrent engine
 processes can race on the same key without ever exposing a partial file
 — last writer wins, and determinism makes all writers equal.
 
+Storage is **sharded** by the first :data:`SHARD_WIDTH` hex characters
+of the key (256 subdirectories), so many server processes sharing one
+store spread their directory operations instead of contending on one
+giant flat directory.  Reads fall back to the legacy flat layout
+(``<key>.pkl`` directly under the store) so a store written by an
+older binary keeps answering; ``repro cache gc`` migrates flat entries
+into their shards.
+
 Entries are **checksummed envelopes**, not bare pickles::
 
     MAGIC (6 bytes) | sha256(payload) (32 bytes) | payload (pickle)
@@ -50,6 +58,11 @@ DIGEST_SIZE = hashlib.sha256().digest_size
 #: name of the corruption-quarantine subdirectory
 QUARANTINE_DIR = "quarantine"
 
+#: hex characters of key prefix per shard subdirectory (2 → 256 shards)
+SHARD_WIDTH = 2
+
+_HEX = set("0123456789abcdef")
+
 
 @dataclass
 class CacheStats:
@@ -61,6 +74,9 @@ class CacheStats:
     quarantined: int = 0
     #: ``put`` calls swallowed because the filesystem refused the write
     write_errors: int = 0
+    #: quarantine moves lost to another process that moved the same
+    #: entry first (the entry is already gone; nothing re-counted)
+    quarantine_races: int = 0
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -99,7 +115,20 @@ class ResultCache:
         self._warned_write_error = False
 
     def _path(self, key: str) -> pathlib.Path:
+        """The canonical (sharded) location for *key* — where writes go."""
+        return self.directory / key[:SHARD_WIDTH] / f"{key}.pkl"
+
+    def _legacy_path(self, key: str) -> pathlib.Path:
+        """The pre-shard flat location, still honoured by reads."""
         return self.directory / f"{key}.pkl"
+
+    def locate(self, key: str) -> pathlib.Path | None:
+        """Where the entry for *key* currently lives (shard first, then
+        the legacy flat layout), or ``None`` if absent."""
+        for path in (self._path(key), self._legacy_path(key)):
+            if path.is_file():
+                return path
+        return None
 
     @property
     def quarantine_dir(self) -> pathlib.Path:
@@ -113,16 +142,17 @@ class ResultCache:
         A present-but-invalid entry is quarantined and reported as a
         miss — callers re-execute and overwrite, so corruption heals.
         """
-        path = self._path(key)
-        try:
-            data = path.read_bytes()
-        except OSError:
-            return None
-        summary = self._validate(data, key)
-        if summary is None:
-            self._quarantine(path)
-            return None
-        return summary
+        for path in (self._path(key), self._legacy_path(key)):
+            try:
+                data = path.read_bytes()
+            except OSError:
+                continue
+            summary = self._validate(data, key)
+            if summary is None:
+                self._quarantine(path)
+                return None
+            return summary
+        return None
 
     def _validate(self, data: bytes,
                   key: str) -> AllocationSummary | None:
@@ -139,18 +169,40 @@ class ResultCache:
 
     def _quarantine(self, path: pathlib.Path) -> None:
         """Move a corrupt entry aside (exactly once — later reads of the
-        same key are plain misses)."""
-        self.stats.corrupt += 1
+        same key are plain misses).
+
+        Two processes can observe the same corrupt bytes and race to
+        quarantine them; the loser's ``os.replace`` raises
+        ``FileNotFoundError`` because the winner already moved the file.
+        That case is detected and counted as a race, not as a second
+        corruption — the loser must *not* fall back to ``unlink``, which
+        could delete a healthy entry a third process rewrote in the
+        window, nor warn about an entry that is already safely aside.
+        """
         try:
             self.quarantine_dir.mkdir(parents=True, exist_ok=True)
             os.replace(path, self.quarantine_dir / path.name)
-            self.stats.quarantined += 1
+        except FileNotFoundError:
+            if not path.exists():
+                # lost the race: another process quarantined this entry
+                # between our read and the move — it did the counting
+                self.stats.quarantine_races += 1
+                return
+            self.stats.corrupt += 1
+            logger.warning("quarantined corrupt cache entry %s "
+                           "(move failed)", path.name)
         except OSError:
+            self.stats.corrupt += 1
             try:
                 path.unlink()
             except OSError:
                 pass
-        logger.warning("quarantined corrupt cache entry %s", path.name)
+            logger.warning("quarantined corrupt cache entry %s "
+                           "(move failed)", path.name)
+        else:
+            self.stats.corrupt += 1
+            self.stats.quarantined += 1
+            logger.warning("quarantined corrupt cache entry %s", path.name)
 
     # -- writes ---------------------------------------------------------------
 
@@ -166,11 +218,12 @@ class ResultCache:
                                protocol=pickle.HIGHEST_PROTOCOL)
         tmp = None
         try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            target = self._path(key)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
             with os.fdopen(fd, "wb") as handle:
                 handle.write(_envelope(payload))
-            os.replace(tmp, self._path(key))
+            os.replace(tmp, target)
             return True
         except OSError as exc:
             self.stats.write_errors += 1
@@ -195,7 +248,25 @@ class ResultCache:
 
     # -- maintenance (the ``repro cache`` CLI) --------------------------------
 
+    def _shard_dirs(self) -> list[pathlib.Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(p for p in self.directory.iterdir()
+                      if p.is_dir() and len(p.name) == SHARD_WIDTH
+                      and set(p.name) <= _HEX)
+
     def entries(self) -> list[pathlib.Path]:
+        """Every entry, sharded and legacy-flat, sorted by key."""
+        if not self.directory.is_dir():
+            return []
+        found = [p for p in self.directory.iterdir()
+                 if p.suffix == ".pkl"]
+        for shard in self._shard_dirs():
+            found.extend(p for p in shard.iterdir() if p.suffix == ".pkl")
+        return sorted(found, key=lambda p: p.name)
+
+    def legacy_entries(self) -> list[pathlib.Path]:
+        """Entries still at the pre-shard flat layout (``gc`` migrates)."""
         if not self.directory.is_dir():
             return []
         return sorted(p for p in self.directory.iterdir()
@@ -215,6 +286,8 @@ class ResultCache:
             "directory": str(self.directory),
             "entries": len(entries),
             "bytes": sum(p.stat().st_size for p in entries),
+            "shards": len(self._shard_dirs()),
+            "legacy_entries": len(self.legacy_entries()),
             "quarantined_entries": len(quarantined),
             "quarantined_bytes": sum(p.stat().st_size
                                      for p in quarantined),
@@ -240,7 +313,8 @@ class ResultCache:
         return ok, corrupt
 
     def gc(self) -> dict[str, int]:
-        """Sweep quarantined entries and stray ``.tmp`` files."""
+        """Sweep quarantined entries and stray ``.tmp`` files, and
+        migrate legacy flat entries into their shards."""
         removed_quarantined = 0
         for path in self.quarantined_entries():
             try:
@@ -248,22 +322,33 @@ class ResultCache:
                 removed_quarantined += 1
             except OSError:
                 pass
+        migrated = 0
+        for path in self.legacy_entries():
+            target = self._path(path.stem)
+            try:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(path, target)
+                migrated += 1
+            except OSError:
+                pass
         removed_tmp = 0
         if self.directory.is_dir():
-            for path in self.directory.iterdir():
-                if path.suffix == ".tmp":
-                    try:
-                        path.unlink()
-                        removed_tmp += 1
-                    except OSError:
-                        pass
+            for dirpath in [self.directory] + self._shard_dirs():
+                for path in dirpath.iterdir():
+                    if path.suffix == ".tmp":
+                        try:
+                            path.unlink()
+                            removed_tmp += 1
+                        except OSError:
+                            pass
         return {"quarantined_removed": removed_quarantined,
-                "tmp_removed": removed_tmp}
+                "tmp_removed": removed_tmp,
+                "migrated": migrated}
 
     # -- container protocol ---------------------------------------------------
 
     def __contains__(self, key: str) -> bool:
-        return self._path(key).exists()
+        return self.locate(key) is not None
 
     def __len__(self) -> int:
         return len(self.entries())
@@ -272,11 +357,12 @@ class ResultCache:
         """Delete every entry; returns how many were removed."""
         removed = 0
         if self.directory.is_dir():
-            for path in self.directory.iterdir():
-                if path.suffix in (".pkl", ".tmp"):
-                    try:
-                        path.unlink()
-                        removed += 1
-                    except OSError:
-                        pass
+            for dirpath in [self.directory] + self._shard_dirs():
+                for path in dirpath.iterdir():
+                    if path.suffix in (".pkl", ".tmp"):
+                        try:
+                            path.unlink()
+                            removed += 1
+                        except OSError:
+                            pass
         return removed

@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from .cache import ResultCache
 from .faults import FaultPlan
 from .request import AllocationSummary, ExperimentRequest, request_key
-from .supervisor import (ExperimentFailure, SupervisorConfig,
+from .supervisor import (ExperimentFailure, SupervisorConfig, WorkerPool,
                          expect_summary, run_supervised)
 
 
@@ -67,6 +67,11 @@ class EngineStats:
     spawn_failures: int = 0
     #: batches that degraded to serial in-process execution
     fallback_serial: int = 0
+    #: worker processes spawned across every batch — bounded by the
+    #: pool size (plus crash replacements) when a warm pool is attached
+    worker_spawns: int = 0
+    #: dispatches served by an already-live pool worker
+    workers_reused: int = 0
 
 
 @dataclass
@@ -100,6 +105,12 @@ class ExperimentEngine:
             budget, backoff, serial-fallback threshold.
         fault_plan: deterministic fault injection for the chaos suite
             (never set in production paths).
+        pool: a persistent :class:`~repro.engine.supervisor.WorkerPool`
+            shared across every ``run_many`` call.  Without one, each
+            batch spins up (and tears down) its own ephemeral pool; a
+            long-running caller — the allocation server — attaches a
+            warm pool so steady-state batches reuse live workers.  The
+            caller owns the pool and must ``close()`` it.
     """
 
     jobs: int | None = None
@@ -107,6 +118,7 @@ class ExperimentEngine:
     use_cache: bool = True
     supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
     fault_plan: FaultPlan | None = None
+    pool: WorkerPool | None = None
     stats: EngineStats = field(default_factory=EngineStats)
 
     def __post_init__(self) -> None:
@@ -182,7 +194,10 @@ class ExperimentEngine:
         """Run cache misses under supervision; returns outcomes plus the
         fan-out width used."""
         assert self.jobs is not None
-        workers = min(self.jobs, len(misses))
+        if self.pool is not None:
+            workers = min(self.pool.size, len(misses))
+        else:
+            workers = min(self.jobs, len(misses))
 
         def on_result(key: str,
                       outcome: AllocationSummary | ExperimentFailure
@@ -202,13 +217,15 @@ class ExperimentEngine:
 
         outcomes, sstats = run_supervised(
             list(misses.items()), workers, config=self.supervisor,
-            plan=self.fault_plan, on_result=on_result)
+            plan=self.fault_plan, on_result=on_result, pool=self.pool)
         self.stats.retries += sstats.retries
         self.stats.timeouts += sstats.timeouts
         self.stats.worker_crashes += sstats.worker_crashes
         self.stats.quarantined += sstats.quarantined
         self.stats.spawn_failures += sstats.spawn_failures
         self.stats.fallback_serial += sstats.fallback_serial
+        self.stats.worker_spawns += sstats.worker_spawns
+        self.stats.workers_reused += sstats.workers_reused
         return outcomes, max(1, workers)
 
     def metrics(self) -> "MetricsRegistry":
@@ -234,6 +251,8 @@ class ExperimentEngine:
                 self.cache.stats.quarantined)
             registry.counter("engine.cache_write_errors").inc(
                 self.cache.stats.write_errors)
+            registry.counter("engine.cache_quarantine_races").inc(
+                self.cache.stats.quarantine_races)
         registry.counter("engine.batches").inc(len(self.batches))
         for batch in self.batches:
             registry.histogram("engine.batch_size").observe(batch.requests)

@@ -139,7 +139,8 @@ def corrupt_cache_entry(cache, key: str, kind: str) -> None:
     """
     from .cache import DIGEST_SIZE, MAGIC
 
-    path = cache.directory / f"{key}.pkl"
+    path = cache.locate(key)
+    assert path is not None, f"no cache entry to corrupt for {key}"
     data = path.read_bytes()
     header = len(MAGIC) + DIGEST_SIZE
     if kind == "truncate":

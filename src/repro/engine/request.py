@@ -38,7 +38,9 @@ from ..remat import RenumberMode
 #: 3: checksummed envelope storage (pre-envelope entries never match)
 #: 4: incremental analysis maintenance (exact coalesce-delete liveness
 #:    patches change colorings; AllocationStats grew incremental fields)
-CACHE_VERSION = 4
+#: 5: sharded store layout for multi-process sharing (flat v4 entries
+#:    are legacy-read only and never match v5 keys)
+CACHE_VERSION = 5
 
 
 @dataclass(frozen=True)

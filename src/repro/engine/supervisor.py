@@ -20,6 +20,13 @@ lost the entire batch.  This module replaces the pool with a
   worker spawns fail) the supervisor **degrades to serial in-process
   execution** and finishes the batch without workers.
 
+Worker processes live in a :class:`WorkerPool`.  A supervisor that is
+not handed one creates an ephemeral pool and tears it down with the
+batch (the historical behaviour); long-running callers — the
+allocation server's warm pool — construct a pool once and pass it to
+every batch, so steady-state traffic reuses live workers instead of
+paying interpreter spawn and import cost per ``run_many``.
+
 Results are delivered to the caller *as they arrive* via ``on_result``
 (the engine uses this to flush the persistent cache incrementally), so
 a ``KeyboardInterrupt`` mid-batch terminates the workers promptly and
@@ -56,7 +63,9 @@ class SupervisorConfig:
     Attributes:
         timeout: per-attempt wall-clock limit in seconds (``None`` — no
             limit).  Enforced only for pooled execution; the serial
-            path cannot kill itself.
+            path cannot kill itself.  The clock starts once the worker
+            has signalled readiness, so interpreter spawn and import
+            cost never count against the request.
         max_attempts: total attempts per request before it is
             quarantined (1 = no retries).
         backoff: base retry delay; attempt *n* is delayed
@@ -140,15 +149,30 @@ class SupervisedStats:
     spawn_failures: int = 0
     #: batches that degraded to serial in-process execution
     fallback_serial: int = 0
+    #: worker processes spawned during this batch (0 in steady state
+    #: when a warm :class:`WorkerPool` served every dispatch)
+    worker_spawns: int = 0
+    #: dispatches served by an already-live pool worker
+    workers_reused: int = 0
 
 
 def worker_main(conn, plan: FaultPlan | None = None) -> None:
     """The worker process loop: recv request, execute, send result.
 
-    Module-level so it pickles by reference under ``spawn``.  Replies
-    are ``("ok", key, summary)`` or ``("err", key, class, message)``;
-    anything else the supervisor learns from the process sentinel.
+    Module-level so it pickles by reference under ``spawn``.  The
+    worker pays its import cost up front and announces ``("ready",)``
+    before serving — the supervisor starts attempt deadlines at that
+    signal, so a slow interpreter spawn is never mistaken for a hung
+    request.  Replies are ``("ok", key, summary)`` or
+    ``("err", key, class, message)``; anything else the supervisor
+    learns from the process sentinel.
     """
+    from .executor import execute_request
+
+    try:
+        conn.send(("ready",))
+    except OSError:
+        return
     while True:
         try:
             msg = conn.recv()
@@ -167,8 +191,6 @@ def worker_main(conn, plan: FaultPlan | None = None) -> None:
             if action == RAISE:
                 raise InjectedFault(
                     f"injected transient fault (attempt {attempt})")
-            from .executor import execute_request
-
             summary = execute_request(request)
         except Exception as exc:  # crashes bypass this; see sentinel
             reply = ("err", key, type(exc).__name__, str(exc))
@@ -191,9 +213,12 @@ class _Attempt:
 class _Worker:
     """One supervised child process plus its command pipe."""
 
-    __slots__ = ("process", "conn")
+    __slots__ = ("process", "conn", "ready")
 
     def __init__(self, ctx, plan: FaultPlan | None):
+        #: set once the worker's ``("ready",)`` announcement is read;
+        #: attempt deadlines only run against ready workers
+        self.ready = False
         parent, child = ctx.Pipe()
         try:
             self.process = ctx.Process(target=worker_main,
@@ -229,28 +254,127 @@ class _Worker:
             pass
 
 
+@dataclass
+class PoolStats:
+    """Lifetime accounting for one :class:`WorkerPool`."""
+
+    #: worker processes successfully spawned
+    spawned: int = 0
+    #: dispatches served by a worker that already existed
+    reused: int = 0
+    #: spawn attempts the OS refused
+    spawn_failures: int = 0
+    #: leased workers that were killed instead of returned (crash,
+    #: timeout, shutdown reclaim)
+    discarded: int = 0
+
+
+class WorkerPool:
+    """A reusable pool of supervised ``spawn`` worker processes.
+
+    The pool owns process creation and idle reuse; a per-batch
+    :class:`_Supervisor` borrows workers through :meth:`acquire` /
+    :meth:`release` and the pool keeps healthy workers alive between
+    batches.  This is the allocation server's warm-pool core: the first
+    batch pays up to ``size`` interpreter spawns, every later batch
+    leases already-live workers (``stats.reused``) and spawns only to
+    replace workers lost to crashes or timeout kills.
+
+    Not thread-safe: one supervisor drives the pool at a time (the
+    engine serializes ``run_many`` calls, and the server funnels every
+    batch through one dispatcher).
+    """
+
+    def __init__(self, size: int, plan: FaultPlan | None = None):
+        self.size = max(1, size)
+        self.plan = plan
+        self.ctx = multiprocessing.get_context("spawn")
+        self.idle: list[_Worker] = []
+        self.leased = 0
+        self.stats = PoolStats()
+        self.consecutive_spawn_failures = 0
+        self.closed = False
+        self._spawn_attempts = 0
+
+    def has_worker_for_lease(self) -> bool:
+        """Whether :meth:`acquire` could hand out a worker right now."""
+        return bool(self.idle) or self.leased + len(self.idle) < self.size
+
+    def acquire(self) -> _Worker | None:
+        """Lease an idle worker, spawning one if the pool is under its
+        size; ``None`` means the spawn failed (counted — check
+        :attr:`consecutive_spawn_failures` for pool health)."""
+        while self.idle:
+            worker = self.idle.pop()
+            if worker.process.is_alive():
+                self.leased += 1
+                self.stats.reused += 1
+                return worker
+            worker.kill()   # died while idle: reap and replace below
+        self._spawn_attempts += 1
+        try:
+            if self.plan is not None \
+                    and self._spawn_attempts <= self.plan.spawn_failures:
+                raise OSError("injected spawn failure")
+            worker = _Worker(self.ctx, self.plan)
+        except OSError:
+            self.stats.spawn_failures += 1
+            self.consecutive_spawn_failures += 1
+            return None
+        self.consecutive_spawn_failures = 0
+        self.stats.spawned += 1
+        self.leased += 1
+        return worker
+
+    def release(self, worker: _Worker) -> None:
+        """Return a healthy leased worker for reuse."""
+        self.leased -= 1
+        if self.closed:
+            worker.kill()
+        else:
+            self.idle.append(worker)
+
+    def discard(self, worker: _Worker) -> None:
+        """Account for a leased worker the caller killed (or found
+        dead); the pool will spawn a replacement on demand."""
+        self.leased -= 1
+        self.stats.discarded += 1
+
+    def close(self) -> None:
+        """Kill every idle worker; later releases kill instead of
+        re-idling.  Safe to call more than once."""
+        self.closed = True
+        for worker in self.idle:
+            worker.kill()
+        self.idle.clear()
+
+
 class _Supervisor:
     """The event loop: dispatch, watch, retry, quarantine, degrade."""
 
     def __init__(self, config: SupervisorConfig, workers: int,
-                 plan: FaultPlan | None, on_result):
+                 plan: FaultPlan | None, on_result,
+                 pool: WorkerPool | None = None):
         self.config = config
         self.workers_target = max(1, workers)
         self.plan = plan
         self.on_result = on_result
-        self.ctx = multiprocessing.get_context("spawn")
+        self.owns_pool = pool is None
+        # a borrowed pool executes even single-request batches on its
+        # (warm) workers; only a pool-less serial supervisor runs
+        # in-process by request
+        self.serial = pool is None and self.workers_target <= 1
+        self.pool = pool if pool is not None else (
+            None if self.serial else WorkerPool(self.workers_target, plan))
         self.stats = SupervisedStats()
         self.results: dict[str, AllocationSummary | ExperimentFailure] = {}
         self.history: dict[str, list[str]] = {}
         self.runnable: deque[_Attempt] = deque()
         self.delayed: list[_Attempt] = []
-        self.idle: list[_Worker] = []
         self.busy: dict[_Worker, tuple[_Attempt, float | None]] = {}
         self.outstanding = 0
         self.delivered = 0
         self.fallback = False
-        self._consecutive_spawn_failures = 0
-        self._spawn_attempts = 0
 
     # -- driving ---------------------------------------------------------------
 
@@ -260,10 +384,13 @@ class _Supervisor:
             self.runnable.append(_Attempt(key, request, 1))
             self.history[key] = []
         self.outstanding = len(items)
-        if self.workers_target <= 1:
+        if self.serial:
             # requested serial mode, not a degradation
             self._drain_serial()
             return self.results
+        assert self.pool is not None
+        spawned_before = self.pool.stats.spawned
+        reused_before = self.pool.stats.reused
         try:
             while self.outstanding:
                 now = time.monotonic()
@@ -276,6 +403,10 @@ class _Supervisor:
                 self._wait()
         finally:
             self._shutdown()
+            self.stats.worker_spawns = \
+                self.pool.stats.spawned - spawned_before
+            self.stats.workers_reused = \
+                self.pool.stats.reused - reused_before
         return self.results
 
     def _promote(self, now: float) -> None:
@@ -287,40 +418,28 @@ class _Supervisor:
                 self.runnable.append(attempt)
 
     def _fill(self, now: float) -> None:
-        """Hand runnable attempts to idle (or freshly spawned) workers."""
+        """Hand runnable attempts to pool workers (idle or spawned)."""
         while self.runnable and not self.fallback:
-            if self.idle:
-                worker = self.idle.pop()
-            elif len(self.busy) + len(self.idle) < self.workers_target:
-                worker = self._spawn()
-                if worker is None:
-                    break
-            else:
+            if len(self.busy) >= self.workers_target \
+                    or not self.pool.has_worker_for_lease():
+                break
+            worker = self.pool.acquire()
+            if worker is None:
+                self.stats.spawn_failures += 1
+                if self.pool.consecutive_spawn_failures \
+                        >= self.config.max_spawn_failures:
+                    self.fallback = True
+                    self.stats.fallback_serial += 1
                 break
             self._dispatch(worker, self.runnable.popleft(), now)
 
-    def _spawn(self) -> _Worker | None:
-        self._spawn_attempts += 1
-        try:
-            if self.plan is not None \
-                    and self._spawn_attempts <= self.plan.spawn_failures:
-                raise OSError("injected spawn failure")
-            worker = _Worker(self.ctx, self.plan)
-        except OSError:
-            self.stats.spawn_failures += 1
-            self._consecutive_spawn_failures += 1
-            if self._consecutive_spawn_failures \
-                    >= self.config.max_spawn_failures:
-                self.fallback = True
-                self.stats.fallback_serial += 1
-            return None
-        self._consecutive_spawn_failures = 0
-        return worker
-
     def _dispatch(self, worker: _Worker, attempt: _Attempt,
                   now: float) -> None:
+        # a freshly spawned worker is still importing; its deadline is
+        # armed when the ready announcement arrives (_on_message)
         deadline = (now + self.config.timeout
-                    if self.config.timeout is not None else None)
+                    if self.config.timeout is not None and worker.ready
+                    else None)
         self.busy[worker] = (attempt, deadline)
         try:
             worker.conn.send((attempt.key, attempt.request, attempt.number))
@@ -363,7 +482,14 @@ class _Supervisor:
         except (EOFError, OSError):
             self._crashed(worker, attempt)
             return
-        self.idle.append(worker)
+        if msg[0] == "ready":
+            # spawn + import finished: the attempt deadline starts now
+            worker.ready = True
+            deadline = (time.monotonic() + self.config.timeout
+                        if self.config.timeout is not None else None)
+            self.busy[worker] = (attempt, deadline)
+            return
+        self.pool.release(worker)
         if msg[0] == "ok":
             self._deliver(msg[1], msg[2])
         else:
@@ -375,16 +501,20 @@ class _Supervisor:
         attempt, _ = self.busy.pop(worker)
         # the worker may have replied *and then* died — don't lose the
         # result, and don't re-execute a completed request
-        if worker.conn.poll(0):
+        while worker.conn.poll(0):
             try:
                 msg = worker.conn.recv()
             except (EOFError, OSError):
-                msg = None
+                break
+            if msg is not None and msg[0] == "ready":
+                continue  # a reply may still be queued behind it
             if msg is not None and msg[0] == "ok":
                 self.stats.worker_crashes += 1
                 worker.close()
+                self.pool.discard(worker)
                 self._deliver(msg[1], msg[2])
                 return
+            break
         self._crashed(worker, attempt)
 
     def _crashed(self, worker: _Worker, attempt: _Attempt) -> None:
@@ -392,6 +522,7 @@ class _Supervisor:
         worker.process.join(timeout=5)
         code = worker.process.exitcode
         worker.kill()
+        self.pool.discard(worker)
         self.stats.worker_crashes += 1
         self._failed_attempt(attempt, "WorkerCrash",
                              f"worker process died (exit code {code})",
@@ -400,6 +531,7 @@ class _Supervisor:
     def _on_timeout(self, worker: _Worker) -> None:
         attempt, _ = self.busy.pop(worker)
         worker.kill()
+        self.pool.discard(worker)
         self.stats.timeouts += 1
         self._failed_attempt(
             attempt, "Timeout",
@@ -441,6 +573,7 @@ class _Supervisor:
         """Take in-flight requests back (uncharged) before going serial."""
         for worker, (attempt, _) in list(self.busy.items()):
             worker.kill()
+            self.pool.discard(worker)
             self.runnable.appendleft(attempt)
         self.busy.clear()
 
@@ -493,12 +626,15 @@ class _Supervisor:
                     break
 
     def _shutdown(self) -> None:
-        """Kill every worker promptly (also the KeyboardInterrupt path)."""
-        workers = self.idle + list(self.busy)
-        self.idle.clear()
-        self.busy.clear()
-        for worker in workers:
+        """Kill in-flight workers promptly (also the KeyboardInterrupt
+        path); an owned pool dies with the batch, a borrowed one keeps
+        its idle workers warm for the next batch."""
+        for worker in list(self.busy):
             worker.kill()
+            self.pool.discard(worker)
+        self.busy.clear()
+        if self.owns_pool and self.pool is not None:
+            self.pool.close()
 
 
 def run_supervised(items: list[tuple[str, ExperimentRequest]],
@@ -506,17 +642,20 @@ def run_supervised(items: list[tuple[str, ExperimentRequest]],
                    config: SupervisorConfig | None = None,
                    plan: FaultPlan | None = None,
                    on_result=None,
+                   pool: WorkerPool | None = None,
                    ) -> tuple[dict[str, AllocationSummary
                                    | ExperimentFailure], SupervisedStats]:
     """Execute *items* (``(key, request)`` pairs, unique keys) under
     supervision; returns per-key outcomes plus the fault accounting.
 
     ``workers <= 1`` runs serially in-process (no worker processes, no
-    timeout enforcement) with the same retry/quarantine semantics.
+    timeout enforcement) with the same retry/quarantine semantics —
+    unless *pool* is given, in which case even one-request batches run
+    on the pool's (warm) workers and the pool survives the batch.
     ``on_result(key, outcome)`` fires as each outcome lands — before
     the batch finishes, and before any ``KeyboardInterrupt`` unwinds.
     """
     supervisor = _Supervisor(config or SupervisorConfig(), workers,
-                             plan, on_result)
+                             plan, on_result, pool=pool)
     outcomes = supervisor.run(items)
     return outcomes, supervisor.stats

@@ -1,0 +1,40 @@
+"""Allocation-as-a-service: the persistent async compile server.
+
+``repro serve`` keeps one :class:`~repro.engine.engine.ExperimentEngine`
+— warm worker pool, in-process memo, sharded persistent cache — alive
+behind a JSONL/TCP front end, so repeated experiment traffic pays
+interpreter spawn and import cost once instead of per invocation.
+``server.py`` holds the asyncio daemon (admission control, in-flight
+dedup, micro-batching, drain-on-SIGTERM), ``protocol.py`` the wire
+format and its byte-identity guarantees, ``client.py`` the blocking
+client library, and ``loadgen.py`` the threaded load generator the
+benchmarks drive.  See ``docs/serving.md``.
+"""
+
+from .client import ServeClient, ServeError
+from .loadgen import LoadReport, default_corpus, percentile, run_load
+from .protocol import (PROTOCOL_VERSION, ProtocolError, dumps,
+                       failure_to_json, request_from_json,
+                       summary_to_json)
+from .server import (AllocationServer, ServeConfig, ServerThread,
+                     execute_trace, run_server)
+
+__all__ = [
+    "AllocationServer",
+    "LoadReport",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerThread",
+    "default_corpus",
+    "dumps",
+    "execute_trace",
+    "failure_to_json",
+    "percentile",
+    "request_from_json",
+    "run_load",
+    "run_server",
+    "summary_to_json",
+]

@@ -1,0 +1,99 @@
+"""A small synchronous client for the allocation server.
+
+One :class:`ServeClient` is one TCP connection speaking strict
+request/response (send a line, read lines until the matching id comes
+back).  It is what the load generator, the benchmarks, and the smoke
+tests use; a thread gets its own client — the class is not locked.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from . import protocol
+
+
+class ServeError(RuntimeError):
+    """A typed error reply (``ok: false``) from the server."""
+
+    def __init__(self, error: dict):
+        super().__init__(f"{error.get('kind')}: {error.get('message')}")
+        self.error = error
+
+    @property
+    def kind(self) -> str:
+        return self.error.get("kind", "internal")
+
+
+class ServeClient:
+    """Blocking JSONL client; usable as a context manager."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.file = self.sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing --------------------------------------------------------------
+
+    def call_raw(self, op: str, request: dict | None = None) -> dict:
+        """One round-trip; returns the whole response object."""
+        self._next_id += 1
+        request_id = f"c{self._next_id}"
+        envelope: dict[str, Any] = {"v": protocol.PROTOCOL_VERSION,
+                                    "id": request_id, "op": op}
+        if request is not None:
+            envelope["request"] = request
+        self.file.write(protocol.encode_line(envelope))
+        self.file.flush()
+        while True:
+            line = self.file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = protocol.decode_line(line)
+            if response.get("id") == request_id:
+                return response
+
+    def call(self, op: str, request: dict | None = None) -> Any:
+        """One round-trip; returns ``result`` or raises
+        :class:`ServeError`."""
+        response = self.call_raw(op, request)
+        if not response.get("ok"):
+            raise ServeError(response.get("error") or {})
+        return response.get("result")
+
+    # -- operations ------------------------------------------------------------
+
+    def allocate(self, **request_fields) -> dict:
+        """Run one allocation experiment; returns the summary JSON."""
+        return self.call("allocate", request_fields)
+
+    def trace(self, **request_fields) -> str:
+        """Record one allocation trace; returns the JSONL text."""
+        return self.call("trace", request_fields)["trace_text"]
+
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def metrics(self) -> dict:
+        return self.call("metrics")
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and exit."""
+        self.call("shutdown")
+
+    def close(self) -> None:
+        try:
+            self.file.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,152 @@
+"""A threaded load generator for the allocation server.
+
+``run_load`` opens one :class:`~repro.serve.client.ServeClient` per
+simulated client, round-robins a request corpus across them, and
+reports latency percentiles and sustained throughput — the numbers
+``benchmarks/bench_serve.py`` gates on.  Overload rejections are part
+of the protocol, not failures: the generator counts them and retries
+with a short backoff.
+
+Also runnable by hand::
+
+    python -m repro.serve.loadgen --port 4540 --clients 8 --requests 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .client import ServeClient, ServeError
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The *q*-th percentile (0..100) by nearest-rank; 0.0 when empty."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured."""
+
+    clients: int = 0
+    requests: int = 0
+    ok: int = 0
+    failed: int = 0
+    #: overload rejections absorbed (each was retried)
+    rejected: int = 0
+    duration: float = 0.0
+    latencies: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second over the whole run."""
+        return self.ok / self.duration if self.duration > 0 else 0.0
+
+    def latency_ms(self, q: float) -> float:
+        return percentile(self.latencies, q) * 1000.0
+
+    def as_json(self) -> dict:
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "ok": self.ok,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "duration_s": round(self.duration, 6),
+            "throughput_rps": round(self.throughput, 3),
+            "p50_ms": round(self.latency_ms(50), 3),
+            "p99_ms": round(self.latency_ms(99), 3),
+        }
+
+
+def run_load(host: str, port: int, corpus: list[dict], clients: int,
+             total_requests: int, op: str = "allocate",
+             timeout: float = 120.0) -> LoadReport:
+    """Fire *total_requests* (round-robin over *corpus*) from *clients*
+    concurrent connections; returns the merged :class:`LoadReport`."""
+    assert corpus, "load corpus is empty"
+    report = LoadReport(clients=clients, requests=total_requests)
+    lock = threading.Lock()
+    counts = [total_requests // clients] * clients
+    for i in range(total_requests % clients):
+        counts[i] += 1
+
+    def worker(worker_index: int, quota: int) -> None:
+        ok = failed = rejected = 0
+        latencies: list[float] = []
+        with ServeClient(host, port, timeout=timeout) as client:
+            for n in range(quota):
+                payload = corpus[(worker_index + n * clients)
+                                 % len(corpus)]
+                started = time.monotonic()
+                while True:
+                    try:
+                        client.call(op, payload)
+                        ok += 1
+                    except ServeError as exc:
+                        if exc.kind == "overload":
+                            rejected += 1
+                            time.sleep(0.005)
+                            continue
+                        failed += 1
+                    break
+                latencies.append(time.monotonic() - started)
+        with lock:
+            report.ok += ok
+            report.failed += failed
+            report.rejected += rejected
+            report.latencies.extend(latencies)
+
+    threads = [threading.Thread(target=worker, args=(i, counts[i]))
+               for i in range(clients) if counts[i]]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.duration = time.monotonic() - started
+    return report
+
+
+def default_corpus(kernels: list[str] | None = None,
+                   k: int = 8) -> list[dict]:
+    """A small mixed corpus: each kernel under both allocator modes."""
+    names = kernels or ["zeroin", "fehl", "spline"]
+    return [{"kernel": name, "int_regs": k, "float_regs": k, "mode": mode}
+            for name in names for mode in ("chaitin", "remat")]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="drive load at a running allocation server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=100)
+    parser.add_argument("--k", type=int, default=8,
+                        help="register count of the corpus requests")
+    parser.add_argument("--kernels", default=None,
+                        help="comma-separated kernel names")
+    args = parser.parse_args(argv)
+    kernels = args.kernels.split(",") if args.kernels else None
+    report = run_load(args.host, args.port,
+                      default_corpus(kernels, args.k),
+                      clients=args.clients,
+                      total_requests=args.requests)
+    import json
+
+    print(json.dumps(report.as_json(), indent=2))
+    return 0 if report.failed == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,240 @@
+"""The allocation server's wire protocol: JSONL over one TCP stream.
+
+Every message — request and response — is a single JSON object on its
+own line.  Requests carry an **envelope** identifying the protocol
+version, a client-chosen correlation id, and an operation::
+
+    {"v": 1, "id": "r1", "op": "allocate", "request": {...}}
+
+Operations:
+
+* ``allocate`` — one allocation experiment; the ``request`` object maps
+  onto :class:`~repro.engine.request.ExperimentRequest` (see
+  :func:`request_from_json`), and the result is the JSON form of the
+  engine's :class:`~repro.engine.request.AllocationSummary`
+  (:func:`summary_to_json`).
+* ``trace``    — allocate with the tracer attached and return the full
+  JSONL trace document as text (``{"trace_text": ...}``), exactly what
+  ``repro trace --format jsonl`` prints for the same inputs.
+* ``ping``     — liveness probe.
+* ``metrics``  — the server's observability snapshot (``serve.*``
+  admission counters, ``pool.*`` warm-pool accounting, ``engine.*``
+  provenance and fault counters).
+* ``shutdown`` — begin a drain: stop admitting, finish what is queued.
+
+Responses echo the id and carry either a result or a typed error::
+
+    {"id": "r1", "ok": true,  "result": {...}}
+    {"id": "r1", "ok": false, "error": {"kind": "overload", ...}}
+
+Error kinds: ``bad_request`` (malformed envelope or request),
+``overload`` (admission queue full — back off and retry), ``draining``
+(server is shutting down), ``failed`` (the supervisor quarantined the
+request; the error carries the attempt forensics), ``internal``.
+
+**Byte identity.**  All server-side serialization goes through
+:func:`dumps` — ``sort_keys`` plus minimal separators — and
+:func:`summary_to_json` is deterministic field-by-field, so a response
+body is byte-for-byte identical to serializing the summary returned by
+a local :meth:`ExperimentEngine.run_many
+<repro.engine.engine.ExperimentEngine.run_many>` for the same request.
+Wall-clock ``timing`` is deliberately *not* part of the protocol (it is
+never cached and never identical across runs); summaries are shipped
+through :meth:`~repro.engine.request.AllocationSummary.without_timing`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..engine import AllocationSummary, ExperimentFailure, ExperimentRequest
+from ..machine import machine_with
+from ..remat import RenumberMode
+
+#: bump when the envelope or an operation's shape changes incompatibly
+PROTOCOL_VERSION = 1
+
+#: operations a client may put in the envelope
+OPERATIONS = ("allocate", "trace", "ping", "metrics", "shutdown")
+
+#: ``request`` fields accepted by :func:`request_from_json`
+REQUEST_FIELDS = frozenset({
+    "ir_text", "kernel", "int_regs", "float_regs", "mode",
+    "optimize_first", "biased", "lookahead", "coalesce_splits",
+    "optimistic", "scheme", "args", "run", "cacheable",
+})
+
+
+class ProtocolError(ValueError):
+    """A malformed message; ``kind``/``message`` feed the error reply."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
+
+
+def dumps(obj: Any) -> str:
+    """The canonical serialization every server reply uses (stable key
+    order, no whitespace) — the basis of the byte-identity guarantee."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def encode_line(obj: Any) -> bytes:
+    return dumps(obj).encode() + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError("bad_request", f"invalid JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad_request", "message must be a JSON object")
+    return obj
+
+
+def check_envelope(obj: dict) -> tuple[Any, str]:
+    """Validate a request envelope; returns ``(id, op)``."""
+    version = obj.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "bad_request",
+            f"unsupported protocol version {version!r} "
+            f"(this server speaks v{PROTOCOL_VERSION})")
+    op = obj.get("op")
+    if op not in OPERATIONS:
+        raise ProtocolError(
+            "bad_request",
+            f"unknown op {op!r} (one of {', '.join(OPERATIONS)})")
+    return obj.get("id"), op
+
+
+def request_from_json(spec: Any) -> ExperimentRequest:
+    """Build the engine request described by a client's ``request``
+    object; raises :class:`ProtocolError` on anything malformed.
+
+    The function comes either inline (``ir_text``, canonical ILOC) or
+    by benchmark-suite name (``kernel`` — which also supplies default
+    interpreter ``args``).  ``repeats`` is deliberately not accepted:
+    the server never measures wall-clock timing.
+    """
+    if not isinstance(spec, dict):
+        raise ProtocolError("bad_request", "request must be a JSON object")
+    unknown = sorted(set(spec) - REQUEST_FIELDS)
+    if unknown:
+        raise ProtocolError("bad_request",
+                            f"unknown request field(s): {', '.join(unknown)}")
+
+    kernel_name = spec.get("kernel")
+    ir_text = spec.get("ir_text")
+    if (kernel_name is None) == (ir_text is None):
+        raise ProtocolError(
+            "bad_request", "exactly one of ir_text/kernel is required")
+    args = spec.get("args")
+    if kernel_name is not None:
+        from ..benchsuite import KERNELS_BY_NAME
+        from ..ir import function_to_text
+
+        kernel = KERNELS_BY_NAME.get(kernel_name)
+        if kernel is None:
+            raise ProtocolError("bad_request",
+                                f"unknown kernel {kernel_name!r}")
+        ir_text = function_to_text(kernel.compile())
+        if args is None:
+            args = list(kernel.args)
+    if not isinstance(ir_text, str) or not ir_text.strip():
+        raise ProtocolError("bad_request", "ir_text must be ILOC text")
+
+    int_regs = spec.get("int_regs", 16)
+    float_regs = spec.get("float_regs", int_regs)
+    if not isinstance(int_regs, int) or not isinstance(float_regs, int) \
+            or int_regs < 1 or float_regs < 1:
+        raise ProtocolError("bad_request",
+                            "int_regs/float_regs must be positive integers")
+
+    mode_name = spec.get("mode", RenumberMode.REMAT.value)
+    try:
+        mode = RenumberMode(mode_name)
+    except ValueError:
+        raise ProtocolError(
+            "bad_request",
+            f"unknown mode {mode_name!r} "
+            f"(one of {', '.join(m.value for m in RenumberMode)})")
+
+    flags = {}
+    for name in ("optimize_first", "biased", "lookahead",
+                 "coalesce_splits", "optimistic", "run", "cacheable"):
+        if name in spec:
+            if not isinstance(spec[name], bool):
+                raise ProtocolError("bad_request",
+                                    f"{name} must be a boolean")
+            flags[name] = spec[name]
+
+    scheme = spec.get("scheme")
+    if scheme is not None and not isinstance(scheme, str):
+        raise ProtocolError("bad_request", "scheme must be a string")
+    if args is None:
+        args = []
+    if not isinstance(args, list):
+        raise ProtocolError("bad_request", "args must be an array")
+
+    try:
+        return ExperimentRequest(
+            ir_text=ir_text,
+            machine=machine_with(int_regs, float_regs),
+            mode=mode, scheme=scheme, args=tuple(args), **flags)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("bad_request", str(exc))
+
+
+def summary_to_json(summary: AllocationSummary) -> dict:
+    """The deterministic JSON form of an engine summary (timing
+    excluded; see the module docstring's byte-identity note)."""
+    from dataclasses import asdict
+
+    counts = None
+    if summary.counts is not None:
+        counts = {cls.value: n for cls, n in summary.counts.items()}
+    output = None
+    if summary.output is not None:
+        output = list(summary.output)
+    return {
+        "key": summary.key,
+        "function": summary.function_name,
+        "machine": summary.machine_name,
+        "int_regs": summary.int_regs,
+        "float_regs": summary.float_regs,
+        "mode": summary.mode.value,
+        "stats": asdict(summary.stats),
+        "rounds": summary.rounds,
+        "code_size": summary.code_size,
+        "allocated_size": summary.allocated_size,
+        "counts": counts,
+        "steps": summary.steps,
+        "output": output,
+    }
+
+
+def failure_to_json(failure: ExperimentFailure) -> dict:
+    """The typed error body for a quarantined request."""
+    return {
+        "kind": "failed",
+        "key": failure.key,
+        "function": failure.function_name,
+        "error_class": failure.error_class,
+        "message": failure.message,
+        "attempts": failure.attempts,
+        "worker_fate": failure.worker_fate,
+        "attempt_errors": list(failure.attempt_errors),
+    }
+
+
+def error_response(request_id: Any, kind: str, message: str) -> dict:
+    return {"id": request_id, "ok": False,
+            "error": {"kind": kind, "message": message}}
+
+
+def ok_response(request_id: Any, result: Any) -> dict:
+    return {"id": request_id, "ok": True, "result": result}

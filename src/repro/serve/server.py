@@ -1,0 +1,438 @@
+"""Allocation-as-a-service: the persistent async compile server.
+
+One process owns one :class:`~repro.engine.engine.ExperimentEngine`
+with a warm :class:`~repro.engine.supervisor.WorkerPool` attached, and
+serves allocation requests to any number of clients over JSONL/TCP
+(:mod:`repro.serve.protocol`).  The moving parts:
+
+* **Admission control** — every ``allocate``/``trace`` request must win
+  a slot in a bounded queue.  A full queue is answered *immediately*
+  with a typed ``overload`` rejection instead of unbounded buffering;
+  clients back off and retry (``serve.overload_rejections`` counts the
+  pushback).
+* **In-flight dedup** — admitted requests are keyed by the engine's
+  content hash (:func:`~repro.engine.request.request_key`).  A request
+  whose key is already queued or executing attaches to the existing
+  future and consumes *no* queue slot: one execution answers every
+  subscriber (``serve.deduplicated``).
+* **Micro-batching** — a single batcher task drains the queue, waits
+  ``batch_window`` seconds for stragglers (up to ``max_batch``), and
+  hands the whole batch to :meth:`ExperimentEngine.run_many
+  <repro.engine.engine.ExperimentEngine.run_many>` on a worker thread.
+  Concurrent clients therefore share one cache pass and one supervised
+  fan-out instead of serializing whole round-trips.
+* **Warm workers** — the engine's pool outlives every batch, so
+  steady-state traffic reuses live worker processes; interpreter spawn
+  and import cost is paid at most ``pool.size`` times (plus crash
+  replacement), not per request.  All of the supervisor's failure
+  handling — per-attempt timeouts, retry with backoff, quarantine,
+  serial fallback — applies unchanged; a quarantined request comes
+  back to its clients as a typed ``failed`` error.
+* **Drain on SIGTERM** — the listener closes, admission stops
+  (``draining`` rejections), everything already admitted runs to
+  completion and is answered, then the process exits 0.
+
+The batcher is the only touchpoint of the (thread-oblivious) engine and
+pool, so no locking is needed around them; per-connection writes are
+serialized with an ``asyncio`` lock so interleaved responses cannot
+corrupt the stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..engine import (AllocationSummary, ExperimentEngine,
+                      ExperimentFailure, request_key)
+from ..obs import MetricsRegistry
+from . import protocol
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one :class:`AllocationServer`.
+
+    Attributes:
+        host / port: listen address; port 0 binds an ephemeral port
+            (the bound port is announced and available as
+            :attr:`AllocationServer.port`).
+        queue_limit: admission bound — queued-but-unbatched requests
+            beyond this are rejected with ``overload``.
+        batch_window: seconds the batcher lingers for stragglers after
+            the first request of a batch arrives.
+        max_batch: requests per engine batch (a full batch dispatches
+            without waiting out the window).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    queue_limit: int = 256
+    batch_window: float = 0.005
+    max_batch: int = 32
+
+
+@dataclass
+class _Pending:
+    """One admitted unit of work (unique by key) and its subscribers."""
+
+    key: str
+    op: str
+    request: Any
+    future: asyncio.Future = field(repr=False)
+
+
+class AllocationServer:
+    """The asyncio server; owns admission, dedup, and the batcher.
+
+    The caller owns the *engine* (and its pool): construct, pass in,
+    and close the pool after :meth:`wait_closed` returns.
+    """
+
+    def __init__(self, engine: ExperimentEngine,
+                 config: ServeConfig | None = None):
+        self.engine = engine
+        self.config = config or ServeConfig()
+        self.metrics = MetricsRegistry()
+        self.queue: asyncio.Queue[_Pending | None] = \
+            asyncio.Queue(maxsize=self.config.queue_limit)
+        #: key → pending work, for in-flight dedup
+        self.inflight: dict[str, _Pending] = {}
+        self.draining = False
+        self.port: int | None = None
+        self._server: asyncio.Server | None = None
+        self._batcher_task: asyncio.Task | None = None
+        self._drain_task: asyncio.Task | None = None
+        self._closed = asyncio.Event()
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._batcher_task = asyncio.create_task(self._batcher())
+
+    def request_shutdown(self) -> None:
+        """Begin the drain (idempotent; safe from a signal handler)."""
+        if self._drain_task is None:
+            self.draining = True
+            self._drain_task = asyncio.create_task(self._drain())
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    async def _drain(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # everything admitted before the drain still gets its answer
+        while self.inflight:
+            await asyncio.gather(
+                *(p.future for p in self.inflight.values()),
+                return_exceptions=True)
+        await self.queue.put(None)
+        if self._batcher_task is not None:
+            await self._batcher_task
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        self._closed.set()
+
+    # -- connections -----------------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._serve_line(line, writer, write_lock))
+                pending.add(task)
+                self._conn_tasks.add(task)
+                task.add_done_callback(pending.discard)
+                task.add_done_callback(self._conn_tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if pending:
+                await asyncio.gather(*list(pending),
+                                     return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_line(self, line: bytes,
+                          writer: asyncio.StreamWriter,
+                          write_lock: asyncio.Lock) -> None:
+        response = await self._respond(line)
+        async with write_lock:
+            try:
+                writer.write(protocol.encode_line(response))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; the work still fed the cache
+
+    # -- request handling ------------------------------------------------------
+
+    async def _respond(self, line: bytes) -> dict:
+        """One request line → one response object (never raises)."""
+        request_id = None
+        try:
+            obj = protocol.decode_line(line)
+            request_id = obj.get("id")
+            _, op = protocol.check_envelope(obj)
+            self.metrics.counter("serve.requests").inc()
+            self.metrics.counter(f"serve.op.{op}").inc()
+            if op == "ping":
+                return protocol.ok_response(request_id, {"pong": True})
+            if op == "metrics":
+                return protocol.ok_response(request_id,
+                                            self.metrics_snapshot())
+            if op == "shutdown":
+                self.request_shutdown()
+                return protocol.ok_response(request_id, {"draining": True})
+            return await self._admit(request_id, op, obj.get("request"))
+        except protocol.ProtocolError as exc:
+            self.metrics.counter("serve.bad_requests").inc()
+            return protocol.error_response(request_id, exc.kind,
+                                           exc.message)
+        except Exception as exc:  # never kill the connection loop
+            logger.exception("internal error serving request")
+            return protocol.error_response(request_id, "internal",
+                                           f"{type(exc).__name__}: {exc}")
+
+    async def _admit(self, request_id: Any, op: str, spec: Any) -> dict:
+        request = protocol.request_from_json(spec)
+        key = f"{op}:{request_key(request)}"
+        pending = self.inflight.get(key)
+        if pending is None:
+            if self.draining:
+                self.metrics.counter("serve.drain_rejections").inc()
+                return protocol.error_response(
+                    request_id, "draining", "server is shutting down")
+            pending = _Pending(key, op, request,
+                               asyncio.get_running_loop().create_future())
+            try:
+                self.queue.put_nowait(pending)
+            except asyncio.QueueFull:
+                self.metrics.counter("serve.overload_rejections").inc()
+                return protocol.error_response(
+                    request_id, "overload",
+                    f"admission queue full "
+                    f"({self.config.queue_limit} pending); retry")
+            self.inflight[key] = pending
+        else:
+            self.metrics.counter("serve.deduplicated").inc()
+        status, body = await asyncio.shield(pending.future)
+        if status == "ok":
+            return protocol.ok_response(request_id, body)
+        return {"id": request_id, "ok": False, "error": body}
+
+    # -- the batcher -----------------------------------------------------------
+
+    async def _batcher(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            head = await self.queue.get()
+            if head is None:
+                return
+            batch = [head]
+            deadline = loop.time() + self.config.batch_window
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self.queue.get(),
+                                                  remaining)
+                except asyncio.TimeoutError:
+                    break
+                if item is None:  # drain sentinel: finish, then stop
+                    await self._run_batch(batch)
+                    return
+                batch.append(item)
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        self.metrics.counter("serve.batches").inc()
+        self.metrics.histogram("serve.batch_size").observe(len(batch))
+        loop = asyncio.get_running_loop()
+        try:
+            outcomes = await loop.run_in_executor(None, self._execute,
+                                                  batch)
+        except Exception as exc:  # defensive: answer rather than hang
+            logger.exception("batch execution failed")
+            outcomes = {p.key: ("error", {"kind": "internal",
+                                          "message": str(exc)})
+                        for p in batch}
+        for pending in batch:
+            self.inflight.pop(pending.key, None)
+            if not pending.future.done():
+                pending.future.set_result(
+                    outcomes.get(pending.key,
+                                 ("error", {"kind": "internal",
+                                            "message": "no outcome"})))
+
+    def _execute(self, batch: list[_Pending]) -> dict[str, tuple]:
+        """Worker-thread side: the only caller of the engine and pool."""
+        outcomes: dict[str, tuple] = {}
+        allocs = [p for p in batch if p.op == "allocate"]
+        if allocs:
+            results = self.engine.run_many([p.request for p in allocs])
+            for pending, result in zip(allocs, results):
+                if isinstance(result, AllocationSummary):
+                    outcomes[pending.key] = \
+                        ("ok", protocol.summary_to_json(result))
+                else:
+                    assert isinstance(result, ExperimentFailure)
+                    outcomes[pending.key] = \
+                        ("error", protocol.failure_to_json(result))
+        for pending in batch:
+            if pending.op != "trace":
+                continue
+            try:
+                text = execute_trace(pending.request)
+            except Exception as exc:
+                outcomes[pending.key] = \
+                    ("error", {"kind": "internal",
+                               "message": f"{type(exc).__name__}: {exc}"})
+            else:
+                outcomes[pending.key] = ("ok", {"trace_text": text})
+        return outcomes
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """``serve.*`` + ``pool.*`` + the engine's own registry."""
+        merged = MetricsRegistry()
+        for name, value in self.metrics.counters().items():
+            merged.counter(name).inc(value)
+        for name, value in self.engine.metrics().counters().items():
+            merged.counter(name).inc(value)
+        if self.engine.pool is not None:
+            merged.absorb_dataclass(self.engine.pool.stats, "pool")
+            merged.counter("pool.size").inc(self.engine.pool.size)
+        snapshot = {"counters": merged.counters()}
+        histograms = self.metrics.histograms()
+        histograms.update(self.engine.metrics().histograms())
+        snapshot["histograms"] = histograms
+        snapshot["queue_depth"] = self.queue.qsize()
+        snapshot["inflight"] = len(self.inflight)
+        return snapshot
+
+
+def execute_trace(request) -> str:
+    """The ``trace`` operation: allocate with the tracer attached and
+    render the JSONL document — identical to what ``repro trace
+    --format jsonl`` emits for the same function/machine/mode."""
+    from ..ir import parse_function
+    from ..obs import Tracer, metrics_from_allocation, trace_to_text
+    from ..opt import optimize
+    from ..regalloc import allocate
+
+    fn = parse_function(request.ir_text)
+    if request.optimize_first:
+        optimize(fn)
+    tracer = Tracer(capture_events=True)
+    result = allocate(fn, machine=request.machine, mode=request.mode,
+                      tracer=tracer)
+    meta = {"function": result.function.name,
+            "mode": result.mode.value,
+            "machine": result.machine.name,
+            "int_regs": result.machine.int_regs,
+            "float_regs": result.machine.float_regs,
+            "source": "<serve>"}
+    return trace_to_text(result.trace, meta,
+                         metrics_from_allocation(result))
+
+
+async def run_server(engine: ExperimentEngine, config: ServeConfig,
+                     announce=None) -> int:
+    """Start, announce, install signal-driven drain, serve until done.
+
+    *announce* is called once with the bound ``(host, port)`` — the CLI
+    prints the ``# serving on HOST:PORT`` line from it so wrappers can
+    scrape the ephemeral port.
+    """
+    server = AllocationServer(engine, config)
+    await server.start()
+    if announce is not None:
+        announce(config.host, server.port)
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, server.request_shutdown)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-Unix loop or nested loop: Ctrl-C still unwinds
+    await server.wait_closed()
+    return 0
+
+
+class ServerThread:
+    """An in-process server on a background thread (tests, benches).
+
+    Usage::
+
+        with ServerThread(engine) as srv:
+            client = ServeClient("127.0.0.1", srv.port)
+
+    The context exit drains the server exactly like SIGTERM would.
+    """
+
+    def __init__(self, engine: ExperimentEngine,
+                 config: ServeConfig | None = None):
+        self.engine = engine
+        self.config = config or ServeConfig()
+        self.server: AllocationServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None and self.server.port is not None
+        return self.server.port
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = AllocationServer(self.engine, self.config)
+        await self.server.start()
+        self._ready.set()
+        await self.server.wait_closed()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread failed to start")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(
+                    self.server.request_shutdown)
+            except RuntimeError:
+                pass  # loop already closed: the server drained itself
+        self._thread.join(timeout=60)

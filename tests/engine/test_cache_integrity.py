@@ -62,8 +62,7 @@ class TestCorruptionKinds:
     def test_legacy_bare_pickle_is_corrupt(self, populated):
         """Pre-envelope entries (a bare pickle, no magic) are detected."""
         cache, key, summary = populated
-        path = cache.directory / f"{key}.pkl"
-        path.write_bytes(pickle.dumps(summary))
+        cache.locate(key).write_bytes(pickle.dumps(summary))
         assert cache.get(key) is None
         assert cache.stats.corrupt == 1
 

@@ -1,0 +1,119 @@
+"""Many engine processes, one sharded store: identical bytes, no
+false quarantines (the multi-process sharing contract of the cache)."""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.engine import (CORRUPTION_KINDS, ExperimentEngine,
+                          ExperimentRequest, ResultCache,
+                          corrupt_cache_entry, execute_request,
+                          request_key)
+from repro.ir import function_to_text
+from repro.machine import machine_with
+
+from ..helpers import single_loop
+
+LOOP_TEXT = function_to_text(single_loop())
+
+
+def corpus(n: int = 6) -> list[ExperimentRequest]:
+    return [ExperimentRequest(ir_text=LOOP_TEXT,
+                              machine=machine_with(4, 4), args=(i,))
+            for i in range(n)]
+
+
+def _hammer(cache_dir, rounds, conn):
+    """One engine process: run the corpus *rounds* times against the
+    shared store; ship back result bytes and the integrity counters.
+
+    Module-level so it pickles by reference under ``spawn``.
+    """
+    engine = ExperimentEngine(jobs=1, cache_dir=cache_dir)
+    payload = None
+    for _ in range(rounds):
+        out = engine.run_many(corpus())
+        payload = [pickle.dumps(o.without_timing()) for o in out]
+    conn.send({
+        "results": payload,
+        "corrupt": engine.cache.stats.corrupt,
+        "quarantined": engine.cache.stats.quarantined,
+        "quarantine_races": engine.cache.stats.quarantine_races,
+    })
+    conn.close()
+
+
+class TestSharedStore:
+    def test_concurrent_engines_agree_with_zero_false_quarantines(
+            self, tmp_path):
+        """Two spawned engine processes hammer one store concurrently;
+        every result is byte-identical and nothing is quarantined."""
+        ctx = multiprocessing.get_context("spawn")
+        pipes, procs = [], []
+        for _ in range(2):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_hammer,
+                               args=(str(tmp_path), 3, child))
+            proc.start()
+            child.close()
+            pipes.append(parent)
+            procs.append(proc)
+        reports = [pipe.recv() for pipe in pipes]
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        assert reports[0]["results"] == reports[1]["results"]
+        for report in reports:
+            assert report["corrupt"] == 0
+            assert report["quarantined"] == 0
+            assert report["quarantine_races"] == 0
+        # and the store agrees with a fresh local engine
+        local = ExperimentEngine(jobs=1, use_cache=False)
+        expected = [pickle.dumps(o.without_timing())
+                    for o in local.run_many(corpus())]
+        assert reports[0]["results"] == expected
+        store = ResultCache(tmp_path)
+        assert store.quarantined_entries() == []
+        assert len(store) == len(corpus())
+
+
+class TestQuarantineRace:
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    def test_losing_mover_counts_a_race_not_a_corruption(self, tmp_path,
+                                                         kind):
+        """Two readers see the same corrupt entry; the one whose move
+        loses must count a race — no double corruption, no unlink."""
+        a = ResultCache(tmp_path)
+        b = ResultCache(tmp_path)
+        req = corpus(1)[0]
+        key = request_key(req)
+        assert a.put(key, execute_request(req))
+        corrupt_cache_entry(a, key, kind)
+        path = a.locate(key)
+        assert b.get(key) is None           # b wins the quarantine move
+        a._quarantine(path)                 # a loses the race
+        assert a.stats.quarantine_races == 1
+        assert a.stats.corrupt == 0
+        assert a.stats.quarantined == 0
+        assert b.stats.corrupt == 1
+        assert b.stats.quarantined == 1
+        # exactly one quarantined copy; no healthy entry was deleted
+        assert len(a.quarantined_entries()) == 1
+
+    def test_lost_race_rewrite_still_heals(self, tmp_path):
+        a = ResultCache(tmp_path)
+        b = ResultCache(tmp_path)
+        req = corpus(1)[0]
+        key = request_key(req)
+        summary = execute_request(req)
+        assert a.put(key, summary)
+        corrupt_cache_entry(a, key, "flip")
+        path = a.locate(key)
+        assert b.get(key) is None
+        a._quarantine(path)
+        assert a.put(key, summary)
+        healed = a.get(key)
+        assert healed is not None
+        assert pickle.dumps(healed) == \
+            pickle.dumps(summary.without_timing())

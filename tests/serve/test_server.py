@@ -1,0 +1,205 @@
+"""The async server: admission control, dedup, batching, byte-identity."""
+
+import asyncio
+import concurrent.futures
+import pickle
+
+import pytest
+
+from repro.engine import (ExperimentEngine, FaultPlan, SupervisorConfig,
+                          request_key)
+from repro.ir import function_to_text
+from repro.machine import machine_with
+from repro.serve import (AllocationServer, ServeClient, ServeConfig,
+                         ServeError, ServerThread, dumps, execute_trace,
+                         request_from_json, summary_to_json)
+from repro.serve.protocol import encode_line
+
+from ..helpers import single_loop
+
+LOOP_TEXT = function_to_text(single_loop())
+
+
+def spec(n: int = 0) -> dict:
+    return {"ir_text": LOOP_TEXT, "int_regs": 4, "args": [n]}
+
+
+def line(op: str, n: int = 0, request_id: str = "t") -> bytes:
+    return encode_line({"v": 1, "id": request_id, "op": op,
+                        "request": spec(n)})
+
+
+def serial_engine(**kwargs) -> ExperimentEngine:
+    return ExperimentEngine(jobs=1, use_cache=False, **kwargs)
+
+
+class TestAdmission:
+    """Unit tests against the server object — the batcher is started
+    (or not) by hand, so queue occupancy is deterministic."""
+
+    def test_full_queue_rejects_with_overload(self):
+        async def scenario():
+            server = AllocationServer(serial_engine(),
+                                      ServeConfig(queue_limit=1))
+            first = asyncio.ensure_future(
+                server._respond(line("allocate", 0)))
+            await asyncio.sleep(0)          # let it occupy the queue slot
+            overloaded = await server._respond(line("allocate", 1))
+            assert overloaded["ok"] is False
+            assert overloaded["error"]["kind"] == "overload"
+            assert server.metrics.counters()[
+                "serve.overload_rejections"] == 1
+            # now drain: run the batcher until the first answer lands
+            batcher = asyncio.ensure_future(server._batcher())
+            response = await first
+            assert response["ok"] is True
+            await server.queue.put(None)
+            await batcher
+
+        asyncio.run(scenario())
+
+    def test_identical_inflight_requests_share_one_execution(self):
+        async def scenario():
+            server = AllocationServer(serial_engine(),
+                                      ServeConfig(queue_limit=1))
+            first = asyncio.ensure_future(
+                server._respond(line("allocate", 0, "a")))
+            await asyncio.sleep(0)
+            # same key: joins the in-flight future, takes no queue slot
+            second = asyncio.ensure_future(
+                server._respond(line("allocate", 0, "b")))
+            await asyncio.sleep(0)
+            assert server.metrics.counters()["serve.deduplicated"] == 1
+            assert server.queue.qsize() == 1
+            batcher = asyncio.ensure_future(server._batcher())
+            r1, r2 = await asyncio.gather(first, second)
+            assert r1["ok"] and r2["ok"]
+            assert dumps(r1["result"]) == dumps(r2["result"])
+            assert server.engine.stats.executed == 1
+            await server.queue.put(None)
+            await batcher
+
+        asyncio.run(scenario())
+
+    def test_draining_rejects_new_work(self):
+        async def scenario():
+            server = AllocationServer(serial_engine(), ServeConfig())
+            server.draining = True
+            response = await server._respond(line("allocate", 0))
+            assert response["ok"] is False
+            assert response["error"]["kind"] == "draining"
+
+        asyncio.run(scenario())
+
+    def test_malformed_lines_get_typed_errors(self):
+        async def scenario():
+            server = AllocationServer(serial_engine(), ServeConfig())
+            bad_json = await server._respond(b"{nope\n")
+            assert bad_json["error"]["kind"] == "bad_request"
+            bad_op = await server._respond(
+                encode_line({"v": 1, "id": "x", "op": "explode"}))
+            assert bad_op["id"] == "x"
+            assert bad_op["error"]["kind"] == "bad_request"
+            bad_request = await server._respond(
+                encode_line({"v": 1, "id": "y", "op": "allocate",
+                             "request": {"kernel": "no-such"}}))
+            assert bad_request["error"]["kind"] == "bad_request"
+
+        asyncio.run(scenario())
+
+
+class TestEndToEnd:
+    """Socket-level tests through :class:`ServerThread`."""
+
+    def test_allocate_is_byte_identical_to_run_many(self):
+        with ServerThread(serial_engine()) as srv:
+            with ServeClient("127.0.0.1", srv.port) as client:
+                served = client.allocate(**spec(0))
+        local = serial_engine().run_many([request_from_json(spec(0))])[0]
+        assert dumps(served) == dumps(summary_to_json(local))
+
+    def test_trace_matches_local_trace(self):
+        """Identical to a local ``execute_trace`` modulo wall-clock
+        fields (span start/dur and timing histograms are live data)."""
+        import json
+
+        def normalized(text):
+            lines = []
+            for raw in text.splitlines():
+                obj = json.loads(raw)
+                if obj.get("type") == "span":
+                    obj.pop("start", None)
+                    obj.pop("dur", None)
+                elif obj.get("type") == "metrics":
+                    obj = {"type": "metrics",
+                           "counters": obj.get("counters")}
+                lines.append(dumps(obj))
+            return lines
+
+        with ServerThread(serial_engine()) as srv:
+            with ServeClient("127.0.0.1", srv.port) as client:
+                served = client.trace(**spec(0))
+        local = execute_trace(request_from_json(spec(0)))
+        assert normalized(served) == normalized(local)
+        # the identity block is fully deterministic
+        meta = json.loads(served.splitlines()[0])
+        assert meta["function"] == json.loads(
+            local.splitlines()[0])["function"]
+
+    def test_concurrent_clients_batch_and_agree(self):
+        config = ServeConfig(batch_window=0.05, max_batch=16)
+        with ServerThread(serial_engine(), config) as srv:
+            def one(n):
+                with ServeClient("127.0.0.1", srv.port) as client:
+                    return dumps(client.allocate(**spec(n % 2)))
+
+            with concurrent.futures.ThreadPoolExecutor(6) as pool:
+                results = list(pool.map(one, range(6)))
+            with ServeClient("127.0.0.1", srv.port) as client:
+                metrics = client.metrics()
+        locals_ = serial_engine().run_many(
+            [request_from_json(spec(n % 2)) for n in range(6)])
+        expected = [dumps(summary_to_json(o)) for o in locals_]
+        assert results == expected
+        counters = metrics["counters"]
+        assert counters["serve.requests"] == 7
+        # at most two distinct keys ever executed, whatever the batching
+        assert counters["engine.executed"] <= 2
+
+    def test_quarantined_request_comes_back_as_typed_failure(self):
+        key = request_key(request_from_json(spec(0)))
+        engine = serial_engine(
+            fault_plan=FaultPlan(poison=frozenset({key})),
+            supervisor=SupervisorConfig(max_attempts=1, backoff=0.0))
+        with ServerThread(engine) as srv:
+            with ServeClient("127.0.0.1", srv.port) as client:
+                with pytest.raises(ServeError) as exc:
+                    client.allocate(**spec(0))
+                # the connection survives the failure
+                assert client.ping()
+        error = exc.value.error
+        assert error["kind"] == "failed"
+        assert error["key"] == key
+        assert error["attempts"] == 1
+
+    def test_shutdown_op_drains_and_closes(self):
+        with ServerThread(serial_engine()) as srv:
+            with ServeClient("127.0.0.1", srv.port) as client:
+                client.allocate(**spec(0))
+                client.shutdown()
+            srv._thread.join(timeout=30)
+            assert not srv._thread.is_alive()
+
+    def test_metrics_expose_admission_and_engine_counters(self):
+        with ServerThread(serial_engine()) as srv:
+            with ServeClient("127.0.0.1", srv.port) as client:
+                client.allocate(**spec(0))
+                client.allocate(**spec(0))   # memo hit, same bytes
+                metrics = client.metrics()
+        counters = metrics["counters"]
+        assert counters["serve.op.allocate"] == 2
+        assert counters["serve.batches"] >= 1
+        assert counters["engine.executed"] == 1
+        assert counters["engine.memo_hits"] == 1
+        assert metrics["queue_depth"] == 0
+        assert metrics["inflight"] == 0

@@ -25,7 +25,7 @@ def cache_dir(tmp_path):
 
 
 def first_key(cache_dir) -> str:
-    return sorted(p.stem for p in cache_dir.glob("*.pkl"))[0]
+    return ResultCache(cache_dir).entries()[0].stem
 
 
 class TestStats:
