@@ -10,6 +10,14 @@ by warm 100-request runs at 1, 8, and 64 concurrent clients.  Gates:
 * worker spawns stay amortized — at most pool-size spawns in total,
   and none at all during the warm (cache-hot) runs.
 
+A second arm measures the cost of full observability (request tracing
++ access log + flight recorder) against a server with tracing disabled:
+best-of-3 warm throughput must stay within 5% of the uninstrumented
+baseline, and the per-phase latency breakdown the instrumented server
+reports lands in the results file.  The access log and flight-recorder
+dump are written under ``benchmarks/results/`` so CI uploads them as
+artifacts.
+
 Writes latency percentiles and throughput per scenario to
 ``benchmarks/results/BENCH_serve.json``.
 """
@@ -23,13 +31,16 @@ import sys
 import pytest
 
 from repro.engine import ExperimentEngine
-from repro.serve import (ServeClient, dumps, request_from_json, run_load,
-                         summary_to_json)
+from repro.serve import (PHASES, ServeClient, dumps, request_from_json,
+                         run_load, summary_to_json)
 
 POOL_SIZE = min(4, os.cpu_count() or 1)
 KERNELS = ("zeroin", "fehl", "spline", "decomp")
 WARM_REQUESTS = 100
 CLIENT_COUNTS = (1, 8, 64)
+OVERHEAD_ROUNDS = 3
+OVERHEAD_REQUESTS = 150
+OVERHEAD_BUDGET = 0.05
 
 
 def corpus() -> list[dict]:
@@ -38,21 +49,30 @@ def corpus() -> list[dict]:
             for name in KERNELS for mode in ("chaitin", "remat")]
 
 
-@pytest.fixture(scope="module")
-def server(tmp_path_factory):
-    cache_dir = tmp_path_factory.mktemp("serve-cache")
+def boot_server(cache_dir, *extra_args) -> dict:
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
          "--jobs", str(POOL_SIZE), "--cache-dir", str(cache_dir),
-         "--queue-limit", "512", "--max-batch", "64"],
+         "--queue-limit", "512", "--max-batch", "64", *extra_args],
         stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
     announce = proc.stdout.readline().strip()
     assert announce.startswith("# serving on "), announce
     port = int(announce.rsplit(":", 1)[1])
-    yield {"port": port, "proc": proc}
+    return {"port": port, "proc": proc}
+
+
+def stop_server(server: dict) -> None:
+    proc = server["proc"]
     proc.send_signal(signal.SIGTERM)
     proc.wait(timeout=60)
     proc.stdout.close()
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    handle = boot_server(tmp_path_factory.mktemp("serve-cache"))
+    yield handle
+    stop_server(handle)
 
 
 @pytest.fixture(scope="module")
@@ -150,3 +170,89 @@ def test_warm_single_request_latency(server, benchmark):
         payload = corpus()[0]
         client.allocate(**payload)  # ensure hot
         benchmark(lambda: client.allocate(**payload))
+
+
+def _warm_throughput(port: int) -> float:
+    run = run_load("127.0.0.1", port, corpus(), clients=8,
+                   total_requests=OVERHEAD_REQUESTS)
+    assert run.failed == 0, run
+    return run.throughput
+
+
+def test_observability_overhead_and_phase_breakdown(
+        tmp_path_factory, results_dir):
+    """Full instrumentation (tracing + access log + flight recorder)
+    costs at most ``OVERHEAD_BUDGET`` of warm throughput, best-of-3
+    against an uninstrumented server.  The instrumented server's phase
+    breakdown and artifacts land under ``benchmarks/results/``."""
+    access_path = results_dir / "serve_access.jsonl"
+    flight_path = results_dir / "serve_flight.json"
+    for stale in (access_path, flight_path):
+        if stale.exists():
+            stale.unlink()
+
+    base = boot_server(tmp_path_factory.mktemp("obs-base"),
+                       "--no-request-tracing")
+    instr = boot_server(tmp_path_factory.mktemp("obs-instr"),
+                        "--access-log", str(access_path),
+                        "--flight-dump", str(flight_path))
+    try:
+        # prime both caches so the measured arms serve memo hits only
+        for handle in (base, instr):
+            run = run_load("127.0.0.1", handle["port"], corpus(),
+                           clients=1, total_requests=len(corpus()))
+            assert run.failed == 0, run
+
+        # interleave the arms so machine drift hits both equally
+        base_runs, instr_runs = [], []
+        for _ in range(OVERHEAD_ROUNDS):
+            base_runs.append(_warm_throughput(base["port"]))
+            instr_runs.append(_warm_throughput(instr["port"]))
+
+        with ServeClient("127.0.0.1", instr["port"]) as probe:
+            snapshot = probe.metrics()
+    finally:
+        stop_server(base)
+        stop_server(instr)
+
+    overhead = 1.0 - max(instr_runs) / max(base_runs)
+    assert overhead <= OVERHEAD_BUDGET, (base_runs, instr_runs)
+
+    # the per-phase breakdown the server measured for us
+    histograms = snapshot["histograms"]
+    phases = {name: histograms[f"serve.phase.{name}"]
+              for name in PHASES
+              if histograms.get(f"serve.phase.{name}", {}).get("count")}
+    assert "execute" in phases and "parse" in phases
+    latency = histograms["serve.request_seconds"]
+    assert latency["count"] >= len(corpus()) + \
+        OVERHEAD_ROUNDS * OVERHEAD_REQUESTS
+
+    # the artifacts CI uploads: one access line per request, and the
+    # flight recorder dumped on drain
+    lines = [json.loads(line)
+             for line in access_path.read_text().splitlines()]
+    assert len(lines) >= latency["count"]
+    for line in lines[:20]:
+        assert sum(line["phases"].values()) == pytest.approx(
+            line["total_s"], rel=0.05, abs=1e-5), line
+    flight = json.loads(flight_path.read_text())
+    assert flight["slowest"], flight
+
+    path = results_dir / "BENCH_serve.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["observability"] = {
+        "overhead_budget": OVERHEAD_BUDGET,
+        "overhead_best_of_3": round(overhead, 4),
+        "throughput_uninstrumented": [round(t, 1) for t in base_runs],
+        "throughput_instrumented": [round(t, 1) for t in instr_runs],
+        "request_seconds": {k: latency[k]
+                            for k in ("count", "p50", "p90", "p99")},
+        "phase_p50_s": {name: snap["p50"]
+                        for name, snap in phases.items()},
+        "access_log_lines": len(lines),
+        "flight_recorded": flight["recorded"],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n{json.dumps(payload['observability'], indent=2)}"
+          f"\n[saved to {path}]")

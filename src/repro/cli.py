@@ -29,7 +29,13 @@ Commands
   also migrates legacy flat entries into their shards)
 * ``serve``             — run the persistent allocation server: a warm
   worker pool plus the shared result cache behind a JSONL/TCP protocol
-  with admission control and micro-batching (see ``docs/serving.md``)
+  with admission control and micro-batching; ``--access-log`` /
+  ``--metrics-addr`` / ``--flight-dump`` wire up the service
+  observability described in ``docs/observability.md`` (see
+  ``docs/serving.md``)
+* ``top HOST:PORT``     — live dashboard over a running server's
+  ``metrics`` op: request rates, latency quantiles, queue depth,
+  dedup/cache ratios, pool spawn/reuse (``--format table|json|prom``)
 
 ``FILE`` may be MiniFort (``.mf``) or textual ILOC (``.il``); anything
 else is sniffed by content (ILOC starts with ``proc NAME NPARAMS``).
@@ -364,15 +370,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
     config = ServeConfig(host=args.host, port=args.port,
                          queue_limit=args.queue_limit,
                          batch_window=args.batch_window,
-                         max_batch=args.max_batch)
+                         max_batch=args.max_batch,
+                         trace_requests=not args.no_request_tracing,
+                         access_log=args.access_log,
+                         flight_slots=args.flight_slots,
+                         flight_dump=args.flight_dump,
+                         metrics_addr=args.metrics_addr)
 
     def announce(host: str, port: int) -> None:
         print(f"# serving on {host}:{port}", flush=True)
 
+    def announce_metrics(host: str, port: int) -> None:
+        print(f"# metrics on http://{host}:{port}/metrics", flush=True)
+
     try:
-        return asyncio.run(run_server(engine, config, announce=announce))
+        return asyncio.run(run_server(engine, config, announce=announce,
+                                      announce_metrics=announce_metrics))
     finally:
         pool.close()
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .serve.top import run_top
+
+    host, _, port = args.addr.rpartition(":")
+    try:
+        iterations = 1 if args.once else args.iterations
+        return run_top(host or "127.0.0.1", int(port),
+                       interval=args.interval, iterations=iterations,
+                       fmt=args.format)
+    except KeyboardInterrupt:
+        return 0
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -491,8 +522,43 @@ def build_parser() -> argparse.ArgumentParser:
                         "before dispatching a batch (default 0.005)")
     p.add_argument("--max-batch", type=int, default=32, metavar="N",
                    help="requests per engine batch (default 32)")
+    p.add_argument("--access-log", default=None, metavar="FILE",
+                   help="append one JSON access-log line per request "
+                        "to FILE (op, key, outcome, retries, per-phase "
+                        "latency breakdown)")
+    p.add_argument("--metrics-addr", default=None, metavar="HOST:PORT",
+                   help="also serve a Prometheus text exposition of "
+                        "the metrics snapshot at this address")
+    p.add_argument("--flight-slots", type=int, default=64, metavar="N",
+                   help="stitched traces the flight recorder keeps "
+                        "(N slowest + N most recent failures; "
+                        "default 64)")
+    p.add_argument("--flight-dump", default=None, metavar="FILE",
+                   help="write the flight recorder dump to FILE when "
+                        "the server drains")
+    p.add_argument("--no-request-tracing", action="store_true",
+                   help="skip per-request span stitching (lifecycle "
+                        "stamps and latency histograms stay on)")
     _add_engine(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("top", help="live dashboard over a running "
+                                   "allocation server's metrics op")
+    p.add_argument("addr", metavar="HOST:PORT",
+                   help="the server address (as announced by "
+                        "'# serving on HOST:PORT')")
+    p.add_argument("--interval", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="seconds between polls (default 2.0)")
+    p.add_argument("--iterations", type=int, default=0, metavar="N",
+                   help="stop after N polls (default: run until ^C)")
+    p.add_argument("--once", action="store_true",
+                   help="poll once and exit (same as --iterations 1)")
+    p.add_argument("--format", choices=["table", "json", "prom"],
+                   default="table",
+                   help="render as the dashboard table, the raw JSON "
+                        "snapshot, or Prometheus text (default table)")
+    p.set_defaults(func=cmd_top)
 
     return parser
 

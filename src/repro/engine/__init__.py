@@ -13,18 +13,20 @@ model, and ``faults.py`` for the deterministic chaos harness.
 from .cache import (CacheStats, ResultCache, SHARD_WIDTH,
                     default_cache_dir, QUARANTINE_DIR)
 from .engine import (BatchStats, EngineStats, ExperimentEngine,
-                     default_engine)
+                     RequestObservation, default_engine)
 from .executor import execute_request
 from .faults import (CORRUPTION_KINDS, FaultPlan, InjectedFault,
                      corrupt_cache_entry)
 from .request import (AllocationSummary, CACHE_VERSION, ExperimentRequest,
                       TimingReport, TimingSample, request_key)
-from .supervisor import (ExperimentError, ExperimentFailure, PoolStats,
-                         SupervisedStats, SupervisorConfig, WorkerPool,
-                         expect_summary, run_supervised)
+from .supervisor import (AttemptObservation, ExperimentError,
+                         ExperimentFailure, PoolStats, SupervisedStats,
+                         SupervisorConfig, WorkerPool, expect_summary,
+                         run_supervised)
 
 __all__ = [
     "AllocationSummary",
+    "AttemptObservation",
     "BatchStats",
     "CACHE_VERSION",
     "CORRUPTION_KINDS",
@@ -38,6 +40,7 @@ __all__ = [
     "InjectedFault",
     "PoolStats",
     "QUARANTINE_DIR",
+    "RequestObservation",
     "ResultCache",
     "SHARD_WIDTH",
     "SupervisedStats",

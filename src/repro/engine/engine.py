@@ -34,13 +34,44 @@ from __future__ import annotations
 
 import os
 import pathlib
+import time
 from dataclasses import dataclass, field
 
+from ..obs.span import Span
 from .cache import ResultCache
 from .faults import FaultPlan
 from .request import AllocationSummary, ExperimentRequest, request_key
 from .supervisor import (ExperimentFailure, SupervisorConfig, WorkerPool,
                          expect_summary, run_supervised)
+
+
+@dataclass
+class RequestObservation:
+    """Provenance and timing of one request within a ``run_many`` call.
+
+    Filled when the caller passes ``observations`` to :meth:`
+    ExperimentEngine.run_many` — the allocation server uses these to
+    stitch per-request traces and to stamp access-log lines.
+
+    Attributes:
+        source: where the answer came from — ``memo`` / ``cache`` /
+            ``executed`` / ``failed`` (``dedup`` is invisible here: a
+            duplicate key resolves to the same observation object).
+        attempts: execution attempts made (0 for hits).
+        spans: one ``attempt`` span per attempt (retries are siblings),
+            in the engine process's ``time.monotonic`` clock, plus a
+            ``cache_put`` span when the result was flushed to disk.
+    """
+
+    source: str = "executed"
+    attempts: int = 0
+    spans: list[Span] = field(default_factory=list)
+    #: seconds spent writing the summary to the persistent cache
+    cache_put_s: float = 0.0
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
 
 
 @dataclass
@@ -139,7 +170,8 @@ class ExperimentEngine:
         supervisor quarantined it."""
         return expect_summary(self.run_many([request])[0])
 
-    def run_many(self, requests: list[ExperimentRequest]
+    def run_many(self, requests: list[ExperimentRequest],
+                 observations: dict[str, RequestObservation] | None = None,
                  ) -> list[AllocationSummary | ExperimentFailure]:
         """Execute (or recall) a batch; results align with *requests*.
 
@@ -148,6 +180,12 @@ class ExperimentEngine:
         pool fan-out.  Cacheable results are flushed to the persistent
         cache as they complete, so a ``KeyboardInterrupt`` mid-batch
         terminates the workers promptly without losing finished work.
+
+        *observations*, when given, is filled with one
+        :class:`RequestObservation` per unique request key — the
+        provenance (memo/cache/executed/failed), attempt count and
+        attempt span trees the allocation server stitches into
+        per-request traces.  ``None`` (the default) records nothing.
         """
         keyed = [(request_key(r), r) for r in requests]
         batch = BatchStats(requests=len(keyed))
@@ -169,6 +207,9 @@ class ExperimentEngine:
                 if summary is not None:
                     self.stats.memo_hits += 1
                     batch.memo_hits += 1
+                    if observations is not None:
+                        observations[key] = RequestObservation(
+                            source="memo")
                     resolved[key] = summary
                     continue
                 if self.cache is not None:
@@ -176,19 +217,25 @@ class ExperimentEngine:
                     if summary is not None:
                         self.stats.cache_hits += 1
                         batch.cache_hits += 1
+                        if observations is not None:
+                            observations[key] = RequestObservation(
+                                source="cache")
                         self._memo[key] = summary
                         resolved[key] = summary
                         continue
             misses[key] = request
 
         if misses:
-            outcomes, batch.workers = self._execute(misses, batch)
+            outcomes, batch.workers = self._execute(
+                misses, batch, observations)
             resolved.update(outcomes)
 
         return [resolved[key] for key, _ in keyed]
 
     def _execute(self, misses: dict[str, ExperimentRequest],
                  batch: BatchStats,
+                 observations: dict[str, RequestObservation]
+                 | None = None,
                  ) -> tuple[dict[str, AllocationSummary
                                  | ExperimentFailure], int]:
         """Run cache misses under supervision; returns outcomes plus the
@@ -199,6 +246,8 @@ class ExperimentEngine:
         else:
             workers = min(self.jobs, len(misses))
 
+        cache_puts: dict[str, tuple[float, float]] = {}
+
         def on_result(key: str,
                       outcome: AllocationSummary | ExperimentFailure
                       ) -> None:
@@ -208,7 +257,9 @@ class ExperimentEngine:
                 batch.executed += 1
                 if misses[key].cacheable:
                     if self.cache is not None:
+                        put_start = time.monotonic()
                         self.cache.put(key, outcome)
+                        cache_puts[key] = (put_start, time.monotonic())
                     self._memo[key] = outcome
             else:
                 self.stats.failed += 1
@@ -218,6 +269,22 @@ class ExperimentEngine:
         outcomes, sstats = run_supervised(
             list(misses.items()), workers, config=self.supervisor,
             plan=self.fault_plan, on_result=on_result, pool=self.pool)
+        if observations is not None:
+            for key, outcome in outcomes.items():
+                record = RequestObservation(
+                    source="executed"
+                    if isinstance(outcome, AllocationSummary)
+                    else "failed")
+                attempt = sstats.observations.get(key)
+                if attempt is not None:
+                    record.attempts = attempt.attempts
+                    record.spans = list(attempt.spans)
+                put = cache_puts.get(key)
+                if put is not None:
+                    record.cache_put_s = put[1] - put[0]
+                    record.spans.append(
+                        Span("cache_put", start=put[0], end=put[1]))
+                observations[key] = record
         self.stats.retries += sstats.retries
         self.stats.timeouts += sstats.timeouts
         self.stats.worker_crashes += sstats.worker_crashes

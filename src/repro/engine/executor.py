@@ -9,23 +9,32 @@ from __future__ import annotations
 
 from ..interp import run_function
 from ..ir import parse_function
+from ..obs import NULL_TRACER
 from ..regalloc import allocate
 from ..regalloc.splitting import SCHEMES
 from .request import (AllocationSummary, ExperimentRequest, TimingReport,
                       TimingSample, request_key)
 
 
-def execute_request(request: ExperimentRequest) -> AllocationSummary:
+def execute_request(request: ExperimentRequest,
+                    tracer=NULL_TRACER) -> AllocationSummary:
     """Run one allocation experiment from scratch.
 
     Deterministic in everything except the :class:`TimingSample`
-    wall-clock numbers (which the cache never stores).
+    wall-clock numbers (which the cache never stores).  *tracer*
+    receives the execution's phase spans (``parse`` / ``optimize`` /
+    ``allocate`` / ``interpret``) — the worker loop passes one so a
+    request's served trace shows where worker-side time went; the
+    default :data:`~repro.obs.NULL_TRACER` keeps the untraced path
+    free.
     """
-    fn = parse_function(request.ir_text)
+    with tracer.span("parse"):
+        fn = parse_function(request.ir_text)
     if request.optimize_first:
         from ..opt import optimize
 
-        optimize(fn)
+        with tracer.span("optimize"):
+            optimize(fn)
     mode = request.mode
     pre_split = None
     if request.scheme is not None:
@@ -35,24 +44,26 @@ def execute_request(request: ExperimentRequest) -> AllocationSummary:
 
     samples: list[TimingSample] = []
     result = None
-    for _ in range(max(1, request.repeats)):
-        result = allocate(fn, machine=request.machine, mode=mode,
-                          biased=request.biased,
-                          lookahead=request.lookahead,
-                          coalesce_splits=request.coalesce_splits,
-                          optimistic=request.optimistic,
-                          pre_split=pre_split)
-        samples.append(TimingSample(
-            cfa=result.cfa_time, total=result.total_time,
-            rounds=[{"renum": t.renumber, "build": t.build,
-                     "costs": t.costs, "color": t.color,
-                     "spill": t.spill} for t in result.round_times],
-            clone=result.clone_time))
+    with tracer.span("allocate", repeats=max(1, request.repeats)):
+        for _ in range(max(1, request.repeats)):
+            result = allocate(fn, machine=request.machine, mode=mode,
+                              biased=request.biased,
+                              lookahead=request.lookahead,
+                              coalesce_splits=request.coalesce_splits,
+                              optimistic=request.optimistic,
+                              pre_split=pre_split)
+            samples.append(TimingSample(
+                cfa=result.cfa_time, total=result.total_time,
+                rounds=[{"renum": t.renumber, "build": t.build,
+                         "costs": t.costs, "color": t.color,
+                         "spill": t.spill} for t in result.round_times],
+                clone=result.clone_time))
     assert result is not None
 
     counts = steps = output = None
     if request.run:
-        run = run_function(result.function, args=list(request.args))
+        with tracer.span("interpret"):
+            run = run_function(result.function, args=list(request.args))
         counts = dict(run.counts)
         steps = run.steps
         output = tuple(run.output)

@@ -51,6 +51,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 
+from ..obs.span import (Span, Tracer, clamp_span, shift_span,
+                        span_from_payload, span_to_payload)
 from .faults import CRASH, CRASH_EXIT_CODE, HANG, RAISE, FaultPlan, \
     InjectedFault
 from .request import AllocationSummary, ExperimentRequest
@@ -139,6 +141,26 @@ def expect_summary(outcome: "AllocationSummary | ExperimentFailure"
 
 
 @dataclass
+class AttemptObservation:
+    """What the supervisor saw happen to one request's attempts.
+
+    ``spans`` holds one ``attempt`` :class:`~repro.obs.span.Span` per
+    attempt (retries are siblings), each carrying ``spawn`` /
+    ``handshake`` children when the dispatch paid them and the
+    worker-side ``exec`` subtree rebased into the supervisor's
+    ``time.monotonic`` clock — the raw material the allocation server
+    stitches into a complete per-request trace.
+    """
+
+    attempts: int = 0
+    spans: list[Span] = field(default_factory=list)
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+
+@dataclass
 class SupervisedStats:
     """Fault accounting for one supervised batch."""
 
@@ -154,6 +176,10 @@ class SupervisedStats:
     worker_spawns: int = 0
     #: dispatches served by an already-live pool worker
     workers_reused: int = 0
+    #: per-request attempt traces, keyed by request key (ignored by
+    #: :meth:`MetricsRegistry.absorb_dataclass` — not a counter)
+    observations: dict[str, AttemptObservation] = field(
+        default_factory=dict)
 
 
 def worker_main(conn, plan: FaultPlan | None = None) -> None:
@@ -163,9 +189,13 @@ def worker_main(conn, plan: FaultPlan | None = None) -> None:
     worker pays its import cost up front and announces ``("ready",)``
     before serving — the supervisor starts attempt deadlines at that
     signal, so a slow interpreter spawn is never mistaken for a hung
-    request.  Replies are ``("ok", key, summary)`` or
-    ``("err", key, class, message)``; anything else the supervisor
-    learns from the process sentinel.
+    request.  Replies are ``("ok", key, summary, exec_spans, clock)``
+    or ``("err", key, class, message, exec_spans, clock)`` — the
+    payload carries the worker-side execution span tree
+    (:func:`~repro.obs.span.span_to_payload` form, worker
+    ``time.monotonic`` clock) plus the worker's clock reading at send
+    time, so the supervisor can rebase the tree into its own timeline;
+    anything else the supervisor learns from the process sentinel.
     """
     from .executor import execute_request
 
@@ -187,15 +217,22 @@ def worker_main(conn, plan: FaultPlan | None = None) -> None:
             os._exit(CRASH_EXIT_CODE)
         if action == HANG:
             time.sleep(plan.hang_seconds)
+        tracer = Tracer(clock=time.monotonic)
         try:
-            if action == RAISE:
-                raise InjectedFault(
-                    f"injected transient fault (attempt {attempt})")
-            summary = execute_request(request)
+            with tracer.span("exec"):
+                if action == RAISE:
+                    raise InjectedFault(
+                        f"injected transient fault (attempt {attempt})")
+                summary = execute_request(request, tracer=tracer)
         except Exception as exc:  # crashes bypass this; see sentinel
-            reply = ("err", key, type(exc).__name__, str(exc))
+            spans = span_to_payload(tracer.roots[0]) if tracer.roots \
+                else None
+            reply = ("err", key, type(exc).__name__, str(exc), spans,
+                     time.monotonic())
         else:
-            reply = ("ok", key, summary)
+            spans = span_to_payload(tracer.roots[0]) if tracer.roots \
+                else None
+            reply = ("ok", key, summary, spans, time.monotonic())
         try:
             conn.send(reply)
         except OSError:
@@ -208,6 +245,8 @@ class _Attempt:
     request: ExperimentRequest
     number: int          # 1-based
     ready_at: float = 0.0
+    #: the open ``attempt`` span, created at dispatch
+    span: Span | None = None
 
 
 class _Worker:
@@ -423,6 +462,7 @@ class _Supervisor:
             if len(self.busy) >= self.workers_target \
                     or not self.pool.has_worker_for_lease():
                 break
+            acquire_started = time.monotonic()
             worker = self.pool.acquire()
             if worker is None:
                 self.stats.spawn_failures += 1
@@ -431,20 +471,56 @@ class _Supervisor:
                     self.fallback = True
                     self.stats.fallback_serial += 1
                 break
-            self._dispatch(worker, self.runnable.popleft(), now)
+            self._dispatch(worker, self.runnable.popleft(),
+                           time.monotonic(), acquire_started)
 
     def _dispatch(self, worker: _Worker, attempt: _Attempt,
-                  now: float) -> None:
+                  now: float, acquire_started: float | None = None
+                  ) -> None:
         # a freshly spawned worker is still importing; its deadline is
         # armed when the ready announcement arrives (_on_message)
         deadline = (now + self.config.timeout
                     if self.config.timeout is not None and worker.ready
                     else None)
+        span = Span("attempt", {"number": attempt.number},
+                    start=acquire_started if acquire_started is not None
+                    else now)
+        if not worker.ready:
+            if acquire_started is not None:
+                # acquire() paid an interpreter spawn for this dispatch
+                span.children.append(
+                    Span("spawn", start=acquire_started, end=now))
+            # closed when the worker's ready announcement arrives
+            span.children.append(Span("handshake", start=now, end=now))
+        attempt.span = span
         self.busy[worker] = (attempt, deadline)
         try:
             worker.conn.send((attempt.key, attempt.request, attempt.number))
         except OSError:
             self._on_crash(worker)
+
+    def _close_attempt(self, attempt: _Attempt, now: float, outcome: str,
+                       exec_payload: dict | None = None,
+                       worker_clock: float | None = None) -> None:
+        """Finish the attempt's span: stamp the outcome, graft the
+        rebased worker-side ``exec`` subtree, record the observation."""
+        span = attempt.span
+        if span is None:  # pragma: no cover - dispatch always sets one
+            return
+        span.end = now
+        span.attrs["outcome"] = outcome
+        if exec_payload is not None:
+            exec_span = span_from_payload(exec_payload)
+            if worker_clock is not None:
+                # align the worker's send-time with our receive-time;
+                # the residual transport delay is clamped away below
+                shift_span(exec_span, now - worker_clock)
+            clamp_span(exec_span, span.start, span.end)
+            span.children.append(exec_span)
+        observation = self.stats.observations.setdefault(
+            attempt.key, AttemptObservation())
+        observation.attempts += 1
+        observation.spans.append(span)
 
     def _wait(self) -> None:
         """Block until a result, a corpse, a deadline, or a retry is due."""
@@ -482,18 +558,28 @@ class _Supervisor:
         except (EOFError, OSError):
             self._crashed(worker, attempt)
             return
+        now = time.monotonic()
         if msg[0] == "ready":
             # spawn + import finished: the attempt deadline starts now
             worker.ready = True
-            deadline = (time.monotonic() + self.config.timeout
+            if attempt.span is not None:
+                handshake = attempt.span.child("handshake")
+                if handshake is not None:
+                    handshake.end = now
+            deadline = (now + self.config.timeout
                         if self.config.timeout is not None else None)
             self.busy[worker] = (attempt, deadline)
             return
         self.pool.release(worker)
         if msg[0] == "ok":
+            self._close_attempt(attempt, now, "ok",
+                                exec_payload=msg[3], worker_clock=msg[4])
             self._deliver(msg[1], msg[2])
         else:
-            _, _key, error_class, message = msg
+            _, _key, error_class, message, exec_payload, clock = msg
+            self._close_attempt(attempt, now, "exception",
+                                exec_payload=exec_payload,
+                                worker_clock=clock)
             self._failed_attempt(attempt, error_class, message,
                                  fate="exception")
 
@@ -512,6 +598,9 @@ class _Supervisor:
                 self.stats.worker_crashes += 1
                 worker.close()
                 self.pool.discard(worker)
+                self._close_attempt(attempt, time.monotonic(), "ok",
+                                    exec_payload=msg[3],
+                                    worker_clock=msg[4])
                 self._deliver(msg[1], msg[2])
                 return
             break
@@ -524,6 +613,7 @@ class _Supervisor:
         worker.kill()
         self.pool.discard(worker)
         self.stats.worker_crashes += 1
+        self._close_attempt(attempt, time.monotonic(), "crashed")
         self._failed_attempt(attempt, "WorkerCrash",
                              f"worker process died (exit code {code})",
                              fate="crashed")
@@ -533,6 +623,7 @@ class _Supervisor:
         worker.kill()
         self.pool.discard(worker)
         self.stats.timeouts += 1
+        self._close_attempt(attempt, time.monotonic(), "killed")
         self._failed_attempt(
             attempt, "Timeout",
             f"no result within {self.config.timeout:.4g}s", fate="killed")
@@ -595,14 +686,20 @@ class _Supervisor:
             while True:
                 action = self.plan.worker_action(attempt.key, number) \
                     if self.plan is not None else None
+                tracer = Tracer(clock=time.monotonic)
                 try:
-                    if action in (CRASH, RAISE):
-                        raise InjectedFault(
-                            f"injected {action} (attempt {number})")
-                    summary = execute_request(attempt.request)
+                    with tracer.span("attempt", number=number):
+                        if action in (CRASH, RAISE):
+                            raise InjectedFault(
+                                f"injected {action} (attempt {number})")
+                        with tracer.span("exec"):
+                            summary = execute_request(attempt.request,
+                                                      tracer=tracer)
                 except KeyboardInterrupt:
                     raise
                 except Exception as exc:
+                    self._record_serial_attempt(attempt.key, tracer,
+                                                "exception")
                     error_class, message = type(exc).__name__, str(exc)
                     self.history[attempt.key].append(
                         f"attempt {number}: {error_class}: {message} "
@@ -622,8 +719,22 @@ class _Supervisor:
                                    * (2 ** (number - 1)))
                     number += 1
                 else:
+                    self._record_serial_attempt(attempt.key, tracer, "ok")
                     self._deliver(attempt.key, summary)
                     break
+
+    def _record_serial_attempt(self, key: str, tracer: Tracer,
+                               outcome: str) -> None:
+        """Record an in-process attempt span (same shape as pooled
+        attempts, minus spawn/handshake children)."""
+        if not tracer.roots:  # pragma: no cover - span always opens
+            return
+        span = tracer.roots[0]
+        span.attrs["outcome"] = outcome
+        observation = self.stats.observations.setdefault(
+            key, AttemptObservation())
+        observation.attempts += 1
+        observation.spans.append(span)
 
     def _shutdown(self) -> None:
         """Kill in-flight workers promptly (also the KeyboardInterrupt

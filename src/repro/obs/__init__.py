@@ -19,12 +19,26 @@ from .events import (EVENT_KINDS, ColorAssigned, CoalesceDecision,
 from .export import (TRACE_VERSION, TraceDocument, TraceEvent, load_trace,
                      parse_trace, trace_lines, trace_to_text, write_trace)
 from .inspect import render_diff, render_summary, render_tree
-from .metrics import (ALLOCATE_LINE_KEYS, Counter, Histogram,
-                      MetricsRegistry, metrics_from_allocation)
-from .span import NULL_TRACER, NullTracer, Span, Tracer
+from .metrics import (ALLOCATE_LINE_KEYS, BUCKET_BASE, BUCKET_GROWTH,
+                      Counter, Histogram, MetricsRegistry, N_BUCKETS,
+                      bucket_index, bucket_upper, metrics_from_allocation,
+                      percentile, render_prometheus)
+from .span import (NULL_TRACER, NullTracer, Span, Tracer, clamp_span,
+                   shift_span, span_from_payload, span_to_payload)
 
 __all__ = [
     "ALLOCATE_LINE_KEYS",
+    "BUCKET_BASE",
+    "BUCKET_GROWTH",
+    "N_BUCKETS",
+    "bucket_index",
+    "bucket_upper",
+    "clamp_span",
+    "percentile",
+    "render_prometheus",
+    "shift_span",
+    "span_from_payload",
+    "span_to_payload",
     "ColorAssigned",
     "CoalesceDecision",
     "Counter",

@@ -76,6 +76,59 @@ class Span:
                 f"children={len(self.children)} events={len(self.events)}>")
 
 
+def span_to_payload(span: Span) -> dict[str, Any]:
+    """A JSON/pickle-safe dict of *span* and its subtree (no events).
+
+    The worker side of the engine ships its execution span tree back
+    through the supervisor ``Pipe`` in this form, and the flight
+    recorder's ``debug`` dumps use it too: plain dicts survive any
+    transport and tolerate schema drift between reader and writer.
+    """
+    return {
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+        "attrs": {k: v if isinstance(v, (bool, int, float, str))
+                  or v is None else str(v)
+                  for k, v in span.attrs.items()},
+        "children": [span_to_payload(child) for child in span.children],
+    }
+
+
+def span_from_payload(payload: dict[str, Any]) -> Span:
+    """Rebuild a :class:`Span` tree from :func:`span_to_payload` form."""
+    span = Span(payload.get("name", "?"), payload.get("attrs") or None,
+                start=payload.get("start", 0.0),
+                end=payload.get("end", 0.0))
+    for child in payload.get("children", ()):
+        span.children.append(span_from_payload(child))
+    return span
+
+
+def shift_span(span: Span, delta: float) -> None:
+    """Translate *span* and its subtree by *delta* seconds, in place —
+    the clock-rebasing step when stitching a worker-process span tree
+    into the supervising process's timeline."""
+    span.start += delta
+    span.end += delta
+    for child in span.children:
+        shift_span(child, delta)
+
+
+def clamp_span(span: Span, start: float, end: float) -> None:
+    """Clamp *span* and its subtree into ``[start, end]``, in place.
+
+    After rebasing across a process boundary the shifted tree can
+    protrude past its parent by the (unknowable) transport delay;
+    clamping restores the well-nestedness invariant the trace
+    consumers assert.
+    """
+    span.start = min(max(span.start, start), end)
+    span.end = min(max(span.end, span.start), end)
+    for child in span.children:
+        clamp_span(child, span.start, span.end)
+
+
 class _OpenSpan:
     """Context manager handed out by :meth:`Tracer.span`."""
 

@@ -7,34 +7,48 @@ interpreter spawn and import cost once instead of per invocation.
 ``server.py`` holds the asyncio daemon (admission control, in-flight
 dedup, micro-batching, drain-on-SIGTERM), ``protocol.py`` the wire
 format and its byte-identity guarantees, ``client.py`` the blocking
-client library, and ``loadgen.py`` the threaded load generator the
-benchmarks drive.  See ``docs/serving.md``.
+client library, ``loadgen.py`` the threaded load generator the
+benchmarks drive, ``observe.py`` the per-request lifecycle records,
+access log and flight recorder, and ``top.py`` the live ``repro top``
+dashboard.  See ``docs/serving.md`` and ``docs/observability.md``.
 """
 
 from .client import ServeClient, ServeError
 from .loadgen import LoadReport, default_corpus, percentile, run_load
+from .observe import (FlightRecorder, PHASES, RequestRecord,
+                      access_line, access_record, stitch_request_trace)
 from .protocol import (PROTOCOL_VERSION, ProtocolError, dumps,
                        failure_to_json, request_from_json,
                        summary_to_json)
 from .server import (AllocationServer, ServeConfig, ServerThread,
                      execute_trace, run_server)
+from .top import format_seconds, render_dashboard, run_top
 
 __all__ = [
     "AllocationServer",
+    "FlightRecorder",
     "LoadReport",
+    "PHASES",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RequestRecord",
     "ServeClient",
     "ServeConfig",
     "ServeError",
     "ServerThread",
+    "access_line",
+    "access_record",
     "default_corpus",
     "dumps",
     "execute_trace",
     "failure_to_json",
+    "format_seconds",
     "percentile",
+    "render_dashboard",
     "request_from_json",
     "run_load",
     "run_server",
+    "run_top",
+    "stitch_request_trace",
     "summary_to_json",
 ]

@@ -78,6 +78,10 @@ class ServeClient:
     def metrics(self) -> dict:
         return self.call("metrics")
 
+    def debug(self) -> dict:
+        """The flight recorder's dump: slowest + failed request traces."""
+        return self.call("debug")
+
     def shutdown(self) -> None:
         """Ask the server to drain and exit."""
         self.call("shutdown")

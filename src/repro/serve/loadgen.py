@@ -19,17 +19,10 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from ..obs.metrics import percentile
 from .client import ServeClient, ServeError
 
-
-def percentile(values: list[float], q: float) -> float:
-    """The *q*-th percentile (0..100) by nearest-rank; 0.0 when empty."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(0, min(len(ordered) - 1,
-                      round(q / 100.0 * (len(ordered) - 1))))
-    return ordered[rank]
+__all__ = ["LoadReport", "default_corpus", "percentile", "run_load"]
 
 
 @dataclass

@@ -18,8 +18,12 @@ Operations:
   ``repro trace --format jsonl`` prints for the same inputs.
 * ``ping``     — liveness probe.
 * ``metrics``  — the server's observability snapshot (``serve.*``
-  admission counters, ``pool.*`` warm-pool accounting, ``engine.*``
+  admission counters and request/phase latency histograms with
+  p50/p90/p99, ``pool.*`` warm-pool accounting, ``engine.*``
   provenance and fault counters).
+* ``debug``    — the flight recorder's dump: the N slowest and the
+  most recent failed requests, each with its access record and fully
+  stitched span tree (see :mod:`repro.serve.observe`).
 * ``shutdown`` — begin a drain: stop admitting, finish what is queued.
 
 Responses echo the id and carry either a result or a typed error::
@@ -56,7 +60,8 @@ from ..remat import RenumberMode
 PROTOCOL_VERSION = 1
 
 #: operations a client may put in the envelope
-OPERATIONS = ("allocate", "trace", "ping", "metrics", "shutdown")
+OPERATIONS = ("allocate", "trace", "ping", "metrics", "debug",
+              "shutdown")
 
 #: ``request`` fields accepted by :func:`request_from_json`
 REQUEST_FIELDS = frozenset({

@@ -31,6 +31,17 @@ serves allocation requests to any number of clients over JSONL/TCP
 * **Drain on SIGTERM** — the listener closes, admission stops
   (``draining`` rejections), everything already admitted runs to
   completion and is answered, then the process exits 0.
+* **Request observability** — every request line gets a server-minted
+  id and contiguous lifecycle stamps (``accept → parse → admission →
+  queue_wait → batch_wait → execute → respond``); with tracing on the
+  engine's per-attempt spans — including the worker-side ``exec``
+  subtrees rebased across the process boundary — are stitched under
+  ``execute`` into one per-request trace.  The N slowest and all
+  failed traces live in a bounded flight recorder (the ``debug`` op;
+  dumped to disk on drain), each request can be appended to a JSONL
+  access log, and latency quantiles are served by the ``metrics`` op
+  and an optional Prometheus text endpoint (see
+  :mod:`repro.serve.observe`).
 
 The batcher is the only touchpoint of the (thread-oblivious) engine and
 pool, so no locking is needed around them; per-connection writes are
@@ -41,16 +52,21 @@ corrupt the stream.
 from __future__ import annotations
 
 import asyncio
+import itertools
+import json
 import logging
+import pathlib
 import signal
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..engine import (AllocationSummary, ExperimentEngine,
-                      ExperimentFailure, request_key)
-from ..obs import MetricsRegistry
+                      ExperimentFailure, RequestObservation, request_key)
+from ..obs import MetricsRegistry, render_prometheus
 from . import protocol
+from .observe import FlightRecorder, RequestRecord, access_line
 
 logger = logging.getLogger(__name__)
 
@@ -69,6 +85,19 @@ class ServeConfig:
             the first request of a batch arrives.
         max_batch: requests per engine batch (a full batch dispatches
             without waiting out the window).
+        trace_requests: collect per-request engine observations
+            (attempt spans, provenance) and stitch complete traces for
+            the flight recorder; off, requests still get lifecycle
+            stamps but no execution subtree.
+        access_log: path of the structured JSONL access log (one
+            :func:`~repro.serve.observe.access_line` per request);
+            ``None`` disables it.
+        flight_slots: traces kept by the flight recorder (N slowest
+            plus the N most recent failures).
+        flight_dump: path the flight recorder dump is written to when
+            the server drains; ``None`` skips the dump.
+        metrics_addr: ``HOST:PORT`` (or just ``PORT``) for the
+            Prometheus text exposition endpoint; ``None`` disables it.
     """
 
     host: str = "127.0.0.1"
@@ -76,6 +105,11 @@ class ServeConfig:
     queue_limit: int = 256
     batch_window: float = 0.005
     max_batch: int = 32
+    trace_requests: bool = True
+    access_log: str | pathlib.Path | None = None
+    flight_slots: int = 64
+    flight_dump: str | pathlib.Path | None = None
+    metrics_addr: str | None = None
 
 
 @dataclass
@@ -86,6 +120,11 @@ class _Pending:
     op: str
     request: Any
     future: asyncio.Future = field(repr=False)
+    #: batcher stamps shared by every subscriber's lifecycle record
+    t_dequeue: float | None = None
+    t_dispatch: float | None = None
+    #: the engine's per-request observation (tracing on, allocate only)
+    observation: RequestObservation | None = None
 
 
 class AllocationServer:
@@ -104,20 +143,34 @@ class AllocationServer:
             asyncio.Queue(maxsize=self.config.queue_limit)
         #: key → pending work, for in-flight dedup
         self.inflight: dict[str, _Pending] = {}
+        self.flight = FlightRecorder(self.config.flight_slots)
         self.draining = False
         self.port: int | None = None
+        self.metrics_port: int | None = None
         self._server: asyncio.Server | None = None
+        self._metrics_server: asyncio.Server | None = None
         self._batcher_task: asyncio.Task | None = None
         self._drain_task: asyncio.Task | None = None
         self._closed = asyncio.Event()
         self._conn_tasks: set[asyncio.Task] = set()
+        self._request_seq = itertools.count(1)
+        self._access_log = None
 
     # -- lifecycle -------------------------------------------------------------
 
     async def start(self) -> None:
+        if self.config.access_log is not None:
+            self._access_log = open(self.config.access_log, "a",
+                                    encoding="utf-8")
         self._server = await asyncio.start_server(
             self._handle_conn, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.metrics_addr is not None:
+            host, mport = _parse_addr(self.config.metrics_addr)
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_conn, host, mport)
+            self.metrics_port = \
+                self._metrics_server.sockets[0].getsockname()[1]
         self._batcher_task = asyncio.create_task(self._batcher())
 
     def request_shutdown(self) -> None:
@@ -144,6 +197,19 @@ class AllocationServer:
         if self._conn_tasks:
             await asyncio.gather(*list(self._conn_tasks),
                                  return_exceptions=True)
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+        if self.config.flight_dump is not None:
+            try:
+                with open(self.config.flight_dump, "w",
+                          encoding="utf-8") as handle:
+                    json.dump(self.flight.dump(), handle, sort_keys=True)
+            except OSError:
+                logger.exception("could not write flight-recorder dump")
+        if self._access_log is not None:
+            self._access_log.close()
+            self._access_log = None
         self._closed.set()
 
     # -- connections -----------------------------------------------------------
@@ -180,49 +246,93 @@ class AllocationServer:
     async def _serve_line(self, line: bytes,
                           writer: asyncio.StreamWriter,
                           write_lock: asyncio.Lock) -> None:
-        response = await self._respond(line)
+        record = self._new_record()
+        response = await self._respond(line, record)
         async with write_lock:
             try:
                 writer.write(protocol.encode_line(response))
                 await writer.drain()
             except (ConnectionError, OSError):
                 pass  # client went away; the work still fed the cache
+        self._finish_record(record)
 
     # -- request handling ------------------------------------------------------
 
-    async def _respond(self, line: bytes) -> dict:
+    def _new_record(self) -> RequestRecord:
+        return RequestRecord(
+            request_id=f"r{next(self._request_seq):06d}",
+            wall_time=time.time(), t_accept=time.monotonic())
+
+    def _finish_record(self, record: RequestRecord) -> None:
+        """Stamp the respond boundary and fan the finished record out
+        to the phase histograms, the access log, the flight recorder."""
+        record.t_respond = time.monotonic()
+        engine_op = record.op in ("allocate", "trace")
+        if engine_op:
+            self.metrics.histogram("serve.request_seconds").observe(
+                record.total_s)
+            for name, value in record.phase_seconds().items():
+                self.metrics.histogram(f"serve.phase.{name}").observe(
+                    value)
+        if self._access_log is not None:
+            try:
+                self._access_log.write(access_line(record) + "\n")
+                self._access_log.flush()
+            except (OSError, ValueError):
+                pass  # a broken log must never break serving
+        if engine_op or record.outcome != "ok":
+            self.flight.record(record)
+
+    async def _respond(self, line: bytes,
+                       record: RequestRecord | None = None) -> dict:
         """One request line → one response object (never raises)."""
+        if record is None:  # direct callers (tests) skip _serve_line
+            record = self._new_record()
         request_id = None
         try:
             obj = protocol.decode_line(line)
             request_id = obj.get("id")
+            record.client_id = request_id
             _, op = protocol.check_envelope(obj)
+            record.op = op
             self.metrics.counter("serve.requests").inc()
             self.metrics.counter(f"serve.op.{op}").inc()
-            if op == "ping":
-                return protocol.ok_response(request_id, {"pong": True})
-            if op == "metrics":
-                return protocol.ok_response(request_id,
-                                            self.metrics_snapshot())
-            if op == "shutdown":
+            if op in ("ping", "metrics", "shutdown", "debug"):
+                record.t_parse = time.monotonic()
+                if op == "ping":
+                    return protocol.ok_response(request_id, {"pong": True})
+                if op == "metrics":
+                    return protocol.ok_response(request_id,
+                                                self.metrics_snapshot())
+                if op == "debug":
+                    return protocol.ok_response(request_id,
+                                                self.flight.dump())
                 self.request_shutdown()
                 return protocol.ok_response(request_id, {"draining": True})
-            return await self._admit(request_id, op, obj.get("request"))
+            return await self._admit(request_id, op, obj.get("request"),
+                                     record)
         except protocol.ProtocolError as exc:
+            record.outcome = exc.kind
             self.metrics.counter("serve.bad_requests").inc()
             return protocol.error_response(request_id, exc.kind,
                                            exc.message)
         except Exception as exc:  # never kill the connection loop
+            record.outcome = "internal"
             logger.exception("internal error serving request")
             return protocol.error_response(request_id, "internal",
                                            f"{type(exc).__name__}: {exc}")
 
-    async def _admit(self, request_id: Any, op: str, spec: Any) -> dict:
+    async def _admit(self, request_id: Any, op: str, spec: Any,
+                     record: RequestRecord) -> dict:
         request = protocol.request_from_json(spec)
         key = f"{op}:{request_key(request)}"
+        record.t_parse = time.monotonic()
+        record.key = key
         pending = self.inflight.get(key)
         if pending is None:
             if self.draining:
+                record.outcome = "draining"
+                record.t_admit = time.monotonic()
                 self.metrics.counter("serve.drain_rejections").inc()
                 return protocol.error_response(
                     request_id, "draining", "server is shutting down")
@@ -231,6 +341,8 @@ class AllocationServer:
             try:
                 self.queue.put_nowait(pending)
             except asyncio.QueueFull:
+                record.outcome = "overload"
+                record.t_admit = time.monotonic()
                 self.metrics.counter("serve.overload_rejections").inc()
                 return protocol.error_response(
                     request_id, "overload",
@@ -238,10 +350,29 @@ class AllocationServer:
                     f"({self.config.queue_limit} pending); retry")
             self.inflight[key] = pending
         else:
+            record.dedup = True
             self.metrics.counter("serve.deduplicated").inc()
+        record.t_admit = time.monotonic()
         status, body = await asyncio.shield(pending.future)
+        if record.dedup:
+            # a subscriber did not queue or batch: its whole wait is
+            # the execute phase, keeping its phase sum contiguous
+            record.t_dequeue = record.t_dispatch = record.t_admit
+        else:
+            record.t_dequeue = pending.t_dequeue
+            record.t_dispatch = pending.t_dispatch
+        record.t_execute = time.monotonic()
+        observation = pending.observation
+        if observation is not None:
+            record.source = observation.source
+            record.attempts = observation.attempts
+            record.retries = observation.retries
+            record.cache_put_s = observation.cache_put_s
+            record.spans = list(observation.spans)
         if status == "ok":
             return protocol.ok_response(request_id, body)
+        record.outcome = body.get("kind", "internal") \
+            if isinstance(body, dict) else "internal"
         return {"id": request_id, "ok": False, "error": body}
 
     # -- the batcher -----------------------------------------------------------
@@ -252,6 +383,7 @@ class AllocationServer:
             head = await self.queue.get()
             if head is None:
                 return
+            head.t_dequeue = time.monotonic()
             batch = [head]
             deadline = loop.time() + self.config.batch_window
             while len(batch) < self.config.max_batch:
@@ -266,12 +398,16 @@ class AllocationServer:
                 if item is None:  # drain sentinel: finish, then stop
                     await self._run_batch(batch)
                     return
+                item.t_dequeue = time.monotonic()
                 batch.append(item)
             await self._run_batch(batch)
 
     async def _run_batch(self, batch: list[_Pending]) -> None:
         self.metrics.counter("serve.batches").inc()
         self.metrics.histogram("serve.batch_size").observe(len(batch))
+        dispatched = time.monotonic()
+        for pending in batch:
+            pending.t_dispatch = dispatched
         loop = asyncio.get_running_loop()
         try:
             outcomes = await loop.run_in_executor(None, self._execute,
@@ -294,8 +430,14 @@ class AllocationServer:
         outcomes: dict[str, tuple] = {}
         allocs = [p for p in batch if p.op == "allocate"]
         if allocs:
-            results = self.engine.run_many([p.request for p in allocs])
+            observations: dict[str, RequestObservation] | None = \
+                {} if self.config.trace_requests else None
+            results = self.engine.run_many([p.request for p in allocs],
+                                           observations=observations)
             for pending, result in zip(allocs, results):
+                if observations is not None:
+                    pending.observation = observations.get(
+                        pending.key.split(":", 1)[1])
                 if isinstance(result, AllocationSummary):
                     outcomes[pending.key] = \
                         ("ok", protocol.summary_to_json(result))
@@ -318,6 +460,32 @@ class AllocationServer:
 
     # -- observability ---------------------------------------------------------
 
+    async def _handle_metrics_conn(self, reader: asyncio.StreamReader,
+                                   writer: asyncio.StreamWriter) -> None:
+        """A deliberately tiny HTTP/1.1 responder: every GET gets the
+        Prometheus text exposition of :meth:`metrics_snapshot`."""
+        try:
+            while True:  # consume the request head; the path is ignored
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            body = render_prometheus(self.metrics_snapshot()).encode()
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; "
+                b"charset=utf-8\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode()
+                + b"Connection: close\r\n\r\n" + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
     def metrics_snapshot(self) -> dict:
         """``serve.*`` + ``pool.*`` + the engine's own registry."""
         merged = MetricsRegistry()
@@ -335,6 +503,12 @@ class AllocationServer:
         snapshot["queue_depth"] = self.queue.qsize()
         snapshot["inflight"] = len(self.inflight)
         return snapshot
+
+
+def _parse_addr(addr: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT``) → ``(host, port)``."""
+    host, _, port = addr.rpartition(":")
+    return host or "127.0.0.1", int(port)
 
 
 def execute_trace(request) -> str:
@@ -363,17 +537,22 @@ def execute_trace(request) -> str:
 
 
 async def run_server(engine: ExperimentEngine, config: ServeConfig,
-                     announce=None) -> int:
+                     announce=None, announce_metrics=None) -> int:
     """Start, announce, install signal-driven drain, serve until done.
 
     *announce* is called once with the bound ``(host, port)`` — the CLI
     prints the ``# serving on HOST:PORT`` line from it so wrappers can
-    scrape the ephemeral port.
+    scrape the ephemeral port.  *announce_metrics* likewise receives
+    the Prometheus endpoint's bound ``(host, port)`` when
+    ``metrics_addr`` is configured.
     """
     server = AllocationServer(engine, config)
     await server.start()
     if announce is not None:
         announce(config.host, server.port)
+    if announce_metrics is not None and server.metrics_port is not None:
+        announce_metrics(_parse_addr(config.metrics_addr)[0],
+                         server.metrics_port)
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGTERM, signal.SIGINT):
         try:

@@ -1,0 +1,152 @@
+"""Bucketed histograms, shared percentile math, Prometheus rendering."""
+
+import math
+import random
+
+from repro.obs import (BUCKET_BASE, BUCKET_GROWTH, Histogram,
+                       MetricsRegistry, N_BUCKETS, bucket_index,
+                       bucket_upper, percentile, render_prometheus)
+
+
+class TestBuckets:
+    def test_underflow_bucket_holds_tiny_values(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-1.0) == 0
+        assert bucket_index(BUCKET_BASE) == 0
+
+    def test_upper_bound_is_inclusive(self):
+        for index in (1, 7, 42, 100):
+            upper = bucket_upper(index)
+            assert bucket_index(upper) == index
+            assert bucket_index(upper * 1.0001) == index + 1
+
+    def test_index_is_monotonic_and_clamped(self):
+        values = [BUCKET_BASE * (1.11 ** n) for n in range(200)]
+        indices = [bucket_index(v) for v in values]
+        assert indices == sorted(indices)
+        assert bucket_index(1e9) == N_BUCKETS - 1  # overflow clamps
+
+    def test_ladder_spans_microseconds_to_an_hour(self):
+        assert bucket_upper(0) == BUCKET_BASE
+        assert bucket_upper(N_BUCKETS - 1) > 3600.0
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_nearest_rank_endpoints(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+        assert percentile(values, 50) == 3.0
+
+    def test_loadgen_shares_this_implementation(self):
+        from repro.obs import metrics
+        from repro.serve import loadgen
+
+        assert loadgen.percentile is metrics.percentile
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram("h").quantile(50) == 0.0
+
+    def test_single_observation_is_exact(self):
+        h = Histogram("h")
+        h.observe(0.125)
+        assert h.quantile(50) == 0.125
+        assert h.quantile(99) == 0.125
+
+    def test_quantile_within_one_bucket_of_exact(self):
+        rng = random.Random(42)
+        values = [rng.uniform(1e-4, 2.0) for _ in range(500)]
+        h = Histogram("h")
+        for v in values:
+            h.observe(v)
+        for q in (50, 90, 99):
+            exact = percentile(values, q)
+            estimate = h.quantile(q)
+            assert abs(bucket_index(estimate) - bucket_index(exact)) <= 1
+            # the relative error bound the bucket growth implies
+            assert estimate / exact < BUCKET_GROWTH * 1.0001
+            assert exact / estimate < BUCKET_GROWTH * 1.0001
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = Histogram("h")
+        for v in (0.010, 0.011, 0.012):
+            h.observe(v)
+        assert h.quantile(0) >= 0.010
+        assert h.quantile(100) <= 0.012
+
+    def test_merge_counts_reconstructs_distribution(self):
+        a, b, merged = Histogram("a"), Histogram("b"), Histogram("m")
+        for v in (0.001, 0.002, 0.004):
+            a.observe(v)
+        for v in (0.008, 0.016):
+            b.observe(v)
+        merged.merge_counts(a.snapshot()["buckets"])
+        merged.merge_counts(b.snapshot()["buckets"])
+        assert sum(merged._buckets) == 5
+
+
+class TestSnapshot:
+    def test_empty_snapshot_has_null_min_max(self):
+        snap = Histogram("h").snapshot()
+        assert snap == {"count": 0, "total": 0.0, "min": None,
+                        "max": None}
+
+    def test_populated_snapshot_keeps_legacy_keys(self):
+        h = Histogram("h")
+        h.observe(2.0)
+        h.observe(4.0)
+        snap = h.snapshot()
+        assert snap["count"] == 2
+        assert snap["total"] == 6.0
+        assert snap["min"] == 2.0 and snap["max"] == 4.0
+        assert {"p50", "p90", "p99", "buckets"} <= set(snap)
+
+    def test_render_summary_aligns_histograms_with_counters(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.histogram("a.very.long.histogram.name").observe(1.0)
+        registry.histogram("empty.histogram")
+        lines = registry.render_summary().splitlines()
+        width = len("a.very.long.histogram.name")
+        for line in lines:  # every value starts in the same column
+            assert line[width:width + 2] == "  "
+            assert line[width + 2] != " "
+        empty_row = next(l for l in lines if l.startswith("empty"))
+        assert "count=0" in empty_row and "min=" not in empty_row
+
+
+class TestPrometheus:
+    def test_counters_histograms_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(7)
+        registry.histogram("serve.request_seconds").observe(0.25)
+        snapshot = registry.snapshot()
+        snapshot["queue_depth"] = 3
+        text = render_prometheus(snapshot)
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 7" in text
+        assert "# TYPE repro_serve_request_seconds summary" in text
+        assert 'repro_serve_request_seconds{quantile="0.5"} 0.25' in text
+        assert "repro_serve_request_seconds_count 1" in text
+        assert "repro_serve_request_seconds_sum 0.25" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 3" in text
+        assert text.endswith("\n")
+
+    def test_empty_histogram_renders_without_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        text = render_prometheus(registry.snapshot())
+        assert "repro_h_count 0" in text
+        assert "quantile" not in text
+
+    def test_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.batch-size/2").inc(1)
+        text = render_prometheus(registry.snapshot())
+        assert "repro_engine_batch_size_2_total 1" in text
