@@ -1,0 +1,92 @@
+"""Dump allocator quality stats for a kernel x mode x machine grid.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_allocator_sweep.py --out FILE
+
+Runs every suite kernel under every renumber mode at several register
+file sizes and writes one JSON object per configuration: the full
+:class:`~repro.regalloc.AllocationStats`, the round count, and a sha256
+of the allocated ILOC text.  Two dumps compare with ``--diff A B``.
+
+This is the refactor safety net: 48 kernels x 3 modes x 3 machines =
+432 configurations whose quality stats (and output bytes) must not move
+when allocator internals are reorganized.  Pass ``--allocator ssa`` to
+sweep the SSA spill-everywhere strategy instead (its own grid; not
+comparable to the iterated one).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import json
+
+from repro.ir import function_to_text
+from repro.machine import machine_with
+from repro.regalloc import allocate
+from repro.remat import RenumberMode
+
+KS = (6, 8, 16)
+
+
+def sweep(allocator: str = "iterated") -> dict[str, dict]:
+    from repro.benchsuite import ALL_KERNELS
+
+    out: dict[str, dict] = {}
+    for kernel in ALL_KERNELS:
+        for mode in RenumberMode:
+            for k in KS:
+                fn = kernel.compile()
+                # the default strategy is addressed by omission so this
+                # harness can also replay dumps from older checkouts
+                kwargs = {} if allocator == "iterated" \
+                    else {"allocator": allocator}
+                result = allocate(fn, machine=machine_with(k, k),
+                                  mode=mode, **kwargs)
+                text = function_to_text(result.function)
+                key = f"{kernel.name}/{mode.value}/k{k}"
+                out[key] = {
+                    "stats": dataclasses.asdict(result.stats),
+                    "rounds": result.rounds,
+                    "sha256": hashlib.sha256(text.encode()).hexdigest(),
+                }
+    return out
+
+
+def diff(a_path: str, b_path: str) -> int:
+    with open(a_path) as ha, open(b_path) as hb:
+        a, b = json.load(ha), json.load(hb)
+    divergent = 0
+    for key in sorted(set(a) | set(b)):
+        if a.get(key) != b.get(key):
+            divergent += 1
+            print(f"DIVERGED {key}")
+    print(f"{len(set(a) | set(b))} configs, {divergent} divergent")
+    return 1 if divergent else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write the dump here")
+    parser.add_argument("--allocator", default="iterated",
+                        choices=["iterated", "ssa"])
+    parser.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                        default=None, help="compare two dumps instead")
+    args = parser.parse_args(argv)
+    if args.diff:
+        return diff(*args.diff)
+    dump = sweep(args.allocator)
+    text = json.dumps(dump, indent=0, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(dump)} configs to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,11 @@ the allocator — the coalesce loop's graph refreshes and the
 spill-delta liveness updates — is additionally cross-checked against a
 from-scratch recomputation (``diff_graphs`` / ``diff_liveness``) and
 the run fails on the first divergence.
+
+With ``--allocator ssa`` the suite runs under the SSA
+spill-everywhere strategy instead; the strategy has no mode axis
+(maximal splitting *is* the strategy), so each kernel is allocated
+once per register count rather than once per renumber mode.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ import argparse
 
 from repro.machine import machine_with
 from repro.opt import optimize
-from repro.regalloc import allocate
+from repro.regalloc import ALLOCATOR_NAMES, allocate
 from repro.remat import RenumberMode
 
 
@@ -34,6 +39,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--k", type=int, default=8,
                         help="register count per class (default 8)")
+    parser.add_argument("--allocator", choices=list(ALLOCATOR_NAMES),
+                        default="iterated",
+                        help="allocation strategy (default iterated)")
     parser.add_argument("--verify-incremental", action="store_true",
                         help="cross-check every incremental analysis "
                              "patch against a from-scratch recompute")
@@ -42,13 +50,18 @@ def main(argv: list[str] | None = None) -> int:
     from repro.benchsuite import ALL_KERNELS
 
     machine = machine_with(args.k, args.k)
+    # the SSA strategy ignores the renumber mode — running all three
+    # would just verify the same allocation three times
+    modes = (list(RenumberMode) if args.allocator == "iterated"
+             else [RenumberMode.REMAT])
     n_allocations = 0
     for kernel in ALL_KERNELS:
         fn = kernel.compile()
         optimize(fn, verify_after_each=True)
         line = [f"{kernel.name:>10}:"]
-        for mode in RenumberMode:
+        for mode in modes:
             result = allocate(fn, machine=machine, mode=mode,
+                              allocator=args.allocator,
                               verify_rounds=True,
                               verify_incremental=args.verify_incremental)
             n_allocations += 1
@@ -56,7 +69,8 @@ def main(argv: list[str] | None = None) -> int:
                         f"{result.stats.n_spilled_ranges}s")
         print(" ".join(line))
     print(f"verified {n_allocations} allocations on {machine.name} "
-          f"({len(ALL_KERNELS)} kernels x {len(list(RenumberMode))} modes)")
+          f"({len(ALL_KERNELS)} kernels x {len(modes)} modes, "
+          f"allocator={args.allocator})")
     return 0
 
 

@@ -54,7 +54,7 @@ from .machine import machine_with
 from .obs import (ALLOCATE_LINE_KEYS, Tracer, load_trace,
                   metrics_from_allocation, parse_trace, render_diff,
                   render_summary, render_tree, trace_to_text, write_trace)
-from .regalloc import allocate
+from .regalloc import ALLOCATOR_NAMES, allocate
 from .remat import RenumberMode
 
 
@@ -83,6 +83,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="float register count (default: same as --k)")
     parser.add_argument("--mode", choices=[m.value for m in RenumberMode],
                         default="remat", help="allocator variant")
+    parser.add_argument("--allocator", choices=list(ALLOCATOR_NAMES),
+                        default="iterated",
+                        help="allocation strategy: the paper's iterated "
+                             "Chaitin/Briggs loop (default) or SSA "
+                             "spill-everywhere (ignores --mode)")
     parser.add_argument("--opt", action="store_true",
                         help="run LVN/LICM/DCE before allocation")
 
@@ -147,7 +152,8 @@ def _trace_meta(result, source: str) -> dict:
     """The identity block of a trace's ``meta`` line."""
     machine = result.machine
     return {"function": result.function.name, "mode": result.mode.value,
-            "machine": machine.name, "int_regs": machine.int_regs,
+            "allocator": result.allocator, "machine": machine.name,
+            "int_regs": machine.int_regs,
             "float_regs": machine.float_regs, "source": source}
 
 
@@ -156,7 +162,8 @@ def cmd_allocate(args: argparse.Namespace) -> int:
     _maybe_optimize(fn, args)
     tracer = Tracer(capture_events=True) if args.trace else None
     result = allocate(fn, machine=_machine(args),
-                      mode=RenumberMode(args.mode), tracer=tracer)
+                      mode=RenumberMode(args.mode),
+                      allocator=args.allocator, tracer=tracer)
     print(function_to_text(result.function), end="")
     registry = metrics_from_allocation(result)
     print("# " + registry.render_line(ALLOCATE_LINE_KEYS), file=sys.stderr)
@@ -219,7 +226,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     machine = _machine(args)
     if args.allocated:
         fn = allocate(fn, machine=machine,
-                      mode=RenumberMode(args.mode)).function
+                      mode=RenumberMode(args.mode),
+                      allocator=args.allocator).function
     run = run_function(fn, args=[int(a) for a in args.args])
     for value in run.output:
         print(value)
@@ -238,7 +246,8 @@ def cmd_cgen(args: argparse.Namespace) -> int:
     _maybe_optimize(fn, args)
     if args.allocated:
         fn = allocate(fn, machine=_machine(args),
-                      mode=RenumberMode(args.mode)).function
+                      mode=RenumberMode(args.mode),
+                      allocator=args.allocator).function
     print(emit_function(fn), end="")
     return 0
 
@@ -271,7 +280,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         _maybe_optimize(fn, args)
         tracer = Tracer(capture_events=True)
         result = allocate(fn, machine=_machine(args),
-                          mode=RenumberMode(args.mode), tracer=tracer)
+                          mode=RenumberMode(args.mode),
+                          allocator=args.allocator, tracer=tracer)
         text = trace_to_text(result.trace, _trace_meta(result, source),
                              metrics_from_allocation(result))
     doc = parse_trace(text)
@@ -299,7 +309,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
     engine = _engine(args)
     print(generate_table1(machine=_machine(args),
                           optimize_first=args.opt,
-                          engine=engine).render())
+                          engine=engine,
+                          allocator=args.allocator).render())
     return _report_failures(engine)
 
 
@@ -317,9 +328,10 @@ def cmd_ablation(args: argparse.Namespace) -> int:
     from .experiments import run_ablation, run_heuristic_ablation
 
     engine = _engine(args)
-    print(run_ablation(engine=engine).render())
+    print(run_ablation(engine=engine, allocator=args.allocator).render())
     print()
-    print(run_heuristic_ablation(engine=engine).render())
+    print(run_heuristic_ablation(engine=engine,
+                                 allocator=args.allocator).render())
     return _report_failures(engine)
 
 
@@ -327,7 +339,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import run_register_sweep
 
     engine = _engine(args)
-    print(run_register_sweep(engine=engine).render())
+    print(run_register_sweep(engine=engine,
+                             allocator=args.allocator).render())
+    return _report_failures(engine)
+
+
+def cmd_ssa_compare(args: argparse.Namespace) -> int:
+    from .experiments import run_allocator_comparison
+
+    engine = _engine(args)
+    print(run_allocator_comparison(engine=engine).render())
     return _report_failures(engine)
 
 
@@ -486,12 +507,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_table2)
 
     p = sub.add_parser("ablation", help="Section 6 + heuristic ablations")
+    p.add_argument("--allocator", choices=list(ALLOCATOR_NAMES),
+                   default="iterated", help="allocation strategy")
     _add_engine(p)
     p.set_defaults(func=cmd_ablation)
 
     p = sub.add_parser("sweep", help="register-set size sweep")
+    p.add_argument("--allocator", choices=list(ALLOCATOR_NAMES),
+                   default="iterated", help="allocation strategy")
     _add_engine(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("ssa-compare",
+                       help="head-to-head: SSA spill-everywhere vs the "
+                            "iterated allocator across the register "
+                            "sweep")
+    _add_engine(p)
+    p.set_defaults(func=cmd_ssa_compare)
 
     p = sub.add_parser("cache", help="inspect or maintain the persistent "
                                      "result cache")

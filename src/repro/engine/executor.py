@@ -51,7 +51,8 @@ def execute_request(request: ExperimentRequest,
                               lookahead=request.lookahead,
                               coalesce_splits=request.coalesce_splits,
                               optimistic=request.optimistic,
-                              pre_split=pre_split)
+                              pre_split=pre_split,
+                              allocator=request.allocator)
             samples.append(TimingSample(
                 cfa=result.cfa_time, total=result.total_time,
                 rounds=[{"renum": t.renumber, "build": t.build,
@@ -76,6 +77,7 @@ def execute_request(request: ExperimentRequest,
         float_regs=request.machine.float_regs,
         mode=mode,
         stats=result.stats,
+        allocator=request.allocator,
         rounds=result.rounds,
         code_size=fn.size(),
         allocated_size=result.function.size(),

@@ -40,7 +40,10 @@ from ..remat import RenumberMode
 #:    patches change colorings; AllocationStats grew incremental fields)
 #: 5: sharded store layout for multi-process sharing (flat v4 entries
 #:    are legacy-read only and never match v5 keys)
-CACHE_VERSION = 5
+#: 6: the ``allocator`` strategy axis joined the request (and the cached
+#:    summary shape grew an ``allocator`` field) — v5 entries, keyed
+#:    without a strategy, never match
+CACHE_VERSION = 6
 
 
 @dataclass(frozen=True)
@@ -61,6 +64,10 @@ class ExperimentRequest:
             mode and pre-split hook are used (schemes without a
             pre-split hook should be submitted as plain ``mode``
             requests so their cache entries are shared).
+        allocator: the allocation strategy
+            (``repro.regalloc.ALLOCATOR_NAMES`` — ``iterated`` runs the
+            paper's Chaitin/Briggs loop, ``ssa`` the spill-everywhere
+            strategy; the SSA strategy ignores ``mode``).
         args: interpreter arguments; used only when ``run``.
         run: interpret the allocated function and record dynamic counts.
         repeats: how many times to repeat the allocation for timing
@@ -79,6 +86,7 @@ class ExperimentRequest:
     coalesce_splits: bool = True
     optimistic: bool = True
     scheme: str | None = None
+    allocator: str = "iterated"
     args: tuple = ()
     run: bool = True
     repeats: int = 1
@@ -99,6 +107,7 @@ def request_key(request: ExperimentRequest) -> str:
         f"coalesce_splits={int(request.coalesce_splits)}",
         f"optimistic={int(request.optimistic)}",
         f"scheme={request.scheme or '-'}",
+        f"allocator={request.allocator}",
         f"args={request.args!r}",
         f"run={int(request.run)}",
     )
@@ -151,6 +160,8 @@ class AllocationSummary:
     code_size: int
     #: instructions in the allocated function
     allocated_size: int
+    #: the strategy that produced the coloring (``iterated`` | ``ssa``)
+    allocator: str = "iterated"
     #: dynamic counts by instrumentation class (``None`` if not run)
     counts: dict[CountClass, int] | None = None
     steps: int | None = None

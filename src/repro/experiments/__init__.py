@@ -4,6 +4,8 @@ from .ablation import (AblationResult, HEURISTIC_CONFIGS,
                        HeuristicAblation, run_ablation,
                        run_heuristic_ablation, scheme_request)
 from .regsweep import RegisterSweep, SweepPoint, run_register_sweep
+from .ssa_compare import (AllocatorComparison, AllocatorComparisonPoint,
+                          run_allocator_comparison)
 from .reporting import (paper_percent, render_failures,
                         render_table)
 from .spill_metrics import (KernelComparison, SpillMeasurement,
@@ -16,12 +18,15 @@ from .table2 import Table2, TimingColumn, generate_table2
 
 __all__ = [
     "AblationResult",
+    "AllocatorComparison",
+    "AllocatorComparisonPoint",
     "HEURISTIC_CONFIGS",
     "HeuristicAblation",
     "KernelComparison",
     "RegisterSweep",
     "SweepPoint",
     "run_ablation",
+    "run_allocator_comparison",
     "run_heuristic_ablation",
     "run_register_sweep",
     "scheme_request",

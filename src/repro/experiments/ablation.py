@@ -29,13 +29,16 @@ from .spill_metrics import baseline_request, kernel_request
 
 
 def scheme_request(kernel: Kernel, machine: MachineDescription,
-                   scheme: SplittingScheme) -> ExperimentRequest:
+                   scheme: SplittingScheme,
+                   allocator: str = "iterated") -> ExperimentRequest:
     """The engine request measuring one (kernel, scheme) cell."""
     if scheme.pre_split is None:
         # plain renumber mode: identical content hash to the Table 1 /
         # sweep requests for the same configuration
-        return kernel_request(kernel, machine, scheme.mode)
-    return kernel_request(kernel, machine, scheme.mode, scheme=scheme.name)
+        return kernel_request(kernel, machine, scheme.mode,
+                              allocator=allocator)
+    return kernel_request(kernel, machine, scheme.mode, scheme=scheme.name,
+                          allocator=allocator)
 
 
 @dataclass
@@ -80,7 +83,7 @@ def run_ablation(kernels: list[Kernel] | None = None,
                  machine: MachineDescription | None = None,
                  schemes: dict[str, SplittingScheme] | None = None,
                  engine: ExperimentEngine | None = None,
-                 ) -> AblationResult:
+                 allocator: str = "iterated") -> AblationResult:
     """Measure spill cycles for each kernel under each splitting scheme."""
     machine = machine or machine_with(8, 8)
     kernels = kernels if kernels is not None else ALL_KERNELS
@@ -91,7 +94,8 @@ def run_ablation(kernels: list[Kernel] | None = None,
     for kernel in kernels:
         requests.append(baseline_request(kernel))
         for scheme in schemes.values():
-            requests.append(scheme_request(kernel, machine, scheme))
+            requests.append(scheme_request(kernel, machine, scheme,
+                                           allocator=allocator))
     summaries = engine.run_many(requests)
 
     result = AblationResult(machine=machine)
@@ -164,6 +168,7 @@ HEURISTIC_CONFIGS: dict[str, dict[str, bool]] = {
 def run_heuristic_ablation(kernels: list[Kernel] | None = None,
                            machine: MachineDescription | None = None,
                            engine: ExperimentEngine | None = None,
+                           allocator: str = "iterated"
                            ) -> HeuristicAblation:
     """Toggle biased coloring, lookahead and conservative coalescing."""
     machine = machine or machine_with(8, 8)
@@ -175,7 +180,8 @@ def run_heuristic_ablation(kernels: list[Kernel] | None = None,
         requests.append(baseline_request(kernel))
         for kwargs in HEURISTIC_CONFIGS.values():
             requests.append(kernel_request(kernel, machine,
-                                           RenumberMode.REMAT, **kwargs))
+                                           RenumberMode.REMAT,
+                                           allocator=allocator, **kwargs))
     summaries = engine.run_many(requests)
 
     result = HeuristicAblation(machine=machine)

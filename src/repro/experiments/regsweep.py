@@ -67,20 +67,22 @@ class RegisterSweep:
 def run_register_sweep(ks: tuple[int, ...] = (6, 8, 10, 12, 16, 24),
                        kernels: list[Kernel] | None = None,
                        engine: ExperimentEngine | None = None,
-                       ) -> RegisterSweep:
+                       allocator: str = "iterated") -> RegisterSweep:
     """Measure the suite at several register-file sizes.
 
-    The whole (k × kernel × allocator) grid plus one huge-machine
+    The whole (k × kernel × mode) grid plus one huge-machine
     baseline per kernel is submitted as a single engine batch; the
     baselines' content hashes are shared across every *k* (and with
-    Table 1 and the ablations), so they execute once.
+    Table 1 and the ablations), so they execute once.  *allocator*
+    selects the strategy for the measured grid.
     """
     kernels = kernels if kernels is not None else ALL_KERNELS
     engine = engine or default_engine()
 
     baseline_reqs = [baseline_request(kernel) for kernel in kernels]
     machines = {k: machine_with(k, k) for k in ks}
-    grid_reqs = [kernel_request(kernel, machines[k], mode)
+    grid_reqs = [kernel_request(kernel, machines[k], mode,
+                                allocator=allocator)
                  for k in ks for kernel in kernels
                  for mode in (RenumberMode.CHAITIN, RenumberMode.REMAT)]
     summaries = engine.run_many(baseline_reqs + grid_reqs)

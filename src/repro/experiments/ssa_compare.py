@@ -1,0 +1,140 @@
+"""Head-to-head: SSA spill-everywhere vs the iterated allocator.
+
+Bouchez–Darte–Rastello separate spilling from coloring on SSA form
+(PAPERS.md); the paper's iterated Chaitin/Briggs loop interleaves them.
+This harness races the two disciplines across the register sweep — the
+same suite, the same register-file sizes, the same shared huge-machine
+baselines as Table 1 — and reports suite-total spill cycles per size,
+so the cost of the cleaner decomposition (whole-range spills chosen by
+pressure alone, no coalescing, no biased select) is measured rather
+than argued.
+
+The iterated column runs the paper's *New* configuration
+(``RenumberMode.REMAT``); the SSA strategy has no mode axis — maximal
+splitting is the strategy.  Every measurement is an engine request, so
+results dedupe and cache against every other harness; the iterated
+column's requests are content-identical to the register sweep's Remat
+column and usually hit the cache outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..benchsuite import ALL_KERNELS, Kernel
+from ..engine import ExperimentEngine, ExperimentFailure, default_engine
+from ..machine import machine_with
+from ..remat import RenumberMode
+from .reporting import render_failures, render_table
+from .spill_metrics import baseline_request, kernel_request
+
+
+@dataclass
+class AllocatorComparisonPoint:
+    """Suite totals for both strategies at one register-file size."""
+
+    k: int
+    iterated_spill: int
+    ssa_spill: int
+    #: kernels where the SSA strategy produced strictly fewer spill
+    #: cycles / strictly more (ties excluded)
+    ssa_wins: int
+    ssa_losses: int
+
+    @property
+    def overhead_percent(self) -> float:
+        """SSA's extra spill cost relative to iterated (negative when
+        the SSA strategy wins the suite total)."""
+        if self.iterated_spill == 0:
+            return 0.0
+        return (100.0 * (self.ssa_spill - self.iterated_spill)
+                / self.iterated_spill)
+
+
+@dataclass
+class AllocatorComparison:
+    points: list[AllocatorComparisonPoint] = field(default_factory=list)
+    #: kernels dropped from every point (totals must sum the same suite)
+    skipped: list[str] = field(default_factory=list)
+    failures: list[ExperimentFailure] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["k (int=float)", "iterated (remat)", "ssa",
+                   "ssa overhead", "ssa wins", "ssa losses"]
+        rows = []
+        for p in self.points:
+            rows.append([str(p.k), f"{p.iterated_spill:,}",
+                         f"{p.ssa_spill:,}",
+                         f"{p.overhead_percent:+.0f}%",
+                         str(p.ssa_wins), str(p.ssa_losses)])
+        table = render_table(
+            headers, rows,
+            title=("Allocator head-to-head: suite-total spill cycles, "
+                   "iterated Chaitin/Briggs vs SSA spill-everywhere "
+                   "(Bouchez-Darte-Rastello), across the register "
+                   "sweep"))
+        appendix = render_failures(self.failures, self.skipped)
+        if appendix:
+            table += "\n\n" + appendix
+        return table
+
+
+def run_allocator_comparison(ks: tuple[int, ...] = (6, 8, 10, 12, 16, 24),
+                             kernels: list[Kernel] | None = None,
+                             engine: ExperimentEngine | None = None,
+                             ) -> AllocatorComparison:
+    """Measure the suite under both strategies at several register-file
+    sizes, as one engine batch sharing the huge-machine baselines."""
+    kernels = kernels if kernels is not None else ALL_KERNELS
+    engine = engine or default_engine()
+
+    baseline_reqs = [baseline_request(kernel) for kernel in kernels]
+    machines = {k: machine_with(k, k) for k in ks}
+    grid_reqs = [kernel_request(kernel, machines[k], RenumberMode.REMAT,
+                                allocator=allocator)
+                 for k in ks for kernel in kernels
+                 for allocator in ("iterated", "ssa")]
+    summaries = engine.run_many(baseline_reqs + grid_reqs)
+    baselines = dict(zip((kernel.name for kernel in kernels),
+                         summaries[:len(kernels)]))
+    grid = summaries[len(kernels):]
+
+    comparison = AllocatorComparison()
+    # a kernel with any failed measurement anywhere in the grid leaves
+    # the whole comparison: each point must total the same suite
+    bad = {kernel.name for kernel in kernels
+           if isinstance(baselines[kernel.name], ExperimentFailure)}
+    pos = 0
+    for _k in ks:
+        for kernel in kernels:
+            if any(isinstance(s, ExperimentFailure)
+                   for s in grid[pos:pos + 2]):
+                bad.add(kernel.name)
+            pos += 2
+    comparison.failures = [s for s in summaries
+                           if isinstance(s, ExperimentFailure)]
+    comparison.skipped = [kernel.name for kernel in kernels
+                          if kernel.name in bad]
+
+    pos = 0
+    for k in ks:
+        machine = machines[k]
+        iterated_total = ssa_total = wins = losses = 0
+        for kernel in kernels:
+            if kernel.name in bad:
+                pos += 2
+                continue
+            baseline = baselines[kernel.name].cycles(machine)
+            iterated_spill = grid[pos].cycles(machine) - baseline
+            ssa_spill = grid[pos + 1].cycles(machine) - baseline
+            pos += 2
+            iterated_total += iterated_spill
+            ssa_total += ssa_spill
+            if ssa_spill < iterated_spill:
+                wins += 1
+            elif ssa_spill > iterated_spill:
+                losses += 1
+        comparison.points.append(AllocatorComparisonPoint(
+            k=k, iterated_spill=iterated_total, ssa_spill=ssa_total,
+            ssa_wins=wins, ssa_losses=losses))
+    return comparison

@@ -78,21 +78,25 @@ class Table1:
 def generate_table1(machine: MachineDescription | None = None,
                     kernels: list[Kernel] | None = None,
                     optimize_first: bool = False,
-                    engine: ExperimentEngine | None = None) -> Table1:
+                    engine: ExperimentEngine | None = None,
+                    allocator: str = "iterated") -> Table1:
     """Measure every kernel and assemble Table 1.
 
     With *optimize_first* the LVN/LICM/DCE pipeline runs before
     allocation, approximating the optimized ILOC of the paper's setup.
     The whole suite — baseline, Optimistic and Remat per kernel — is
     submitted to *engine* as one batch, so cache misses fan out across
-    its worker pool.
+    its worker pool.  *allocator* selects the allocation strategy for
+    the measured runs (the SSA strategy ignores the mode axis, so its
+    Old and New columns coincide).
     """
     machine = machine or standard_machine()
     kernels = kernels if kernels is not None else ALL_KERNELS
     engine = engine or default_engine()
     requests = [request for kernel in kernels
                 for request in comparison_requests(
-                    kernel, machine, optimize_first=optimize_first)]
+                    kernel, machine, optimize_first=optimize_first,
+                    allocator=allocator)]
     summaries = engine.run_many(requests)
     table = Table1(machine=machine)
     for i, kernel in enumerate(kernels):

@@ -14,8 +14,9 @@ The subsystem has four layers, each usable alone:
 """
 
 from .events import (EVENT_KINDS, ColorAssigned, CoalesceDecision,
-                     RematCost, SpillCandidateChosen, SpillDecision,
-                     SplitInserted, event_fields, event_from_fields)
+                     DomTreeColorAssigned, MaxlivePressure, RematCost,
+                     SpillCandidateChosen, SpillDecision, SplitInserted,
+                     SSASpillDecision, event_fields, event_from_fields)
 from .export import (TRACE_VERSION, TraceDocument, TraceEvent, load_trace,
                      parse_trace, trace_lines, trace_to_text, write_trace)
 from .inspect import render_diff, render_summary, render_tree
@@ -42,12 +43,15 @@ __all__ = [
     "ColorAssigned",
     "CoalesceDecision",
     "Counter",
+    "DomTreeColorAssigned",
     "EVENT_KINDS",
     "Histogram",
+    "MaxlivePressure",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "RematCost",
+    "SSASpillDecision",
     "Span",
     "SpillCandidateChosen",
     "SpillDecision",

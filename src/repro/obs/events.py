@@ -101,6 +101,62 @@ class ColorAssigned:
 
 
 @dataclass(frozen=True)
+class MaxlivePressure:
+    """The SSA strategy measured one block's register pressure.
+
+    Emitted once per block per round; a block is over-pressure (and
+    will force spills) when a pressure exceeds its class's k.
+    """
+
+    kind = "maxlive_pressure"
+    block: str
+    int_pressure: int
+    float_pressure: int
+    k_int: int
+    k_float: int
+
+
+@dataclass(frozen=True)
+class SSASpillDecision:
+    """The SSA strategy spilled a live range everywhere.
+
+    Emitted once per range the strategy hands to spill-code insertion,
+    so the count of these events reconciles exactly with
+    ``AllocationStats.n_spilled_ranges`` under ``allocator="ssa"``
+    (the analogue of :class:`SpillDecision` for the iterated loop).
+    """
+
+    kind = "ssa_spill_decision"
+    range: str
+    cost: float
+    #: the block whose over-pressure point forced the choice (empty for
+    #: coloring-time respills, which are not tied to one point)
+    block: str
+    #: effective pressure at the choosing point (0 for respills)
+    pressure: int
+    k: int
+    #: the tag when the range rematerializes instead of going to memory
+    remat_tag: str | None
+    #: ``over-pressure`` | ``uncolorable``
+    chosen_because: str
+
+
+@dataclass(frozen=True)
+class DomTreeColorAssigned:
+    """The SSA strategy's greedy dominance-tree walk colored a range."""
+
+    kind = "domtree_color_assigned"
+    range: str
+    color: int
+    #: the block holding the definition that fixed the color
+    block: str
+    #: colors already taken by the live-after set at that definition
+    n_forbidden: int
+    #: the destination took its copy source's color (split-copy bias)
+    biased_hit: bool
+
+
+@dataclass(frozen=True)
 class RematCost:
     """Spill-cost estimation tagged a range as rematerializable."""
 
@@ -114,7 +170,8 @@ class RematCost:
 EVENT_KINDS: dict[str, type] = {
     cls.kind: cls
     for cls in (SpillCandidateChosen, SpillDecision, CoalesceDecision,
-                SplitInserted, ColorAssigned, RematCost)
+                SplitInserted, ColorAssigned, RematCost,
+                MaxlivePressure, SSASpillDecision, DomTreeColorAssigned)
 }
 
 

@@ -29,8 +29,12 @@ def describe(doc: TraceDocument) -> str:
     regs = ""
     if "int_regs" in meta:
         regs = f", {meta['int_regs']}+{meta.get('float_regs', '?')} regs"
+    # traces written before the strategy axis existed carry no
+    # ``allocator`` key; they were all produced by the iterated loop
+    allocator = meta.get("allocator", "iterated")
     return (f"{meta.get('function', '?')} "
             f"(mode={meta.get('mode', '?')}, "
+            f"allocator={allocator}, "
             f"machine={meta.get('machine', '?')}{regs})")
 
 

@@ -3,7 +3,9 @@
 from .allocator import (AllocationError, AllocationResult, AllocationStats,
                         RoundTimes, allocate)
 from .coalesce import CoalesceStats, build_coalesce_loop, coalesce_pass
+from .domtree_color import color_dominance_tree
 from .interference import InterferenceGraph, build_interference_graph
+from .maxlive import choose_spill_everywhere, compute_block_maxlive
 from .local import (LocalAllocationError, LocalAllocationResult,
                     allocate_local)
 from .renumber import RenumberOutcome, run_renumber
@@ -13,12 +15,21 @@ from .spillcode import SpillCodeStats, insert_spill_code
 from .slots import SlotPackingResult, pack_spill_slots
 from .spillcost import SpillCosts, compute_spill_costs
 from .splitting import SCHEMES, SplittingScheme
+from .strategy import (ALLOCATOR_NAMES, ALLOCATOR_STRATEGIES,
+                       AllocationContext, AllocatorStrategy,
+                       IteratedColoringStrategy, SSAStrategy, make_strategy)
 
 __all__ = [
+    "ALLOCATOR_NAMES",
+    "ALLOCATOR_STRATEGIES",
+    "AllocationContext",
     "AllocationError",
     "AllocationResult",
     "AllocationStats",
+    "AllocatorStrategy",
     "CoalesceStats",
+    "IteratedColoringStrategy",
+    "SSAStrategy",
     "InterferenceGraph",
     "LocalAllocationError",
     "LocalAllocationResult",
@@ -37,9 +48,13 @@ __all__ = [
     "build_coalesce_loop",
     "build_interference_graph",
     "coalesce_pass",
+    "choose_spill_everywhere",
+    "color_dominance_tree",
+    "compute_block_maxlive",
     "compute_spill_costs",
     "find_partners",
     "insert_spill_code",
+    "make_strategy",
     "run_renumber",
     "select",
     "simplify",

@@ -1,13 +1,29 @@
-"""The optimistic register allocator (Figure 2 of the paper).
+"""The register-allocation driver (Figure 2 of the paper).
 
-The driver iterates
+``allocate()`` owns what every allocation discipline shares — cloning
+and CFG normalization, the per-allocation
+:class:`~repro.passes.AnalysisManager`, span-based timing,
+:class:`AllocationStats` and the final verification epilogue — and
+delegates the color-or-spill loop to a pluggable
+:class:`~repro.regalloc.strategy.AllocatorStrategy`:
 
-    renumber -> build/coalesce -> spill costs -> simplify -> select
+* ``allocator="iterated"`` (default) — the paper's optimistic
+  Chaitin/Briggs loop, renumber → build/coalesce → costs →
+  simplify/select → spill, iterating until select leaves nothing
+  uncolored.  Three variants share it, differing only in renumber's
+  splitting policy (:class:`~repro.remat.RenumberMode`): ``CHAITIN``
+  (the paper's *Old* column), ``REMAT`` (the *New* column, tag-driven
+  splitting), ``SPLIT_ALL`` (the Section 6 maximal-splitting
+  extension).
+* ``allocator="ssa"`` — spill everywhere under SSA form
+  (Bouchez–Darte–Rastello, PAPERS.md): per-block MAXLIVE decides
+  colorability, whole ranges are spilled until pressure fits the
+  register file, and a greedy walk down the dominance tree colors with
+  no simplify/select at all.  ``mode`` is ignored — maximal splitting
+  *is* the strategy.
 
-inserting spill code and retrying whenever select leaves nodes uncolored.
-Per-phase wall-clock times are recorded in the same shape as the paper's
-Table 2 (cfa, renum, build, costs, color, spill — per round).
-
+Per-phase wall-clock times are recorded in the same shape as the
+paper's Table 2 (cfa, renum, build, costs, color, spill — per round).
 Timing is span-based: every phase opens a span on a
 :class:`~repro.obs.Tracer` and the allocation's span tree
 (``allocate → round[i] → renumber/build/costs/color/spill``) is the
@@ -28,15 +44,6 @@ the pass layer's :class:`~repro.passes.PreservedAnalyses` contract.
 Coalescing *maintains* the cached liveness instead (bitset rename, PR 1
 semantics), and pre-split hooks share their fixed point with the first
 renumber — see ``docs/architecture.md``.
-
-Three allocator variants share the driver, differing only in renumber's
-splitting policy (:class:`~repro.remat.RenumberMode`):
-
-* ``CHAITIN`` — the paper's *Old* / Optimistic column (Chaitin's limited
-  rematerialization: whole live ranges whose defs are one never-killed
-  instruction),
-* ``REMAT`` — the paper's *New* column (tag-driven splitting),
-* ``SPLIT_ALL`` — the Section 6 maximal-splitting extension.
 """
 
 from __future__ import annotations
@@ -44,34 +51,24 @@ from __future__ import annotations
 import inspect
 from dataclasses import dataclass, field
 
-from ..analysis import compute_liveness, diff_liveness
-from ..ir import Function, Reg, verify_function
+from ..ir import Function, verify_function
 from ..machine import MachineDescription, standard_machine
-from ..obs import SpillDecision, Span, Tracer
+from ..obs import Span, Tracer
 from ..passes import AnalysisManager, PreservedAnalyses, SPARSE_LIVENESS
 from ..remat import RenumberMode
-from .coalesce import build_coalesce_loop
-from .interference import build_interference_graph
-from .renumber import run_renumber
-from .select import find_partners, select
-from .simplify import simplify
-from .spillcode import insert_spill_code
-from .spillcost import compute_spill_costs
+from .strategy import (AllocationContext, AllocationError, AllocationStats,
+                       AllocatorStrategy, make_strategy)
 
-#: renumber and spill-code insertion rewrite instructions and register
-#: names but never the CFG shape (edges were split up front), so the
-#: round loop keeps dominance/post-dominance/loops across rounds and
-#: drops only liveness/def-use
-_CFG_ONLY = PreservedAnalyses.cfg()
 #: pre-split hooks insert ``split r r`` only where ``r`` is live, which
 #: leaves every block-boundary live set intact — the hook's liveness
 #: fixed point stays valid for the first renumber's SSA construction
 _PRE_SPLIT_PRESERVES = PreservedAnalyses.of(
     "dominance", "postdominance", "loops", "liveness")
 
-
-class AllocationError(RuntimeError):
-    """Raised when allocation cannot converge (register file too small)."""
+__all__ = [
+    "AllocationError", "AllocationResult", "AllocationStats",
+    "RoundTimes", "allocate",
+]
 
 
 @dataclass
@@ -104,48 +101,6 @@ class RoundTimes:
 
 
 @dataclass
-class AllocationStats:
-    """Aggregate counters for one allocation."""
-
-    n_rounds: int = 0
-    n_spilled_ranges: int = 0
-    n_remat_spills: int = 0
-    n_memory_spills: int = 0
-    n_splits_inserted: int = 0
-    n_copies_coalesced: int = 0
-    n_splits_coalesced: int = 0
-    n_identity_copies_removed: int = 0
-    n_spill_slots: int = 0
-    n_live_ranges_first_round: int = 0
-    #: liveness fixed points computed (one per round) vs. reused across
-    #: interference-graph rebuilds inside the build-coalesce loop
-    n_liveness_cache_hits: int = 0
-    n_liveness_cache_misses: int = 0
-    #: widest register universe (bitset width in bits) seen in any round
-    max_bitset_bits: int = 0
-    #: AnalysisManager accounting for the whole allocation: fixed points
-    #: actually run vs. requests served from the cache, plus the
-    #: liveness share (the satellite metric — pre-split schemes reuse
-    #: their hook's fixed point instead of recomputing it)
-    n_analyses_computed: int = 0
-    n_analyses_reused: int = 0
-    n_liveness_computed: int = 0
-    #: incremental-analysis accounting (the tentpole metric): liveness
-    #: patches applied after spill rounds, and how much of the function
-    #: they actually re-analyzed vs. its size — re-analyzed < total on
-    #: every round is what makes rounds ≥ 2 cheaper than round 1
-    n_liveness_updates: int = 0
-    n_incremental_blocks_reanalyzed: int = 0
-    n_incremental_blocks_total: int = 0
-    #: interference-graph rebuild accounting inside the build–coalesce
-    #: loops: from-scratch scans vs. merge-delta patches
-    n_graph_builds: int = 0
-    n_graph_patches: int = 0
-    n_graph_blocks_rescanned: int = 0
-    n_graph_edges_patched: int = 0
-
-
-@dataclass
 class AllocationResult:
     """The allocated function plus everything measured along the way."""
 
@@ -161,6 +116,8 @@ class AllocationResult:
     clone_time: float = 0.0
     #: the allocation's root span (``allocate``), for trace export
     trace: Span | None = None
+    #: the strategy that produced the coloring (the ``allocator=`` axis)
+    allocator: str = "iterated"
 
     @property
     def rounds(self) -> int:
@@ -175,13 +132,15 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
              pre_split=None, tracer: Tracer | None = None,
              verify_rounds: bool = False, incremental: bool = True,
              verify_incremental: bool = False,
-             liveness_mode: str = "dense") -> AllocationResult:
+             liveness_mode: str = "dense",
+             allocator: str = "iterated") -> AllocationResult:
     """Allocate registers for *fn*.
 
     Args:
         fn: input function over virtual registers.
         machine: target description (default: the paper's standard 16+16).
-        mode: renumber splitting policy (Old vs New allocator).
+        mode: renumber splitting policy (Old vs New allocator); only
+            consulted by the iterated strategy.
         max_rounds: bail-out bound on color/spill iterations.
         clone: work on a copy (default) or rewrite *fn* in place.
         biased: enable biased coloring (Section 4.3).
@@ -218,18 +177,32 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
             ``"sparse"`` (per-variable backward propagation,
             :mod:`repro.analysis.sparse_liveness`) — same fixed point,
             different cost model.
+        allocator: the allocation discipline — ``"iterated"`` (the
+            paper's Chaitin/Briggs loop, the default) or ``"ssa"``
+            (spill everywhere under SSA form; see
+            :mod:`repro.regalloc.strategy`).
 
     Returns:
         an :class:`AllocationResult` whose ``function`` references only
         physical registers within the machine's files.
     """
+    # validate every enum-ish argument before any mutation: under
+    # ``clone=False`` a failure past this point would leave the
+    # caller's function half-normalized (unreachable blocks dropped,
+    # critical edges split) — the driver must reject bad arguments
+    # while *fn* is still untouched
+    if liveness_mode not in ("dense", "sparse"):
+        raise ValueError(f"unknown liveness_mode {liveness_mode!r}")
+    if not isinstance(mode, RenumberMode):
+        raise ValueError(f"mode must be a RenumberMode, got {mode!r}")
+    strategy: AllocatorStrategy = make_strategy(allocator)
     if machine is None:
         machine = standard_machine()
     if tracer is None:
         tracer = Tracer()
 
     with tracer.span("allocate", fn=fn.name, mode=mode.value,
-                     machine=machine.name) as root:
+                     machine=machine.name, allocator=allocator) as root:
         with tracer.span("clone"):
             work = fn.clone() if clone else fn
         work.remove_unreachable_blocks()
@@ -239,8 +212,6 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
         # the CFG shape never changes after edge splitting, so dominance
         # and loop nesting are computed once here and preserved by every
         # round's invalidations
-        if liveness_mode not in ("dense", "sparse"):
-            raise ValueError(f"unknown liveness_mode {liveness_mode!r}")
         providers = ({"liveness": SPARSE_LIVENESS}
                      if liveness_mode == "sparse" else None)
         am = AnalysisManager(work, providers=providers)
@@ -254,132 +225,15 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
             if verify_rounds:
                 verify_function(work)
 
-        stats = AllocationStats()
-        no_spill_regs: set[Reg] = set()
-
-        for round_index in range(max_rounds):
-            stats.n_rounds += 1
-            with tracer.span("round", index=round_index):
-                with tracer.span("renumber"):
-                    outcome = run_renumber(work, mode, dom=dom,
-                                           no_spill_regs=no_spill_regs,
-                                           tracer=tracer, am=am)
-                # renumber renames every register: liveness/def-use are
-                # stale, the CFG analyses survive
-                am.invalidate(_CFG_ONLY)
-                if verify_rounds:
-                    verify_function(work)
-                stats.n_splits_inserted += outcome.result.n_splits_inserted
-                if round_index == 0:
-                    stats.n_live_ranges_first_round = len(
-                        outcome.result.live_ranges)
-                no_spill = outcome.no_spill
-
-                # one liveness fixed point per round, shared by every
-                # graph rebuild of the build-coalesce loop (coalescing
-                # renames the manager's cached bitsets in place, which
-                # keeps the entry valid); spill-code insertion ends the
-                # round and invalidates it below
-                with tracer.span("build"):
-                    liveness = am.liveness()
-                    graph, cstats = build_coalesce_loop(
-                        work, machine, build_interference_graph,
-                        no_spill=no_spill,
-                        coalesce_splits=coalesce_splits,
-                        liveness=liveness, tracer=tracer,
-                        incremental=incremental,
-                        verify_incremental=verify_incremental)
-                stats.n_copies_coalesced += cstats.copies_removed
-                stats.n_splits_coalesced += cstats.splits_removed
-                stats.n_liveness_cache_hits += cstats.liveness_cache_hits
-                stats.n_liveness_cache_misses += \
-                    cstats.liveness_cache_misses
-                stats.n_graph_builds += cstats.graph_builds
-                stats.n_graph_patches += cstats.graph_patches
-                stats.n_graph_blocks_rescanned += \
-                    cstats.graph_blocks_rescanned
-                stats.n_graph_edges_patched += cstats.graph_edges_patched
-                if cstats.graph_patches:
-                    metrics = am.metrics
-                    metrics.counter(
-                        "analysis.incremental.graph_patches").inc(
-                            cstats.graph_patches)
-                    metrics.counter(
-                        "analysis.incremental.graph_blocks_rescanned").inc(
-                            cstats.graph_blocks_rescanned)
-                    metrics.counter(
-                        "analysis.incremental.graph_edges_patched").inc(
-                            cstats.graph_edges_patched)
-                stats.max_bitset_bits = max(stats.max_bitset_bits,
-                                            len(liveness.index))
-
-                with tracer.span("costs"):
-                    costs = compute_spill_costs(work, loops, machine,
-                                                no_spill=no_spill,
-                                                tracer=tracer)
-
-                with tracer.span("color"):
-                    order = simplify(graph, machine, costs,
-                                     optimistic=optimistic, tracer=tracer)
-                    partners = find_partners(work) if biased else None
-                    chosen = select(graph, order, machine,
-                                    partners=partners,
-                                    lookahead=lookahead, tracer=tracer)
-                    chosen.spilled.extend(order.pessimistic_spills)
-
-                if not chosen.spilled:
-                    _assign_physical(work, chosen.coloring, stats)
-                    break
-
-                if tracer.events_enabled:
-                    pessimistic = set(order.pessimistic_spills)
-                    for reg in chosen.spilled:
-                        tracer.event(SpillDecision(
-                            range=str(reg),
-                            cost=costs.cost.get(reg, 0.0),
-                            degree=graph.degree(reg),
-                            remat_tag=(str(costs.remat[reg])
-                                       if reg in costs.remat else None),
-                            chosen_because=("pessimistic-simplify"
-                                            if reg in pessimistic
-                                            else "select-found-no-color")))
-
-                with tracer.span("spill"):
-                    spill_stats = insert_spill_code(work, chosen.spilled,
-                                                    costs)
-                if incremental and spill_stats.delta is not None:
-                    # patch the cached liveness through the spill delta
-                    # instead of evicting it: the next round's renumber
-                    # reads it for SSA pruning as a cache hit, saving
-                    # one whole-function fixed point per round ≥ 2
-                    update = am.update(spill_stats.delta, _CFG_ONLY)
-                    if update is not None:
-                        stats.n_liveness_updates += 1
-                        stats.n_incremental_blocks_reanalyzed += \
-                            update.blocks_reanalyzed
-                        stats.n_incremental_blocks_total += \
-                            update.blocks_total
-                        if verify_incremental:
-                            problems = diff_liveness(
-                                am.liveness(), compute_liveness(work))
-                            if problems:
-                                raise RuntimeError(
-                                    "incremental liveness update diverged "
-                                    f"from recompute on {fn.name}: "
-                                    + "; ".join(problems[:5]))
-                else:
-                    am.invalidate(_CFG_ONLY)
-                if verify_rounds:
-                    verify_function(work)
-                stats.n_spilled_ranges += len(chosen.spilled)
-                stats.n_remat_spills += spill_stats.n_remat_ranges
-                stats.n_memory_spills += spill_stats.n_memory_ranges
-                no_spill_regs = no_spill | spill_stats.new_temps
-        else:
-            raise AllocationError(
-                f"{fn.name}: no coloring after {max_rounds} rounds on "
-                f"{machine.name} (k_int={machine.int_regs}, "
-                f"k_float={machine.float_regs})")
+        ctx = AllocationContext(
+            fn=fn, work=work, machine=machine, mode=mode,
+            max_rounds=max_rounds, biased=biased, lookahead=lookahead,
+            coalesce_splits=coalesce_splits, optimistic=optimistic,
+            verify_rounds=verify_rounds, incremental=incremental,
+            verify_incremental=verify_incremental, tracer=tracer,
+            am=am, dom=dom, loops=loops)
+        strategy.run(ctx)
+        stats = ctx.stats
 
         stats.n_spill_slots = work.n_spill_slots
         stats.n_analyses_computed = am.n_computed()
@@ -398,7 +252,8 @@ def allocate(fn: Function, machine: MachineDescription | None = None,
                      for span in root.children_named("round")],
         total_time=root.duration,
         clone_time=clone_span.duration if clone_span else 0.0,
-        trace=root)
+        trace=root,
+        allocator=allocator)
 
 
 def _call_pre_split(hook, fn: Function, dom, loops,
@@ -419,26 +274,3 @@ def _call_pre_split(hook, fn: Function, dom, loops,
         hook(fn, dom, loops, am=am)
     else:
         hook(fn, dom, loops)
-
-
-def _assign_physical(fn: Function, coloring: dict[Reg, int],
-                     stats: AllocationStats) -> None:
-    """Rewrite live ranges to physical registers and drop identity copies.
-
-    Biased coloring often gives split partners the same color; the split
-    then becomes an identity copy and disappears here — the late removal
-    of unproductive splits (Section 3.4).
-    """
-    mapping = {
-        reg: Reg(reg.rclass, color, physical=True)
-        for reg, color in coloring.items()
-    }
-    for blk in fn.blocks:
-        new_instructions = []
-        for inst in blk.instructions:
-            inst.rewrite_regs(mapping)
-            if inst.is_copy and inst.dest == inst.src:
-                stats.n_identity_copies_removed += 1
-                continue
-            new_instructions.append(inst)
-        blk.instructions = new_instructions

@@ -1,0 +1,105 @@
+"""Greedy coloring down the dominance tree (the SSA strategy's select).
+
+On SSA form every live range has one definition and the definition of
+any range dominates every point where it is live; walking the blocks in
+dominance-tree preorder therefore visits each definition *after* the
+definitions of everything live across it.  With pressure at most k at
+every point (:mod:`repro.regalloc.maxlive`), a greedy scan that assigns
+each destination the first color not used by the live-after set cannot
+fail — the chordal-graph argument of Bouchez–Darte–Rastello.
+
+Two practical wrinkles, both self-healing rather than assumed away:
+
+* SSA destruction (maximal splitting, ``RenumberMode.SPLIT_ALL``) gives
+  a φ-derived range one definition per predecessor.  The first
+  definition fixes the color; later definitions *check* it and, on a
+  clash, surrender the range to the caller's respill list.
+* Copy destinations do not interfere with their sources (Chaitin's
+  exemption, exactly as
+  :func:`~repro.regalloc.interference.build_interference_graph` builds
+  edges), and a copy destination *prefers* its source's color — the
+  biased choice that turns split copies into removable identity copies.
+
+The walk is deterministic: blocks in dominance-tree preorder,
+instructions in layout order, colors tried lowest first.
+"""
+
+from __future__ import annotations
+
+from ..analysis import DominanceInfo, LivenessInfo
+from ..ir import Function, Reg
+from ..machine import MachineDescription
+from ..obs import NULL_TRACER, DomTreeColorAssigned
+
+
+def color_dominance_tree(
+        fn: Function, dom: DominanceInfo, liveness: LivenessInfo,
+        machine: MachineDescription,
+        tracer=NULL_TRACER) -> tuple[dict[Reg, int], list[Reg]]:
+    """Greedily color every live range of *fn* in dominance order.
+
+    Returns ``(coloring, uncolored)``: a complete physical-color map for
+    every range not in *uncolored*, and the ranges that could not be
+    colored (no free color at their definition, or a clashing second
+    definition of a φ-derived range) in discovery order — the caller
+    spills those and retries.
+    """
+    index = liveness.index
+    coloring: dict[Reg, int] = {}
+    uncolored: list[Reg] = []
+    uncolored_set: set[Reg] = set()
+    events = getattr(tracer, "events_enabled", False)
+
+    for label in dom.dom_tree_preorder():
+        pairs = list(liveness.scan_block_bits(label))
+        out = liveness.live_out_bits(label)
+        befores = [bits for _inst, bits in pairs]
+        for i, (inst, _before) in enumerate(pairs):
+            if not inst.dests:
+                continue
+            after = befores[i + 1] if i + 1 < len(pairs) else out
+            copy_src = inst.src if inst.is_copy else None
+            for d in inst.dests:
+                forbidden: set[int] = set()
+                for r in index.iter_regs(after):
+                    if r == d or r.rclass is not d.rclass or r == copy_src:
+                        continue
+                    c = coloring.get(r)
+                    if c is not None:
+                        forbidden.add(c)
+                if d in uncolored_set:
+                    continue
+                prior = coloring.get(d)
+                if prior is not None:
+                    # a later definition of a multi-def (φ-derived)
+                    # range: the color must still work here
+                    if prior in forbidden:
+                        del coloring[d]
+                        uncolored.append(d)
+                        uncolored_set.add(d)
+                    continue
+                k = machine.k(d.rclass)
+                color = None
+                biased_hit = False
+                if copy_src is not None and copy_src.rclass is d.rclass:
+                    src_color = coloring.get(copy_src)
+                    if src_color is not None and src_color < k \
+                            and src_color not in forbidden:
+                        color = src_color
+                        biased_hit = True
+                if color is None:
+                    for candidate in range(k):
+                        if candidate not in forbidden:
+                            color = candidate
+                            break
+                if color is None:
+                    uncolored.append(d)
+                    uncolored_set.add(d)
+                    continue
+                coloring[d] = color
+                if events:
+                    tracer.event(DomTreeColorAssigned(
+                        range=str(d), color=color, block=label,
+                        n_forbidden=len(forbidden),
+                        biased_hit=biased_hit))
+    return coloring, uncolored

@@ -56,6 +56,9 @@ class RequestRecord:
     op: str = "?"
     client_id: Any = None
     key: str | None = None
+    #: the allocation strategy of an engine request (``iterated`` /
+    #: ``ssa``); ``None`` for non-engine ops and rejected envelopes
+    allocator: str | None = None
     #: ``ok`` or the error kind (``bad_request`` / ``overload`` /
     #: ``draining`` / ``failed`` / ``internal``)
     outcome: str = "ok"
@@ -106,6 +109,7 @@ def access_record(record: RequestRecord) -> dict[str, Any]:
         "client_id": record.client_id,
         "op": record.op,
         "key": record.key,
+        "allocator": record.allocator,
         "outcome": record.outcome,
         "dedup": record.dedup,
         "source": record.source,

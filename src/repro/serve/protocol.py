@@ -54,6 +54,7 @@ from typing import Any
 
 from ..engine import AllocationSummary, ExperimentFailure, ExperimentRequest
 from ..machine import machine_with
+from ..regalloc import ALLOCATOR_NAMES
 from ..remat import RenumberMode
 
 #: bump when the envelope or an operation's shape changes incompatibly
@@ -65,7 +66,7 @@ OPERATIONS = ("allocate", "trace", "ping", "metrics", "debug",
 
 #: ``request`` fields accepted by :func:`request_from_json`
 REQUEST_FIELDS = frozenset({
-    "ir_text", "kernel", "int_regs", "float_regs", "mode",
+    "ir_text", "kernel", "int_regs", "float_regs", "mode", "allocator",
     "optimize_first", "biased", "lookahead", "coalesce_splits",
     "optimistic", "scheme", "args", "run", "cacheable",
 })
@@ -168,6 +169,13 @@ def request_from_json(spec: Any) -> ExperimentRequest:
             f"unknown mode {mode_name!r} "
             f"(one of {', '.join(m.value for m in RenumberMode)})")
 
+    allocator = spec.get("allocator", "iterated")
+    if allocator not in ALLOCATOR_NAMES:
+        raise ProtocolError(
+            "bad_request",
+            f"unknown allocator {allocator!r} "
+            f"(one of {', '.join(ALLOCATOR_NAMES)})")
+
     flags = {}
     for name in ("optimize_first", "biased", "lookahead",
                  "coalesce_splits", "optimistic", "run", "cacheable"):
@@ -189,7 +197,8 @@ def request_from_json(spec: Any) -> ExperimentRequest:
         return ExperimentRequest(
             ir_text=ir_text,
             machine=machine_with(int_regs, float_regs),
-            mode=mode, scheme=scheme, args=tuple(args), **flags)
+            mode=mode, scheme=scheme, allocator=allocator,
+            args=tuple(args), **flags)
     except (TypeError, ValueError) as exc:
         raise ProtocolError("bad_request", str(exc))
 
@@ -212,6 +221,7 @@ def summary_to_json(summary: AllocationSummary) -> dict:
         "int_regs": summary.int_regs,
         "float_regs": summary.float_regs,
         "mode": summary.mode.value,
+        "allocator": summary.allocator,
         "stats": asdict(summary.stats),
         "rounds": summary.rounds,
         "code_size": summary.code_size,

@@ -328,6 +328,7 @@ class AllocationServer:
         key = f"{op}:{request_key(request)}"
         record.t_parse = time.monotonic()
         record.key = key
+        record.allocator = request.allocator
         pending = self.inflight.get(key)
         if pending is None:
             if self.draining:

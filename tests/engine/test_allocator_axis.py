@@ -1,0 +1,89 @@
+"""The ``allocator`` strategy axis in the content-hash request keys.
+
+PR 9 added a second allocation strategy; a cached summary produced by
+one strategy must never answer a request for the other, and entries
+persisted before the axis existed (CACHE_VERSION 5) must never match
+v6 keys.  These tests pin the key schema so a future edit cannot
+silently drop the axis again.
+"""
+
+import hashlib
+
+from repro.engine import (CACHE_VERSION, ExperimentEngine,
+                          ExperimentRequest, request_key)
+from repro.ir import function_to_text
+from repro.machine import machine_with
+
+from ..helpers import single_loop
+
+LOOP_TEXT = function_to_text(single_loop())
+
+
+def loop_request(**overrides) -> ExperimentRequest:
+    return ExperimentRequest(ir_text=LOOP_TEXT,
+                             machine=machine_with(4, 4), args=(2,),
+                             **overrides)
+
+
+class TestRequestKey:
+    def test_allocator_differentiates_keys(self):
+        assert request_key(loop_request()) != \
+            request_key(loop_request(allocator="ssa"))
+
+    def test_default_is_iterated(self):
+        """Requests that never mention the axis key identically to
+        explicit ``iterated`` ones — pre-axis call sites keep hitting
+        the same entries as each other."""
+        assert request_key(loop_request()) == \
+            request_key(loop_request(allocator="iterated"))
+
+    def test_cache_version_is_6(self):
+        assert CACHE_VERSION == 6
+
+    def test_v5_era_keys_never_match(self):
+        """A key computed the pre-axis way (v5 salt, no allocator part)
+        collides with no current key, for either strategy."""
+        req = loop_request()
+        h = hashlib.sha256()
+        v5_parts = (
+            "v5",
+            f"int_regs={req.machine.int_regs}",
+            f"float_regs={req.machine.float_regs}",
+            f"mode={req.mode.value}",
+            f"optimize_first={int(req.optimize_first)}",
+            f"biased={int(req.biased)}",
+            f"lookahead={int(req.lookahead)}",
+            f"coalesce_splits={int(req.coalesce_splits)}",
+            f"optimistic={int(req.optimistic)}",
+            f"scheme={req.scheme or '-'}",
+            f"args={req.args!r}",
+            f"run={int(req.run)}",
+        )
+        h.update("\n".join(v5_parts).encode())
+        h.update(b"\nir:\n")
+        h.update(req.ir_text.encode())
+        v5_key = h.hexdigest()
+        assert v5_key != request_key(req)
+        assert v5_key != request_key(loop_request(allocator="ssa"))
+
+
+class TestCacheIsolation:
+    def test_strategies_get_distinct_cache_entries(self, tmp_path):
+        """Warm the cache under one strategy, query the other: the
+        answers must come from different entries and carry different
+        colorings' stats."""
+        engine = ExperimentEngine(jobs=1, cache_dir=str(tmp_path))
+        iterated = engine.run(loop_request())
+        ssa = engine.run(loop_request(allocator="ssa"))
+        assert iterated.key != ssa.key
+        assert iterated.allocator == "iterated"
+        assert ssa.allocator == "ssa"
+        # both are now cache hits (timing is stripped from cached
+        # entries), still distinguishable by strategy
+        warm = ExperimentEngine(jobs=1, cache_dir=str(tmp_path))
+        warm_iterated = warm.run(loop_request())
+        warm_ssa = warm.run(loop_request(allocator="ssa"))
+        assert warm_iterated.timing is None and warm_ssa.timing is None
+        assert warm_iterated.allocator == "iterated"
+        assert warm_ssa.allocator == "ssa"
+        assert warm_iterated.stats != warm_ssa.stats

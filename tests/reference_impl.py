@@ -302,3 +302,43 @@ def _ref_choose_color(node: Reg, available: list[int],
         if best_color is not None:
             return best_color, "lookahead"
     return available[0], "first-free"
+
+
+def ref_block_maxlive(fn: Function) -> dict[str, dict]:
+    """Brute-force per-block MAXLIVE oracle for
+    :func:`repro.regalloc.compute_block_maxlive`.
+
+    Enumerates every pressure point of every block explicitly with the
+    set-based reference liveness — entry, live-before each instruction
+    (rebuilt by an independent backward walk from ``live_out``), and
+    each definition point (destinations counted against the live-after
+    set) — and takes the per-class maximum of plain ``len``-style set
+    counting.  No bitsets, no shared scan helpers.
+    """
+    from repro.ir import RegClass
+
+    live = ref_compute_liveness(fn)
+    result: dict[str, dict] = {}
+    for blk in fn.blocks:
+        insts = blk.instructions
+        after: set[Reg] = set(live.blocks[blk.label].live_out)
+        befores: list[set[Reg]] = []
+        afters: list[set[Reg]] = []
+        for inst in reversed(insts):
+            afters.append(set(after))
+            after = (after - set(inst.dests)) | set(inst.srcs)
+            befores.append(set(after))
+        befores.reverse()
+        afters.reverse()
+
+        points: list[set[Reg]] = [set(live.blocks[blk.label].live_in)]
+        for inst, before, inst_after in zip(insts, befores, afters):
+            points.append(before)
+            if inst.dests:
+                points.append(inst_after | set(inst.dests))
+
+        result[blk.label] = {
+            cls: max((sum(1 for r in point if r.rclass is cls)
+                      for point in points), default=0)
+            for cls in (RegClass.INT, RegClass.FLOAT)}
+    return result

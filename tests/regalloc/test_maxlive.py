@@ -1,0 +1,99 @@
+"""MAXLIVE vs. the brute-force per-point oracle, and the
+spill-everywhere invariant it exists to serve.
+
+:func:`repro.regalloc.compute_block_maxlive` walks the dense bitset
+liveness once per block; the oracle in ``tests/reference_impl.py``
+re-derives every program point's live *set* independently (backward
+walk from ``live_out``, plain set counting).  The two must agree on
+arbitrary generated control flow — raw, and after the maximal-splitting
+renumber the SSA strategy actually feeds it.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import compute_liveness, compute_loops
+from repro.benchsuite import GeneratorConfig, random_program
+from repro.ir import RegClass
+from repro.machine import machine_with
+from repro.regalloc import (choose_spill_everywhere, compute_block_maxlive,
+                            run_renumber)
+from repro.regalloc.spillcost import compute_spill_costs
+from repro.remat import RenumberMode
+
+from ..reference_impl import ref_block_maxlive
+
+SHAPES = GeneratorConfig(n_vars=6, max_depth=3, max_stmts=5)
+
+common = settings(max_examples=120, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+def normalized(seed, renumber=False):
+    fn = random_program(seed, SHAPES)
+    # the same CFG normalization allocate() applies before any analysis
+    fn.remove_unreachable_blocks()
+    fn.split_critical_edges()
+    if renumber:
+        run_renumber(fn, RenumberMode.SPLIT_ALL)
+    return fn
+
+
+def assert_maxlive_matches(fn):
+    got = compute_block_maxlive(fn, compute_liveness(fn))
+    want = ref_block_maxlive(fn)
+    assert set(got) == set(want)
+    for label in want:
+        assert got[label] == want[label], (fn.name, label)
+
+
+@common
+@given(seed=st.integers(0, 10_000))
+def test_maxlive_matches_bruteforce(seed):
+    assert_maxlive_matches(normalized(seed))
+
+
+@common
+@given(seed=st.integers(0, 10_000))
+def test_maxlive_matches_bruteforce_after_split_all(seed):
+    """On the SSA strategy's actual input: maximally split ranges."""
+    assert_maxlive_matches(normalized(seed, renumber=True))
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_spill_everywhere_lowers_residual_pressure(seed):
+    """Every point's pressure, discounting chosen victims, is at most k
+    plus the point's own pinned-operand reloads — the bound the chooser
+    promises (a point can stay over only via operands of its adjacent
+    instruction, which whole-range spilling cannot relieve)."""
+    fn = normalized(seed, renumber=True)
+    machine = machine_with(3, 3)
+    liveness = compute_liveness(fn)
+    costs = compute_spill_costs(fn, compute_loops(fn), machine)
+    spilled = set(choose_spill_everywhere(fn, liveness, machine, costs))
+
+    live = ref_block_maxlive(fn)  # touch the oracle path for coverage
+    assert set(live) == {blk.label for blk in fn.blocks}
+
+    from ..reference_impl import ref_compute_liveness
+    ref = ref_compute_liveness(fn)
+    for blk in fn.blocks:
+        after = set(ref.blocks[blk.label].live_out)
+        points = [(None, set(ref.blocks[blk.label].live_in))]
+        rev = []
+        for inst in reversed(blk.instructions):
+            if inst.dests:
+                rev.append((inst, set(after) | set(inst.dests)))
+            after = (after - set(inst.dests)) | set(inst.srcs)
+            rev.append((inst, set(after)))
+        points += reversed(rev)
+        for inst, point in points:
+            pinned = set(inst.regs()) if inst is not None else set()
+            for cls in (RegClass.INT, RegClass.FLOAT):
+                residual = sum(1 for r in point
+                               if r.rclass is cls and r not in spilled)
+                slack = sum(1 for r in pinned & spilled
+                            if r.rclass is cls)
+                assert residual <= machine.k(cls) + slack, \
+                    (fn.name, blk.label, cls)

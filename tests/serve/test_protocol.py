@@ -76,12 +76,24 @@ class TestRequestFromJson:
         ({"ir_text": LOOP_TEXT, "run": "yes"}, "boolean"),
         ({"ir_text": LOOP_TEXT, "args": "3"}, "array"),
         ({"ir_text": LOOP_TEXT, "repeats": 5}, "unknown request field"),
+        ({"ir_text": LOOP_TEXT, "allocator": "linear-scan"},
+         "unknown allocator"),
     ])
     def test_rejections(self, spec, fragment):
         with pytest.raises(ProtocolError) as exc:
             request_from_json(spec)
         assert exc.value.kind == "bad_request"
         assert fragment in exc.value.message
+
+    def test_allocator_field(self):
+        req = request_from_json({"ir_text": LOOP_TEXT, "int_regs": 4,
+                                 "allocator": "ssa"})
+        assert req.allocator == "ssa"
+        # omitted -> the default strategy, keyed identically to a
+        # locally-built request that never mentions the axis
+        default = request_from_json({"ir_text": LOOP_TEXT, "int_regs": 4})
+        assert default.allocator == "iterated"
+        assert request_key(default) != request_key(req)
 
 
 class TestSummaryJson:

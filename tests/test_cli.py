@@ -90,6 +90,13 @@ class TestAllocate:
             assert main(["allocate", mf_file, "--mode", mode]) == 0
             assert "proc double" in capsys.readouterr().out
 
+    def test_allocate_strategies(self, mf_file, capsys):
+        for allocator in ("iterated", "ssa"):
+            assert main(["allocate", mf_file, "--k", "4",
+                         "--allocator", allocator]) == 0
+            captured = capsys.readouterr()
+            assert "R0" in captured.out
+
 
 class TestCgen:
     def test_cgen_emits_c(self, mf_file, capsys):

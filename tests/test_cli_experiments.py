@@ -3,6 +3,7 @@
 import pytest
 
 import repro.experiments.ablation as ablation_mod
+import repro.experiments.ssa_compare as ssa_compare_mod
 import repro.experiments.table1 as table1_mod
 import repro.experiments.regsweep as regsweep_mod
 from repro.benchsuite import KERNELS_BY_NAME
@@ -17,6 +18,7 @@ def tiny_suite(monkeypatch):
     monkeypatch.setattr(table1_mod, "ALL_KERNELS", TINY_SUITE)
     monkeypatch.setattr(regsweep_mod, "ALL_KERNELS", TINY_SUITE)
     monkeypatch.setattr(ablation_mod, "ALL_KERNELS", TINY_SUITE)
+    monkeypatch.setattr(ssa_compare_mod, "ALL_KERNELS", TINY_SUITE)
 
 
 @pytest.fixture
@@ -60,6 +62,25 @@ class TestExperimentCommands:
     def test_sweep(self, tiny_suite, cache_dir, capsys):
         assert main(["sweep"]) == 0
         assert "Register-set sweep" in capsys.readouterr().out
+
+    def test_table1_under_ssa_allocator(self, tiny_suite, cache_dir,
+                                        capsys):
+        """The strategy axis reaches the harness: the SSA strategy has
+        no Old/New distinction, so no rows differ."""
+        assert main(["table1", "--allocator", "ssa"]) == 0
+        out = capsys.readouterr().out
+        assert "Effects of Rematerialization" in out
+        assert "improvements in 0 cases, degradations in 0 cases" in out
+
+    def test_sweep_allocator_flag(self, tiny_suite, cache_dir, capsys):
+        assert main(["sweep", "--allocator", "ssa"]) == 0
+        assert "Register-set sweep" in capsys.readouterr().out
+
+    def test_ssa_compare(self, tiny_suite, cache_dir, capsys):
+        assert main(["ssa-compare"]) == 0
+        out = capsys.readouterr().out
+        assert "Allocator head-to-head" in out
+        assert "ssa overhead" in out
 
 
 class TestEngineFlags:
