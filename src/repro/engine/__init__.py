@@ -16,6 +16,7 @@ from .engine import (BatchStats, EngineStats, ExperimentEngine,
                      RequestObservation, default_engine)
 from .executor import execute_request
 from .faults import (CORRUPTION_KINDS, FaultPlan, InjectedFault,
+                     SERVE_KILL_EXIT_CODE, ServeFaultPlan,
                      corrupt_cache_entry)
 from .request import (AllocationSummary, CACHE_VERSION, ExperimentRequest,
                       TimingReport, TimingSample, request_key)
@@ -42,7 +43,9 @@ __all__ = [
     "QUARANTINE_DIR",
     "RequestObservation",
     "ResultCache",
+    "SERVE_KILL_EXIT_CODE",
     "SHARD_WIDTH",
+    "ServeFaultPlan",
     "SupervisedStats",
     "SupervisorConfig",
     "WorkerPool",

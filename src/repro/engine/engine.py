@@ -94,6 +94,8 @@ class EngineStats:
     worker_crashes: int = 0
     #: requests that exhausted the retry budget
     quarantined: int = 0
+    #: requests answered ``DeadlineExpired`` instead of executing
+    expired: int = 0
     #: worker spawns that failed
     spawn_failures: int = 0
     #: batches that degraded to serial in-process execution
@@ -172,6 +174,7 @@ class ExperimentEngine:
 
     def run_many(self, requests: list[ExperimentRequest],
                  observations: dict[str, RequestObservation] | None = None,
+                 deadlines: dict[str, float] | None = None,
                  ) -> list[AllocationSummary | ExperimentFailure]:
         """Execute (or recall) a batch; results align with *requests*.
 
@@ -186,6 +189,11 @@ class ExperimentEngine:
         provenance (memo/cache/executed/failed), attempt count and
         attempt span trees the allocation server stitches into
         per-request traces.  ``None`` (the default) records nothing.
+
+        *deadlines* maps request keys to absolute ``time.monotonic``
+        deadlines; misses whose deadline has passed are answered
+        ``DeadlineExpired`` without executing (hits are always served —
+        a memo lookup is cheaper than checking the clock).
         """
         keyed = [(request_key(r), r) for r in requests]
         batch = BatchStats(requests=len(keyed))
@@ -227,7 +235,7 @@ class ExperimentEngine:
 
         if misses:
             outcomes, batch.workers = self._execute(
-                misses, batch, observations)
+                misses, batch, observations, deadlines)
             resolved.update(outcomes)
 
         return [resolved[key] for key, _ in keyed]
@@ -236,6 +244,7 @@ class ExperimentEngine:
                  batch: BatchStats,
                  observations: dict[str, RequestObservation]
                  | None = None,
+                 deadlines: dict[str, float] | None = None,
                  ) -> tuple[dict[str, AllocationSummary
                                  | ExperimentFailure], int]:
         """Run cache misses under supervision; returns outcomes plus the
@@ -268,7 +277,8 @@ class ExperimentEngine:
 
         outcomes, sstats = run_supervised(
             list(misses.items()), workers, config=self.supervisor,
-            plan=self.fault_plan, on_result=on_result, pool=self.pool)
+            plan=self.fault_plan, on_result=on_result, pool=self.pool,
+            deadlines=deadlines)
         if observations is not None:
             for key, outcome in outcomes.items():
                 record = RequestObservation(
@@ -289,6 +299,7 @@ class ExperimentEngine:
         self.stats.timeouts += sstats.timeouts
         self.stats.worker_crashes += sstats.worker_crashes
         self.stats.quarantined += sstats.quarantined
+        self.stats.expired += sstats.expired
         self.stats.spawn_failures += sstats.spawn_failures
         self.stats.fallback_serial += sstats.fallback_serial
         self.stats.worker_spawns += sstats.worker_spawns

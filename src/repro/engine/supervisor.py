@@ -168,6 +168,9 @@ class SupervisedStats:
     timeouts: int = 0
     worker_crashes: int = 0
     quarantined: int = 0
+    #: requests dropped unexecuted (or killed mid-attempt) because
+    #: their end-to-end deadline passed — answered ``DeadlineExpired``
+    expired: int = 0
     spawn_failures: int = 0
     #: batches that degraded to serial in-process execution
     fallback_serial: int = 0
@@ -393,11 +396,13 @@ class _Supervisor:
 
     def __init__(self, config: SupervisorConfig, workers: int,
                  plan: FaultPlan | None, on_result,
-                 pool: WorkerPool | None = None):
+                 pool: WorkerPool | None = None,
+                 deadlines: dict[str, float] | None = None):
         self.config = config
         self.workers_target = max(1, workers)
         self.plan = plan
         self.on_result = on_result
+        self.deadlines = deadlines or {}
         self.owns_pool = pool is None
         # a borrowed pool executes even single-request batches on its
         # (warm) workers; only a pool-less serial supervisor runs
@@ -456,9 +461,31 @@ class _Supervisor:
             for attempt in sorted(due, key=lambda a: a.ready_at):
                 self.runnable.append(attempt)
 
+    def _deadline_of(self, key: str) -> float | None:
+        return self.deadlines.get(key)
+
+    def _expire(self, attempt: _Attempt) -> None:
+        """Answer a request whose end-to-end deadline passed before (or
+        during) this attempt — a definitive ``DeadlineExpired``, never
+        retried: the requester has already stopped waiting."""
+        self.stats.expired += 1
+        self.history[attempt.key].append(
+            f"attempt {attempt.number}: DeadlineExpired: end-to-end "
+            f"deadline passed [expired]")
+        self._deliver(attempt.key, ExperimentFailure(
+            key=attempt.key, request=attempt.request,
+            error_class="DeadlineExpired",
+            message="end-to-end deadline passed before completion",
+            attempts=attempt.number - 1, worker_fate="expired",
+            attempt_errors=list(self.history[attempt.key])))
+
     def _fill(self, now: float) -> None:
         """Hand runnable attempts to pool workers (idle or spawned)."""
         while self.runnable and not self.fallback:
+            deadline = self._deadline_of(self.runnable[0].key)
+            if deadline is not None and now >= deadline:
+                self._expire(self.runnable.popleft())
+                continue
             if len(self.busy) >= self.workers_target \
                     or not self.pool.has_worker_for_lease():
                 break
@@ -478,10 +505,15 @@ class _Supervisor:
                   now: float, acquire_started: float | None = None
                   ) -> None:
         # a freshly spawned worker is still importing; its deadline is
-        # armed when the ready announcement arrives (_on_message)
+        # armed when the ready announcement arrives (_on_message) — but
+        # an end-to-end request deadline binds from dispatch regardless
         deadline = (now + self.config.timeout
                     if self.config.timeout is not None and worker.ready
                     else None)
+        key_deadline = self._deadline_of(attempt.key)
+        if key_deadline is not None:
+            deadline = key_deadline if deadline is None \
+                else min(deadline, key_deadline)
         span = Span("attempt", {"number": attempt.number},
                     start=acquire_started if acquire_started is not None
                     else now)
@@ -568,6 +600,10 @@ class _Supervisor:
                     handshake.end = now
             deadline = (now + self.config.timeout
                         if self.config.timeout is not None else None)
+            key_deadline = self._deadline_of(attempt.key)
+            if key_deadline is not None:
+                deadline = key_deadline if deadline is None \
+                    else min(deadline, key_deadline)
             self.busy[worker] = (attempt, deadline)
             return
         self.pool.release(worker)
@@ -622,8 +658,16 @@ class _Supervisor:
         attempt, _ = self.busy.pop(worker)
         worker.kill()
         self.pool.discard(worker)
+        now = time.monotonic()
+        key_deadline = self._deadline_of(attempt.key)
+        if key_deadline is not None and now >= key_deadline:
+            # the *request's* deadline fired, not the attempt budget:
+            # kill the worker but answer expired, never retry
+            self._close_attempt(attempt, now, "expired")
+            self._expire(attempt)
+            return
         self.stats.timeouts += 1
-        self._close_attempt(attempt, time.monotonic(), "killed")
+        self._close_attempt(attempt, now, "killed")
         self._failed_attempt(
             attempt, "Timeout",
             f"no result within {self.config.timeout:.4g}s", fate="killed")
@@ -682,6 +726,10 @@ class _Supervisor:
         self.runnable.clear()
         self.delayed.clear()
         for attempt in pending:
+            deadline = self._deadline_of(attempt.key)
+            if deadline is not None and time.monotonic() >= deadline:
+                self._expire(attempt)
+                continue
             number = attempt.number
             while True:
                 action = self.plan.worker_action(attempt.key, number) \
@@ -754,6 +802,7 @@ def run_supervised(items: list[tuple[str, ExperimentRequest]],
                    plan: FaultPlan | None = None,
                    on_result=None,
                    pool: WorkerPool | None = None,
+                   deadlines: dict[str, float] | None = None,
                    ) -> tuple[dict[str, AllocationSummary
                                    | ExperimentFailure], SupervisedStats]:
     """Execute *items* (``(key, request)`` pairs, unique keys) under
@@ -765,8 +814,16 @@ def run_supervised(items: list[tuple[str, ExperimentRequest]],
     on the pool's (warm) workers and the pool survives the batch.
     ``on_result(key, outcome)`` fires as each outcome lands — before
     the batch finishes, and before any ``KeyboardInterrupt`` unwinds.
+
+    *deadlines* maps request keys to absolute ``time.monotonic``
+    deadlines (this process's clock).  A request whose deadline passes
+    before dispatch is answered ``DeadlineExpired`` without executing;
+    one whose deadline fires mid-attempt has its worker killed and is
+    answered ``DeadlineExpired`` with no retry — the requester has
+    already stopped waiting, so more attempts only burn the pool.
     """
     supervisor = _Supervisor(config or SupervisorConfig(), workers,
-                             plan, on_result, pool=pool)
+                             plan, on_result, pool=pool,
+                             deadlines=deadlines)
     outcomes = supervisor.run(items)
     return outcomes, supervisor.stats

@@ -1,0 +1,352 @@
+"""Backend process supervision for ``repro serve --backends N``.
+
+The :class:`ClusterSupervisor` owns N ``repro serve`` subprocesses —
+one :class:`~repro.serve.server.AllocationServer` each, all sharing the
+same 256-way sharded on-disk :class:`~repro.engine.cache.ResultCache`
+(multi-process safe: atomic renames, checksummed envelopes) — and
+keeps them alive:
+
+* **spawn** — each backend is launched with ``--port 0`` and its bound
+  address scraped from the ``# serving on HOST:PORT`` announce line,
+  so N backends never race over fixed ports;
+* **restart** — a monitor thread polls the processes; a backend that
+  dies outside a drain is respawned with per-backend exponential
+  backoff and the router is told the replacement's (new) address
+  through :meth:`ClusterRouter.update_backend_threadsafe
+  <repro.serve.router.ClusterRouter.update_backend_threadsafe>`;
+* **drain** — SIGTERM to every backend, each of which answers
+  everything it admitted and exits 0 (the server's own drain path);
+  stragglers are killed after a timeout.
+
+This mirrors the engine's worker :class:`~repro.engine.supervisor.
+WorkerPool` one layer up: processes are cattle, state lives in the
+shared cache, and the only contract is that admitted work is answered
+or failed typed — the router's failover covers the gap in between.
+
+:func:`run_cluster` wires supervisor + router together for the CLI;
+:class:`ClusterHarness` does the same in-process for tests and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import logging
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .router import RouterConfig, RouterThread, run_router
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ClusterConfig:
+    """Tunables of one :class:`ClusterSupervisor`.
+
+    Attributes:
+        backends: how many ``repro serve`` processes to run.
+        jobs: worker processes *per backend* (each backend has its own
+            warm :class:`~repro.engine.supervisor.WorkerPool`).
+        cache_dir: the shared persistent result cache every backend
+            mounts; ``None`` uses the default.
+        host: address the backends bind (always with ``--port 0``).
+        spawn_timeout: seconds to wait for a backend's announce line.
+        restart_backoff / restart_cap: the n-th consecutive restart of
+            one backend waits ``min(cap, backoff * 2**(n-1))`` seconds
+            first.
+        poll_interval: monitor thread's process-poll cadence.
+        serve_faults: path of a JSON
+            :class:`~repro.engine.faults.ServeFaultPlan` handed to
+            every backend (chaos runs only).
+        extra_args: additional ``repro serve`` CLI arguments appended
+            to every backend's command line.
+    """
+
+    backends: int = 2
+    jobs: int = 1
+    cache_dir: str | pathlib.Path | None = None
+    host: str = "127.0.0.1"
+    spawn_timeout: float = 60.0
+    restart_backoff: float = 0.05
+    restart_cap: float = 2.0
+    poll_interval: float = 0.05
+    serve_faults: str | pathlib.Path | None = None
+    extra_args: tuple[str, ...] = ()
+
+
+@dataclass
+class BackendProcess:
+    """One supervised ``repro serve`` subprocess and its address."""
+
+    name: str
+    process: subprocess.Popen = field(repr=False)
+    host: str = "127.0.0.1"
+    port: int = 0
+    consecutive_restarts: int = 0
+    #: monotonic time before which the monitor must not respawn
+    restart_after: float = 0.0
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+def _drain_stdout(process: subprocess.Popen) -> None:
+    """Keep reading a backend's stdout so it can never block on a full
+    pipe (announce lines past the first are simply dropped)."""
+
+    def pump() -> None:
+        try:
+            assert process.stdout is not None
+            for _ in process.stdout:
+                pass
+        except (OSError, ValueError):
+            pass
+
+    threading.Thread(target=pump, daemon=True).start()
+
+
+class ClusterSupervisor:
+    """Spawns, restarts, and drains the backend fleet."""
+
+    def __init__(self, config: ClusterConfig | None = None):
+        self.config = config or ClusterConfig()
+        self.backends: dict[str, BackendProcess] = {}
+        self.draining = False
+        #: lifetime respawns across every backend
+        self.restarts = 0
+        self._router = None
+        self._monitor: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- spawning --------------------------------------------------------------
+
+    def _command(self, name: str) -> list[str]:
+        cmd = [sys.executable, "-m", "repro", "serve",
+               "--host", self.config.host, "--port", "0",
+               "--backend-id", name,
+               "--jobs", str(self.config.jobs)]
+        if self.config.cache_dir is not None:
+            cmd += ["--cache-dir", str(self.config.cache_dir)]
+        if self.config.serve_faults is not None:
+            cmd += ["--serve-faults", str(self.config.serve_faults)]
+        cmd += list(self.config.extra_args)
+        return cmd
+
+    def _spawn(self, name: str) -> tuple[subprocess.Popen, str, int]:
+        process = subprocess.Popen(
+            self._command(name), stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, text=True)
+        assert process.stdout is not None
+        deadline = time.monotonic() + self.config.spawn_timeout
+        while True:
+            if time.monotonic() > deadline:
+                process.kill()
+                raise RuntimeError(
+                    f"backend {name} never announced its port")
+            line = process.stdout.readline()
+            if not line:
+                code = process.poll()
+                raise RuntimeError(
+                    f"backend {name} exited (code {code}) before "
+                    f"announcing")
+            if line.startswith("# serving on "):
+                addr = line.split("# serving on ", 1)[1].strip()
+                host, _, port = addr.rpartition(":")
+                _drain_stdout(process)
+                return process, host, int(port)
+
+    def start(self) -> dict[str, tuple[str, int]]:
+        """Spawn every backend; returns ``name → (host, port)`` for the
+        router's ring."""
+        addresses: dict[str, tuple[str, int]] = {}
+        for i in range(max(1, self.config.backends)):
+            name = f"b{i}"
+            process, host, port = self._spawn(name)
+            self.backends[name] = BackendProcess(name, process, host,
+                                                 port)
+            addresses[name] = (host, port)
+        return addresses
+
+    def addresses(self) -> dict[str, tuple[str, int]]:
+        with self._lock:
+            return {name: (b.host, b.port)
+                    for name, b in self.backends.items()}
+
+    # -- supervision -----------------------------------------------------------
+
+    def attach(self, router) -> None:
+        """Hook a live :class:`~repro.serve.router.ClusterRouter` and
+        start the restart monitor (idempotent per supervisor)."""
+        self._router = router
+        if self._monitor is None:
+            self._monitor = threading.Thread(target=self._watch,
+                                             daemon=True)
+            self._monitor.start()
+
+    def _watch(self) -> None:
+        while not self._stop.wait(self.config.poll_interval):
+            if self.draining:
+                continue
+            for backend in list(self.backends.values()):
+                if backend.alive:
+                    backend.consecutive_restarts = 0
+                    continue
+                now = time.monotonic()
+                if backend.restart_after == 0.0:
+                    code = backend.process.poll()
+                    backend.consecutive_restarts += 1
+                    backoff = min(
+                        self.config.restart_cap,
+                        self.config.restart_backoff
+                        * (2 ** (backend.consecutive_restarts - 1)))
+                    backend.restart_after = now + backoff
+                    logger.warning(
+                        "backend %s died (exit %s); restart in %.3fs",
+                        backend.name, code, backoff)
+                if now < backend.restart_after:
+                    continue
+                try:
+                    process, host, port = self._spawn(backend.name)
+                except RuntimeError:
+                    # spawn itself failed: back off again and retry
+                    backend.restart_after = time.monotonic() + min(
+                        self.config.restart_cap,
+                        self.config.restart_backoff
+                        * (2 ** backend.consecutive_restarts))
+                    backend.consecutive_restarts += 1
+                    continue
+                with self._lock:
+                    backend.process = process
+                    backend.host, backend.port = host, port
+                    backend.restart_after = 0.0
+                    self.restarts += 1
+                if self._router is not None:
+                    self._router.update_backend_threadsafe(
+                        backend.name, host, port)
+
+    # -- teardown --------------------------------------------------------------
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """SIGTERM every backend and wait for clean exits; this is the
+        router's ``on_drain`` hook, so it runs after admission stopped
+        and in-flight forwards were answered."""
+        self.draining = True
+        self._stop.set()
+        for backend in self.backends.values():
+            if backend.alive:
+                try:
+                    backend.process.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        deadline = time.monotonic() + timeout
+        for backend in self.backends.values():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                backend.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                logger.warning("backend %s ignored the drain; killing",
+                               backend.name)
+                backend.process.kill()
+                backend.process.wait(timeout=10)
+        if self._monitor is not None:
+            self._monitor.join(timeout=10)
+
+    def kill(self) -> None:
+        """Hard teardown (tests' finally blocks): no drain, no waiting
+        for admitted work."""
+        self.draining = True
+        self._stop.set()
+        for backend in self.backends.values():
+            if backend.alive:
+                backend.process.kill()
+        for backend in self.backends.values():
+            try:
+                backend.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                pass
+        if self._monitor is not None:
+            self._monitor.join(timeout=10)
+
+    def exit_codes(self) -> dict[str, int | None]:
+        return {name: b.process.poll()
+                for name, b in self.backends.items()}
+
+
+def run_cluster(cluster_config: ClusterConfig,
+                router_config: RouterConfig,
+                announce=None) -> int:
+    """The CLI path of ``repro serve --backends N``: boot the fleet,
+    route in the foreground, drain everything on SIGTERM/SIGINT."""
+    import asyncio
+
+    supervisor = ClusterSupervisor(cluster_config)
+    addresses = supervisor.start()
+    try:
+        return asyncio.run(run_router(
+            addresses, router_config, announce=announce,
+            on_started=supervisor.attach, on_drain=supervisor.drain))
+    finally:
+        supervisor.kill()  # no-op after a clean drain
+
+
+class ClusterHarness:
+    """Subprocess backends + in-process router, as a context manager.
+
+    The chaos suite and the cluster benchmarks use this: real ``repro
+    serve`` processes (so injected kills take down a whole backend)
+    behind a :class:`~repro.serve.router.RouterThread` whose restart
+    callback is wired to the supervisor.
+
+    Usage::
+
+        with ClusterHarness(ClusterConfig(backends=2,
+                                          cache_dir=tmp)) as cluster:
+            client = ResilientClient("127.0.0.1", cluster.port)
+    """
+
+    def __init__(self, cluster_config: ClusterConfig | None = None,
+                 router_config: RouterConfig | None = None):
+        self.cluster_config = cluster_config or ClusterConfig()
+        self.router_config = router_config or RouterConfig()
+        self.supervisor = ClusterSupervisor(self.cluster_config)
+        self.router_thread: RouterThread | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.router_thread is not None
+        return self.router_thread.port
+
+    @property
+    def router(self):
+        assert self.router_thread is not None
+        return self.router_thread.router
+
+    def __enter__(self) -> "ClusterHarness":
+        addresses = self.supervisor.start()
+        self.router_thread = RouterThread(addresses, self.router_config)
+        try:
+            self.router_thread.__enter__()
+            assert self.router_thread.router is not None
+            self.supervisor.attach(self.router_thread.router)
+        except BaseException:
+            self.supervisor.kill()
+            raise
+        return self
+
+    def __exit__(self, *exc) -> None:
+        try:
+            if self.router_thread is not None:
+                # the router's drain answers in-flight work first; the
+                # supervisor then drains the backends
+                assert self.router_thread.router is not None
+                self.router_thread.router.on_drain = self.supervisor.drain
+                self.router_thread.stop()
+        finally:
+            self.supervisor.kill()

@@ -55,6 +55,9 @@ class RequestRecord:
     wall_time: float = 0.0
     op: str = "?"
     client_id: Any = None
+    #: the v2 envelope's stable client identity (fair admission meters
+    #: by it); ``None`` for v1 clients
+    client: str | None = None
     key: str | None = None
     #: the allocation strategy of an engine request (``iterated`` /
     #: ``ssa``); ``None`` for non-engine ops and rejected envelopes
@@ -107,6 +110,7 @@ def access_record(record: RequestRecord) -> dict[str, Any]:
         "ts": round(record.wall_time, 6),
         "id": record.request_id,
         "client_id": record.client_id,
+        "client": record.client,
         "op": record.op,
         "key": record.key,
         "allocator": record.allocator,

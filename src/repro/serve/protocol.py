@@ -32,9 +32,30 @@ Responses echo the id and carry either a result or a typed error::
     {"id": "r1", "ok": false, "error": {"kind": "overload", ...}}
 
 Error kinds: ``bad_request`` (malformed envelope or request),
-``overload`` (admission queue full — back off and retry), ``draining``
-(server is shutting down), ``failed`` (the supervisor quarantined the
-request; the error carries the attempt forensics), ``internal``.
+``overload`` (admission queue full or load shed — back off and retry),
+``draining`` (server is shutting down), ``failed`` (the supervisor
+quarantined the request; the error carries the attempt forensics),
+``expired`` (the request's end-to-end deadline passed before it could
+be executed), ``unavailable`` (no healthy backend could answer — a
+router-layer error), ``internal``.  :data:`RETRYABLE_KINDS` classifies
+them: ``overload``/``draining``/``unavailable`` are safe to retry
+(allocation requests are idempotent — content-hashed and cached);
+``bad_request``/``failed``/``expired``/``internal`` are not.
+
+**Protocol v2** adds three optional envelope/response fields (v1
+envelopes remain accepted — the new fields simply default off):
+
+* ``client`` — a stable client identity string; the router's
+  fair-admission token buckets meter traffic per ``client`` so one
+  greedy client cannot starve the rest (connections without one are
+  metered by peer address).
+* ``deadline_s`` — the requester's *remaining* end-to-end budget in
+  seconds (relative, because wall clocks don't cross processes).
+  Every hop re-stamps it with what is left; a server drops work whose
+  deadline already passed from its queue and answers ``expired``
+  instead of executing dead requests.
+* ``retry_after`` — on ``overload``/``draining`` errors, a server
+  hint (seconds) for when to retry; the resilient client honours it.
 
 **Byte identity.**  All server-side serialization goes through
 :func:`dumps` — ``sort_keys`` plus minimal separators — and
@@ -58,11 +79,23 @@ from ..regalloc import ALLOCATOR_NAMES
 from ..remat import RenumberMode
 
 #: bump when the envelope or an operation's shape changes incompatibly
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: envelope versions this server still accepts (v2 only *adds*
+#: optional fields, so v1 clients keep working unchanged)
+ACCEPTED_VERSIONS = (1, 2)
 
 #: operations a client may put in the envelope
 OPERATIONS = ("allocate", "trace", "ping", "metrics", "debug",
               "shutdown")
+
+#: error kinds a client may safely retry (the work is idempotent);
+#: everything else is a definitive answer
+RETRYABLE_KINDS = frozenset({"overload", "draining", "unavailable"})
+
+#: every typed error kind a server can answer with
+ERROR_KINDS = ("bad_request", "overload", "draining", "failed",
+               "expired", "unavailable", "internal")
 
 #: ``request`` fields accepted by :func:`request_from_json`
 REQUEST_FIELDS = frozenset({
@@ -104,7 +137,7 @@ def decode_line(line: bytes) -> dict:
 def check_envelope(obj: dict) -> tuple[Any, str]:
     """Validate a request envelope; returns ``(id, op)``."""
     version = obj.get("v")
-    if version != PROTOCOL_VERSION:
+    if version not in ACCEPTED_VERSIONS:
         raise ProtocolError(
             "bad_request",
             f"unsupported protocol version {version!r} "
@@ -115,6 +148,25 @@ def check_envelope(obj: dict) -> tuple[Any, str]:
             "bad_request",
             f"unknown op {op!r} (one of {', '.join(OPERATIONS)})")
     return obj.get("id"), op
+
+
+def envelope_meta(obj: dict) -> tuple[str | None, float | None]:
+    """The v2 envelope extras: ``(client identity, deadline_s)``.
+
+    Both are optional; a v1 envelope simply has neither.  Raises
+    :class:`ProtocolError` on malformed values.
+    """
+    client = obj.get("client")
+    if client is not None and not isinstance(client, str):
+        raise ProtocolError("bad_request", "client must be a string")
+    deadline_s = obj.get("deadline_s")
+    if deadline_s is not None:
+        if not isinstance(deadline_s, (int, float)) \
+                or isinstance(deadline_s, bool):
+            raise ProtocolError("bad_request",
+                                "deadline_s must be a number of seconds")
+        deadline_s = float(deadline_s)
+    return client, deadline_s
 
 
 def request_from_json(spec: Any) -> ExperimentRequest:
@@ -233,9 +285,12 @@ def summary_to_json(summary: AllocationSummary) -> dict:
 
 
 def failure_to_json(failure: ExperimentFailure) -> dict:
-    """The typed error body for a quarantined request."""
+    """The typed error body for a quarantined request.  A failure the
+    deadline-aware supervisor declared expired (rather than poison)
+    answers with the ``expired`` kind so clients don't retry dead work."""
     return {
-        "kind": "failed",
+        "kind": "expired" if failure.error_class == "DeadlineExpired"
+        else "failed",
         "key": failure.key,
         "function": failure.function_name,
         "error_class": failure.error_class,
@@ -246,9 +301,12 @@ def failure_to_json(failure: ExperimentFailure) -> dict:
     }
 
 
-def error_response(request_id: Any, kind: str, message: str) -> dict:
-    return {"id": request_id, "ok": False,
-            "error": {"kind": kind, "message": message}}
+def error_response(request_id: Any, kind: str, message: str,
+                   retry_after: float | None = None) -> dict:
+    error: dict[str, Any] = {"kind": kind, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = round(retry_after, 4)
+    return {"id": request_id, "ok": False, "error": error}
 
 
 def ok_response(request_id: Any, result: Any) -> dict:

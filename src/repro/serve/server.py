@@ -55,6 +55,7 @@ import asyncio
 import itertools
 import json
 import logging
+import os
 import pathlib
 import signal
 import threading
@@ -63,7 +64,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..engine import (AllocationSummary, ExperimentEngine,
-                      ExperimentFailure, RequestObservation, request_key)
+                      ExperimentFailure, RequestObservation,
+                      SERVE_KILL_EXIT_CODE, ServeFaultPlan, request_key)
 from ..obs import MetricsRegistry, render_prometheus
 from . import protocol
 from .observe import FlightRecorder, RequestRecord, access_line
@@ -98,6 +100,15 @@ class ServeConfig:
             the server drains; ``None`` skips the dump.
         metrics_addr: ``HOST:PORT`` (or just ``PORT``) for the
             Prometheus text exposition endpoint; ``None`` disables it.
+        backend_id: this server's name within a cluster (``b0`` …);
+            stamped into the metrics snapshot so the router and ``repro
+            top`` can attribute per-backend health.  ``None`` outside a
+            cluster.
+        fault_plan: serve-layer chaos injection
+            (:class:`~repro.engine.faults.ServeFaultPlan`) — kill this
+            backend as it begins executing a planned key, stall its
+            accept path, drop or garble planned responses.  Never set
+            in production paths.
     """
 
     host: str = "127.0.0.1"
@@ -110,6 +121,8 @@ class ServeConfig:
     flight_slots: int = 64
     flight_dump: str | pathlib.Path | None = None
     metrics_addr: str | None = None
+    backend_id: str | None = None
+    fault_plan: ServeFaultPlan | None = None
 
 
 @dataclass
@@ -120,6 +133,10 @@ class _Pending:
     op: str
     request: Any
     future: asyncio.Future = field(repr=False)
+    #: the latest subscriber deadline (absolute ``time.monotonic``);
+    #: ``None`` once any subscriber has no deadline — the work must
+    #: then run to completion
+    deadline: float | None = None
     #: batcher stamps shared by every subscriber's lifecycle record
     t_dequeue: float | None = None
     t_dispatch: float | None = None
@@ -218,6 +235,14 @@ class AllocationServer:
                            writer: asyncio.StreamWriter) -> None:
         write_lock = asyncio.Lock()
         pending: set[asyncio.Task] = set()
+        plan = self.config.fault_plan
+        if plan is not None:
+            # injected accept stall: the connection sits unserved, the
+            # stand-in for a wedged event loop — only the router's
+            # health checks notice
+            stall = plan.claim_accept_hang(self.config.backend_id)
+            if stall:
+                await asyncio.sleep(stall)
         try:
             while True:
                 line = await reader.readline()
@@ -248,10 +273,25 @@ class AllocationServer:
                           write_lock: asyncio.Lock) -> None:
         record = self._new_record()
         response = await self._respond(line, record)
+        payload = protocol.encode_line(response)
+        plan = self.config.fault_plan
+        garbled = False
+        if plan is not None and record.key is not None:
+            raw_key = record.key.split(":", 1)[-1]
+            if plan.claim_drop(raw_key):
+                payload = None          # vanished reply
+            elif plan.claim_garble(raw_key):
+                payload = b"\x00\xfe{not json" + payload[:16] + b"\n"
+                garbled = True
         async with write_lock:
             try:
-                writer.write(protocol.encode_line(response))
-                await writer.drain()
+                if payload is None:
+                    writer.close()
+                else:
+                    writer.write(payload)
+                    await writer.drain()
+                    if garbled:
+                        writer.close()  # a garbled reply ends the conn
             except (ConnectionError, OSError):
                 pass  # client went away; the work still fed the cache
         self._finish_record(record)
@@ -295,6 +335,8 @@ class AllocationServer:
             record.client_id = request_id
             _, op = protocol.check_envelope(obj)
             record.op = op
+            client, deadline_s = protocol.envelope_meta(obj)
+            record.client = client
             self.metrics.counter("serve.requests").inc()
             self.metrics.counter(f"serve.op.{op}").inc()
             if op in ("ping", "metrics", "shutdown", "debug"):
@@ -309,8 +351,10 @@ class AllocationServer:
                                                 self.flight.dump())
                 self.request_shutdown()
                 return protocol.ok_response(request_id, {"draining": True})
+            deadline = (time.monotonic() + deadline_s
+                        if deadline_s is not None else None)
             return await self._admit(request_id, op, obj.get("request"),
-                                     record)
+                                     record, deadline)
         except protocol.ProtocolError as exc:
             record.outcome = exc.kind
             self.metrics.counter("serve.bad_requests").inc()
@@ -323,12 +367,21 @@ class AllocationServer:
                                            f"{type(exc).__name__}: {exc}")
 
     async def _admit(self, request_id: Any, op: str, spec: Any,
-                     record: RequestRecord) -> dict:
+                     record: RequestRecord,
+                     deadline: float | None = None) -> dict:
         request = protocol.request_from_json(spec)
         key = f"{op}:{request_key(request)}"
         record.t_parse = time.monotonic()
         record.key = key
         record.allocator = request.allocator
+        if deadline is not None and record.t_parse >= deadline:
+            # already dead on arrival: don't waste a queue slot
+            record.outcome = "expired"
+            record.t_admit = time.monotonic()
+            self.metrics.counter("serve.expired").inc()
+            return protocol.error_response(
+                request_id, "expired",
+                "end-to-end deadline passed before admission")
         pending = self.inflight.get(key)
         if pending is None:
             if self.draining:
@@ -336,9 +389,11 @@ class AllocationServer:
                 record.t_admit = time.monotonic()
                 self.metrics.counter("serve.drain_rejections").inc()
                 return protocol.error_response(
-                    request_id, "draining", "server is shutting down")
+                    request_id, "draining", "server is shutting down",
+                    retry_after=self._retry_after())
             pending = _Pending(key, op, request,
-                               asyncio.get_running_loop().create_future())
+                               asyncio.get_running_loop().create_future(),
+                               deadline=deadline)
             try:
                 self.queue.put_nowait(pending)
             except asyncio.QueueFull:
@@ -348,11 +403,17 @@ class AllocationServer:
                 return protocol.error_response(
                     request_id, "overload",
                     f"admission queue full "
-                    f"({self.config.queue_limit} pending); retry")
+                    f"({self.config.queue_limit} pending); retry",
+                    retry_after=self._retry_after())
             self.inflight[key] = pending
         else:
             record.dedup = True
             self.metrics.counter("serve.deduplicated").inc()
+            if deadline is None:
+                # this subscriber waits forever: the work must finish
+                pending.deadline = None
+            elif pending.deadline is not None:
+                pending.deadline = max(pending.deadline, deadline)
         record.t_admit = time.monotonic()
         status, body = await asyncio.shield(pending.future)
         if record.dedup:
@@ -374,7 +435,16 @@ class AllocationServer:
             return protocol.ok_response(request_id, body)
         record.outcome = body.get("kind", "internal") \
             if isinstance(body, dict) else "internal"
+        if record.outcome == "expired":
+            self.metrics.counter("serve.expired").inc()
         return {"id": request_id, "ok": False, "error": body}
+
+    def _retry_after(self) -> float:
+        """The back-off hint for a rejected request: roughly how long
+        the backlog takes to clear one batch's worth of room."""
+        batches_queued = self.queue.qsize() / max(1, self.config.max_batch)
+        return round(self.config.batch_window * (1.0 + batches_queued)
+                     + 0.01, 4)
 
     # -- the batcher -----------------------------------------------------------
 
@@ -429,12 +499,23 @@ class AllocationServer:
     def _execute(self, batch: list[_Pending]) -> dict[str, tuple]:
         """Worker-thread side: the only caller of the engine and pool."""
         outcomes: dict[str, tuple] = {}
+        plan = self.config.fault_plan
+        if plan is not None:
+            for pending in batch:
+                if plan.claim_kill(pending.key.split(":", 1)[-1]):
+                    # injected backend death mid-request: admitted work
+                    # dies unanswered; the router must fail it over and
+                    # the cluster supervisor must restart this process
+                    os._exit(SERVE_KILL_EXIT_CODE)
         allocs = [p for p in batch if p.op == "allocate"]
         if allocs:
             observations: dict[str, RequestObservation] | None = \
                 {} if self.config.trace_requests else None
+            deadlines = {p.key.split(":", 1)[-1]: p.deadline
+                         for p in allocs if p.deadline is not None}
             results = self.engine.run_many([p.request for p in allocs],
-                                           observations=observations)
+                                           observations=observations,
+                                           deadlines=deadlines or None)
             for pending, result in zip(allocs, results):
                 if observations is not None:
                     pending.observation = observations.get(
@@ -448,6 +529,13 @@ class AllocationServer:
                         ("error", protocol.failure_to_json(result))
         for pending in batch:
             if pending.op != "trace":
+                continue
+            if pending.deadline is not None \
+                    and time.monotonic() >= pending.deadline:
+                outcomes[pending.key] = \
+                    ("error", {"kind": "expired",
+                               "message": "end-to-end deadline passed "
+                                          "before execution"})
                 continue
             try:
                 text = execute_trace(pending.request)
@@ -503,6 +591,8 @@ class AllocationServer:
         snapshot["histograms"] = histograms
         snapshot["queue_depth"] = self.queue.qsize()
         snapshot["inflight"] = len(self.inflight)
+        if self.config.backend_id is not None:
+            snapshot["backend_id"] = self.config.backend_id
         return snapshot
 
 

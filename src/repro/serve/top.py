@@ -7,6 +7,11 @@ snapshots), server-side latency quantiles (the bucketed
 endpoint exposes), queue depth and in-flight dedup, cache hit ratio,
 warm-pool spawn/reuse, and the per-phase p50 breakdown.
 
+Pointed at a cluster router the same ``metrics`` op answers the
+*merged* snapshot, and the dashboard grows a per-backend section —
+health, circuit-breaker state, router-tracked in-flight depth, probe
+and restart counts — from the snapshot's ``router`` block.
+
 Pure rendering over snapshots: :func:`render_dashboard` takes the
 current (and optionally previous) ``metrics`` result, so tests feed it
 canned snapshots and the CLI loop stays trivial.
@@ -121,6 +126,26 @@ def render_dashboard(snapshot: dict[str, Any],
             phases.append(f"{name} {format_seconds(snap['p50'])}")
     if phases:
         lines.append("phase p50  " + "  ".join(phases))
+
+    router = snapshot.get("router")
+    if router:
+        lines.append(
+            f"router     {router.get('healthy', 0)}/"
+            f"{len(router.get('backends', {}))} healthy   "
+            f"forwarded {c('router.forwarded')}  "
+            f"failovers {c('router.failovers')}  "
+            f"shed {c('router.shed')}  "
+            f"throttled {c('router.throttled')}  "
+            f"restarts {c('router.backend_restarts')}")
+        for name, state in sorted(router.get("backends", {}).items()):
+            status = "up" if state.get("healthy") else (
+                "breaker" if state.get("breaker_open") else "down")
+            lines.append(
+                f"  {name:<8} {status:<7} {state.get('addr', '?'):<21} "
+                f"inflight {state.get('inflight', 0):<4} "
+                f"probes {state.get('probes_ok', 0)}/"
+                f"{state.get('probes_ok', 0) + state.get('probes_failed', 0)} "
+                f"restarts {state.get('restarts', 0)}")
     return "\n".join(lines)
 
 

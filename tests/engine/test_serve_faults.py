@@ -1,0 +1,87 @@
+"""ServeFaultPlan: exactly-once claims, seeding, JSON round trip."""
+
+import json
+
+import pytest
+
+from repro.engine import SERVE_KILL_EXIT_CODE, ServeFaultPlan
+
+
+def test_each_fault_claims_exactly_once_across_plan_copies(tmp_path):
+    """The marker files make a fault one-shot across *processes*: a
+    second plan object over the same state_dir (a restarted backend)
+    must not fire the same fault again."""
+    plan = ServeFaultPlan(state_dir=str(tmp_path),
+                          kill_keys=frozenset({"k1"}),
+                          drop_keys=frozenset({"d1"}),
+                          garble_keys=frozenset({"g1"}),
+                          hang_accept={"b0": 1.5})
+    assert plan.claim_kill("k1") is True
+    assert plan.claim_kill("k1") is False
+    reloaded = ServeFaultPlan.from_json(plan.to_json())
+    assert reloaded.claim_kill("k1") is False
+
+    assert plan.claim_kill("unplanned") is False
+    assert plan.claim_drop("d1") and not plan.claim_drop("d1")
+    assert plan.claim_garble("g1") and not plan.claim_garble("g1")
+    assert plan.claim_accept_hang("b0") == 1.5
+    assert plan.claim_accept_hang("b0") == 0.0
+    assert plan.claim_accept_hang("b1") == 0.0
+    assert plan.claim_accept_hang(None) == 0.0
+
+    assert plan.claimed("kill") == 1
+    assert plan.claimed("drop") == 1
+    assert plan.claimed("garble") == 1
+    assert plan.claimed("hang") == 1
+
+
+def test_seeded_plans_are_deterministic_and_disjoint(tmp_path):
+    keys = [f"key-{i}" for i in range(10)]
+    plan = ServeFaultPlan.seeded(keys, str(tmp_path), seed=7, kills=2,
+                                 drops=2, garbles=2,
+                                 hang_backends={"b1": 0.5})
+    again = ServeFaultPlan.seeded(keys, str(tmp_path), seed=7, kills=2,
+                                  drops=2, garbles=2,
+                                  hang_backends={"b1": 0.5})
+    assert plan == again
+    victims = plan.kill_keys | plan.drop_keys | plan.garble_keys
+    assert len(victims) == 6          # disjoint across kinds
+    assert victims <= set(keys)
+    assert plan.describe() == {"kills": 2, "drops": 2, "garbles": 2,
+                               "hangs": 1}
+
+    different = ServeFaultPlan.seeded(keys, str(tmp_path), seed=8,
+                                      kills=2, drops=2, garbles=2)
+    assert different.kill_keys != plan.kill_keys \
+        or different.drop_keys != plan.drop_keys
+
+
+def test_seeded_rejects_more_victims_than_keys(tmp_path):
+    with pytest.raises(ValueError):
+        ServeFaultPlan.seeded(["only-one"], str(tmp_path), kills=2)
+
+
+def test_json_round_trip_preserves_the_plan(tmp_path):
+    plan = ServeFaultPlan.seeded([f"k{i}" for i in range(6)],
+                                 str(tmp_path), seed=3, kills=1,
+                                 drops=1, garbles=1,
+                                 hang_backends={"b0": 2.0})
+    wire = json.loads(json.dumps(plan.to_json()))
+    assert ServeFaultPlan.from_json(wire) == plan
+
+
+def test_unwritable_state_dir_fails_open(tmp_path):
+    """A broken state dir disables injection instead of breaking the
+    backend: chaos plumbing must never take down a healthy server."""
+    blocked = tmp_path / "file-not-dir"
+    blocked.write_text("occupied")
+    plan = ServeFaultPlan(state_dir=str(blocked / "nested"),
+                          kill_keys=frozenset({"k"}))
+    assert plan.claim_kill("k") is False
+    assert plan.claimed("kill") == 0
+
+
+def test_kill_exit_code_is_distinct_from_worker_crash():
+    from repro.engine.supervisor import CRASH_EXIT_CODE
+
+    assert SERVE_KILL_EXIT_CODE != CRASH_EXIT_CODE

@@ -48,8 +48,8 @@ def siblings_ordered(spans: list[dict]) -> bool:
 def golden_record() -> RequestRecord:
     return RequestRecord(
         request_id="r000042", wall_time=1754500000.25, op="allocate",
-        client_id="c7", key="allocate:deadbeef", allocator="iterated",
-        outcome="ok",
+        client_id="c7", client="tenant-7", key="allocate:deadbeef",
+        allocator="iterated", outcome="ok",
         dedup=False, source="executed", attempts=2, retries=1,
         cache_put_s=0.000125, t_accept=100.0, t_parse=100.001,
         t_admit=100.0015, t_dequeue=100.002, t_dispatch=100.0065,

@@ -8,9 +8,11 @@ from repro.engine import ExperimentEngine, request_key
 from repro.ir import function_to_text
 from repro.machine import machine_with
 from repro.remat import RenumberMode
-from repro.serve import (ProtocolError, dumps, request_from_json,
-                         summary_to_json)
-from repro.serve.protocol import check_envelope, decode_line, encode_line
+from repro.serve import (ProtocolError, RETRYABLE_KINDS, dumps,
+                         request_from_json, summary_to_json)
+from repro.serve.protocol import (check_envelope, decode_line,
+                                  encode_line, envelope_meta,
+                                  error_response, failure_to_json)
 
 from ..helpers import single_loop
 
@@ -35,6 +37,59 @@ class TestEnvelope:
     def test_rejects_unknown_op(self):
         with pytest.raises(ProtocolError):
             check_envelope({"v": 1, "op": "explode"})
+
+    def test_v2_envelopes_accepted_alongside_v1(self):
+        assert check_envelope({"v": 2, "id": "r", "op": "ping"}) \
+            == ("r", "ping")
+
+
+class TestV2Extras:
+    def test_meta_defaults_off_for_v1_envelopes(self):
+        assert envelope_meta({"v": 1, "id": "r", "op": "ping"}) \
+            == (None, None)
+
+    def test_meta_extracts_client_and_deadline(self):
+        client, deadline_s = envelope_meta(
+            {"v": 2, "op": "allocate", "client": "tenant-a",
+             "deadline_s": 3})
+        assert client == "tenant-a"
+        assert deadline_s == 3.0 and isinstance(deadline_s, float)
+
+    @pytest.mark.parametrize("extras", [
+        {"client": 7},
+        {"deadline_s": "soon"},
+        {"deadline_s": True},
+    ])
+    def test_meta_rejects_malformed_values(self, extras):
+        with pytest.raises(ProtocolError) as exc:
+            envelope_meta({"v": 2, "op": "ping", **extras})
+        assert exc.value.kind == "bad_request"
+
+    def test_error_response_carries_rounded_retry_after(self):
+        body = error_response("r", "overload", "busy",
+                              retry_after=0.123456)
+        assert body["error"]["retry_after"] == 0.1235
+        plain = error_response("r", "failed", "no")
+        assert "retry_after" not in plain["error"]
+
+    def test_retryable_kinds_are_the_transient_ones(self):
+        assert RETRYABLE_KINDS == {"overload", "draining",
+                                   "unavailable"}
+
+    def test_expired_failures_get_their_own_kind(self):
+        from repro.engine import ExperimentFailure
+
+        request = request_from_json({"ir_text": LOOP_TEXT,
+                                     "int_regs": 4})
+        failure = ExperimentFailure(
+            key="k", request=request,
+            error_class="DeadlineExpired", message="too late",
+            attempts=0, worker_fate="expired")
+        assert failure_to_json(failure)["kind"] == "expired"
+        poisoned = ExperimentFailure(
+            key="k", request=request, error_class="RuntimeError",
+            message="boom", attempts=2, worker_fate="crashed")
+        assert failure_to_json(poisoned)["kind"] == "failed"
 
 
 class TestRequestFromJson:

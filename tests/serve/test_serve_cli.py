@@ -69,3 +69,60 @@ def test_serve_smoke(tmp_path):
             proc.kill()
         proc.stdout.close()
         proc.stderr.close()
+
+
+def test_cluster_drains_under_load(tmp_path):
+    """``repro serve --backends 2``: the router answers through both
+    backends, and SIGTERM mid-request drains the whole cluster — the
+    in-flight request is answered, every backend exits, exit code 0."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--backends", "2", "--jobs", "1",
+         "--cache-dir", str(tmp_path / "cache")],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        announce = proc.stdout.readline().strip()
+        assert announce.startswith("# serving on ")
+        port = int(announce.rsplit(":", 1)[1])
+
+        with ServeClient("127.0.0.1", port, timeout=120) as client:
+            # the router announces before its first health probes land
+            deadline = time.monotonic() + 60
+            while client.call("ping")["healthy"] < 2:
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+
+            served = client.allocate(**SPEC)
+            local = ExperimentEngine(jobs=1, use_cache=False).run_many(
+                [request_from_json(SPEC)])[0]
+            assert dumps(served) == dumps(summary_to_json(local))
+
+            drained = {}
+
+            def in_flight():
+                drained["result"] = client.allocate(
+                    kernel="fehl", int_regs=8)
+
+            worker = threading.Thread(target=in_flight)
+            with ServeClient("127.0.0.1", port, timeout=120) as probe:
+                # the merged snapshot sums backend-side admission
+                # counters, which tick before execution — so the
+                # SIGTERM provably races the backend execution
+                before = probe.metrics()["counters"].get(
+                    "serve.op.allocate", 0)
+                worker.start()
+                deadline = time.monotonic() + 60
+                while probe.metrics()["counters"].get(
+                        "serve.op.allocate", 0) <= before:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+            proc.send_signal(signal.SIGTERM)
+            worker.join(timeout=120)
+            assert drained["result"]["function"] == "fehl"
+
+        assert proc.wait(timeout=120) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.stdout.close()
+        proc.stderr.close()

@@ -166,6 +166,21 @@ class TestEndToEnd:
         # at most two distinct keys ever executed, whatever the batching
         assert counters["engine.executed"] <= 2
 
+    def test_threads_can_share_one_client_connection(self):
+        """The client lock serializes whole round-trips, so concurrent
+        threads over one connection each get the answer to *their*
+        request, never a neighbour's."""
+        with ServerThread(serial_engine()) as srv:
+            with ServeClient("127.0.0.1", srv.port) as client:
+                def one(n):
+                    return dumps(client.allocate(**spec(n % 2)))
+
+                with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                    results = list(pool.map(one, range(16)))
+        locals_ = serial_engine().run_many(
+            [request_from_json(spec(n % 2)) for n in range(16)])
+        assert results == [dumps(summary_to_json(o)) for o in locals_]
+
     def test_quarantined_request_comes_back_as_typed_failure(self):
         key = request_key(request_from_json(spec(0)))
         engine = serial_engine(
